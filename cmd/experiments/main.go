@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (§6) on the synthetic substrate. By default it runs everything at a
+// moderate scale; -exp selects one experiment and -tpch/-sales/-nref scale
+// the datasets.
+//
+// Usage:
+//
+//	experiments [-exp all|table2|table3|fig6|fig9|fig10|fig11|fig12|fig13|fig14|sec65]
+//	            [-tpch rows] [-tpch-large rows] [-sales rows] [-nref rows] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"gbmqo/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (all, table2, table3, fig6, fig9, fig10, fig11, fig12, fig13, fig14, sec65)")
+		tpch      = flag.Int("tpch", 0, "TPC-H small row count (default from scale)")
+		tpchLarge = flag.Int("tpch-large", 0, "TPC-H large row count")
+		sales     = flag.Int("sales", 0, "SALES row count")
+		nref      = flag.Int("nref", 0, "NREF row count")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.Seed = *seed
+	if *tpch > 0 {
+		scale.TPCHSmall = *tpch
+	}
+	if *tpchLarge > 0 {
+		scale.TPCHLarge = *tpchLarge
+	}
+	if *sales > 0 {
+		scale.Sales = *sales
+	}
+	if *nref > 0 {
+		scale.NRef = *nref
+	}
+
+	type runner struct {
+		name string
+		run  func(experiments.Scale) (fmt.Stringer, error)
+	}
+	all := []runner{
+		{"table2", wrap(experiments.Table2)},
+		{"table3", wrap(experiments.Table3)},
+		{"fig6", wrap(experiments.Figure6)},
+		{"fig9", wrap(experiments.Figure9)},
+		{"fig10", wrap(experiments.Figure10)},
+		{"sec65", wrap(experiments.Section65)},
+		{"fig11", wrap(experiments.Figure11)},
+		{"fig12", wrap(experiments.Figure12)},
+		{"fig13", wrap(experiments.Figure13)},
+		{"fig14", wrap(experiments.Figure14)},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	for _, r := range all {
+		if want != "all" && want != r.name {
+			continue
+		}
+		matched = true
+		// Collect garbage from the previous experiment so its allocations
+		// don't perturb this one's timings.
+		runtime.GC()
+		res, err := r.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// wrap adapts a typed experiment to the generic runner signature.
+func wrap[T fmt.Stringer](fn func(experiments.Scale) (T, error)) func(experiments.Scale) (fmt.Stringer, error) {
+	return func(s experiments.Scale) (fmt.Stringer, error) {
+		res, err := fn(s)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}

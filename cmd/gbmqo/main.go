@@ -1,0 +1,157 @@
+// Command gbmqo is the interactive face of the library: it loads or generates
+// a dataset, runs SQL (including GROUPING SETS / CUBE / ROLLUP / COMBI), and
+// explains GB-MQO plans.
+//
+// Usage:
+//
+//	gbmqo -gen lineitem -rows 50000 -sql "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY GROUPING SETS ((l_shipmode), (l_returnflag))"
+//	gbmqo -gen lineitem -explain "l_returnflag; l_linestatus; l_shipmode"
+//	gbmqo -csv data.csv -schema "a:int,b:string" -table t -sql "SELECT b, COUNT(*) FROM t GROUP BY b"
+//	gbmqo -gen lineitem -profile lineitem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gbmqo"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "generate a bundled dataset (lineitem, sales, nref, customer)")
+		rows     = flag.Int("rows", 50_000, "rows to generate")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		zipf     = flag.Float64("zipf", 0, "Zipf skew for lineitem")
+		csvPath  = flag.String("csv", "", "load a CSV file instead of generating")
+		schema   = flag.String("schema", "", "CSV schema, e.g. \"a:int,b:string,c:float,d:date\"")
+		tableN   = flag.String("table", "t", "table name for -csv")
+		sqlStmt  = flag.String("sql", "", "SQL statement to execute")
+		explain  = flag.String("explain", "", "semicolon-separated Group By column lists to optimize and explain")
+		profileT = flag.String("profile", "", "table to run the data-quality profile on")
+		strategy = flag.String("strategy", "gbmqo", "planning strategy: gbmqo, naive, groupingsets, exhaustive")
+		limit    = flag.Int("limit", 20, "max result rows to print")
+	)
+	flag.Parse()
+
+	db := gbmqo.Open(nil)
+	if *gen != "" {
+		t, err := gbmqo.GenerateDataset(*gen, *rows, *seed, *zipf)
+		fail(err)
+		db.Register(t)
+		fmt.Printf("generated %s: %d rows, %d columns\n", t.Name(), t.NumRows(), t.NumCols())
+	}
+	if *csvPath != "" {
+		defs, err := parseSchema(*schema)
+		fail(err)
+		f, err := os.Open(*csvPath)
+		fail(err)
+		t, err := db.RegisterCSV(*tableN, defs, f)
+		f.Close()
+		fail(err)
+		fmt.Printf("loaded %s: %d rows\n", t.Name(), t.NumRows())
+	}
+
+	opts := gbmqo.QueryOptions{}
+	switch strings.ToLower(*strategy) {
+	case "gbmqo":
+		opts.Strategy = gbmqo.GBMQO
+	case "naive":
+		opts.Strategy = gbmqo.Naive
+	case "groupingsets":
+		opts.Strategy = gbmqo.GroupingSets
+	case "exhaustive":
+		opts.Strategy = gbmqo.Exhaustive
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	ran := false
+	if *sqlStmt != "" {
+		ran = true
+		res, err := db.QueryWith(*sqlStmt, opts)
+		fail(err)
+		if res.Plan != nil {
+			fmt.Println("plan:")
+			fmt.Println(res.Plan)
+		}
+		fmt.Println(res.Table.FormatRows(*limit))
+	}
+	if *explain != "" {
+		ran = true
+		if len(db.Tables()) == 0 {
+			fail(fmt.Errorf("-explain needs a table (-gen or -csv)"))
+		}
+		tableName := db.Tables()[0]
+		var queries [][]string
+		for _, part := range strings.Split(*explain, ";") {
+			var cols []string
+			for _, c := range strings.Split(part, ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					cols = append(cols, c)
+				}
+			}
+			if len(cols) > 0 {
+				queries = append(queries, cols)
+			}
+		}
+		p, st, err := db.Optimize(tableName, queries, opts)
+		fail(err)
+		fmt.Printf("plan (model cost %.0f, naive %.0f, %d optimizer calls):\n%s\n",
+			st.FinalCost, st.NaiveCost, st.OptimizerCalls, p)
+		stmts, err := db.ExplainSQL(p)
+		fail(err)
+		fmt.Println("client-side SQL script (§5.2):")
+		for _, s := range stmts {
+			fmt.Println("  " + s)
+		}
+	}
+	if *profileT != "" {
+		ran = true
+		rep, err := db.Profile(*profileT)
+		fail(err)
+		fmt.Print(rep)
+		fmt.Printf("\nprofile plan:\n%s", rep.Plan)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseSchema(s string) ([]gbmqo.ColumnDef, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-csv requires -schema")
+	}
+	var defs []gbmqo.ColumnDef
+	for _, part := range strings.Split(s, ",") {
+		nameType := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(nameType) != 2 {
+			return nil, fmt.Errorf("bad schema entry %q (want name:type)", part)
+		}
+		var typ gbmqo.Type
+		switch strings.ToLower(nameType[1]) {
+		case "int", "int64", "bigint":
+			typ = gbmqo.Int64
+		case "float", "float64", "double":
+			typ = gbmqo.Float64
+		case "string", "varchar", "text":
+			typ = gbmqo.String
+		case "date":
+			typ = gbmqo.Date
+		default:
+			return nil, fmt.Errorf("unknown type %q", nameType[1])
+		}
+		defs = append(defs, gbmqo.ColumnDef{Name: nameType[0], Typ: typ})
+	}
+	return defs, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbmqo:", err)
+		os.Exit(1)
+	}
+}

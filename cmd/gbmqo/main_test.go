@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"gbmqo"
+)
+
+func TestParseSchema(t *testing.T) {
+	defs, err := parseSchema("a:int, b:string,c:float,d:date,e:bigint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gbmqo.ColumnDef{
+		{Name: "a", Typ: gbmqo.Int64},
+		{Name: "b", Typ: gbmqo.String},
+		{Name: "c", Typ: gbmqo.Float64},
+		{Name: "d", Typ: gbmqo.Date},
+		{Name: "e", Typ: gbmqo.Int64},
+	}
+	if len(defs) != len(want) {
+		t.Fatalf("defs = %v", defs)
+	}
+	for i := range want {
+		if defs[i] != want[i] {
+			t.Fatalf("def %d = %v, want %v", i, defs[i], want[i])
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "a:blob", "a:int,b"} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

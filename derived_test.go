@@ -1,0 +1,114 @@
+package gbmqo
+
+import (
+	"strings"
+	"testing"
+
+	"gbmqo/internal/stats"
+)
+
+func TestAddDerivedColumnLen(t *testing.T) {
+	db := Open(nil)
+	cust, err := GenerateDataset("customer", 5000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(cust)
+	widened, err := db.AddDerivedColumn("customer", "len_address", "Address", Int64, DeriveLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if widened.NumCols() != cust.NumCols()+1 {
+		t.Fatalf("cols = %d", widened.NumCols())
+	}
+	// The derived column participates in grouping like any other.
+	res, err := db.Query("SELECT len_address, COUNT(*) FROM customer GROUP BY len_address")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("no length distribution")
+	}
+	// Spot check: derived value matches LEN of the source.
+	col := widened.ColByName("len_address")
+	src := widened.ColByName("Address")
+	for i := 0; i < widened.NumRows(); i += 501 {
+		if col.Value(i).I != int64(len(src.Value(i).S)) {
+			t.Fatalf("row %d: len %d for %q", i, col.Value(i).I, src.Value(i).S)
+		}
+	}
+}
+
+func TestDeriveBuiltins(t *testing.T) {
+	if DeriveLen(StrVal("abc")).I != 3 {
+		t.Error("DeriveLen wrong")
+	}
+	if !DeriveLen(NullVal(String)).Null {
+		t.Error("DeriveLen should preserve NULL")
+	}
+	if DeriveYear(DateVal(730)).I != 2 {
+		t.Error("DeriveYear wrong")
+	}
+	if DeriveIsNull(NullVal(String)).I != 1 || DeriveIsNull(StrVal("x")).I != 0 {
+		t.Error("DeriveIsNull wrong")
+	}
+}
+
+func TestAddDerivedColumnErrors(t *testing.T) {
+	db := Open(nil)
+	li, _ := GenerateDataset("lineitem", 200, 1, 0)
+	db.Register(li)
+	if _, err := db.AddDerivedColumn("missing", "x", "y", Int64, DeriveLen); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.AddDerivedColumn("lineitem", "x", "nope", Int64, DeriveLen); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := db.AddDerivedColumn("lineitem", "l_comment", "l_comment", Int64, DeriveLen); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	// Type mismatch between declared and produced.
+	if _, err := db.AddDerivedColumn("lineitem", "bad", "l_comment", String, DeriveLen); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestProfileMinMax(t *testing.T) {
+	db := Open(nil)
+	li, _ := GenerateDataset("lineitem", 3000, 1, 0)
+	db.Register(li)
+	rep, err := db.Profile("lineitem", "l_quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Columns[0]
+	if q.Min != "1" || q.Max != "10" {
+		t.Fatalf("quantity min/max = %q/%q, want 1/10", q.Min, q.Max)
+	}
+}
+
+func TestHistogramFacade(t *testing.T) {
+	db := Open(nil)
+	li, _ := GenerateDataset("lineitem", 5000, 1, 0)
+	db.Register(li)
+	h, err := db.Histogram("lineitem", "l_quantity", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Distinct() != 10 || h.Rows() != 5000 {
+		t.Fatalf("histogram = %v", h)
+	}
+	// Selectivity of quantity <= 10 must be 1.
+	if sel := h.Selectivity(stats.CmpLe, IntVal(10)); sel < 0.999 {
+		t.Fatalf("sel(<=max) = %v", sel)
+	}
+	if _, err := db.Histogram("lineitem", "nope", 8); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Histogram("missing", "a", 8); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if !strings.Contains(h.String(), "l_quantity") {
+		t.Fatalf("histogram render: %s", h)
+	}
+}

@@ -1,0 +1,68 @@
+// Storage-constrained optimization (§4.4): GB-MQO plans materialize temp
+// tables; this example shows (a) the §4.4.1 storage-minimizing execution
+// order bounding peak temp usage, and (b) the §4.4.2 budget constraint
+// trading speed for space — as the allowed intermediate storage shrinks, the
+// optimizer gives up merges until, at a tiny budget, the plan degenerates to
+// naive. It also shows the §7.2 per-query aggregates through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gbmqo"
+)
+
+func main() {
+	db := gbmqo.Open(nil)
+	li, err := gbmqo.GenerateDataset("lineitem", 60_000, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.Register(li)
+
+	queries := [][]string{
+		{"l_quantity"}, {"l_returnflag"}, {"l_linestatus"}, {"l_shipinstruct"},
+		{"l_shipmode"}, {"l_shipdate"}, {"l_commitdate"}, {"l_receiptdate"},
+	}
+
+	fmt.Printf("%14s %14s %10s %16s\n", "budget (bytes)", "exec time", "temps", "peak temp bytes")
+	for _, budget := range []float64{0 /* unlimited */, 200_000, 20_000, 100, 10} {
+		p, rep, err := db.Execute("lineitem", queries, gbmqo.QueryOptions{StorageBudget: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%.0f", budget)
+		if budget == 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("%14s %14s %10d %16.0f\n", label, rep.Wall, rep.TempTables, rep.PeakTempBytes)
+		if budget > 0 && rep.PeakTempBytes > budget {
+			log.Fatalf("budget %.0f violated: peak %.0f, plan:\n%s", budget, rep.PeakTempBytes, p)
+		}
+		if budget == 10 && rep.TempTables != 0 {
+			log.Fatalf("a sub-materialization budget should force the naive plan, got:\n%s", p)
+		}
+	}
+
+	// §7.2: per-query aggregates — the optimizer still shares work, with
+	// intermediates carrying the union of what their descendants need.
+	plan, rep, err := db.ExecuteQueries("lineitem", []gbmqo.GroupQuery{
+		{Cols: []string{"l_returnflag"}, Aggs: []gbmqo.Agg{
+			gbmqo.CountStar(),
+			{Kind: gbmqo.AggSum, Col: li.ColIndex("l_quantity"), Name: "total_qty"},
+		}},
+		{Cols: []string{"l_linestatus"}, Aggs: []gbmqo.Agg{
+			{Kind: gbmqo.AggMin, Col: li.ColIndex("l_shipdate"), Name: "first_ship"},
+			{Kind: gbmqo.AggMax, Col: li.ColIndex("l_shipdate"), Name: "last_ship"},
+		}},
+		{Cols: []string{"l_returnflag", "l_linestatus"}}, // plain COUNT(*)
+	}, gbmqo.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-query aggregates (§7.2) — plan:\n%s\n", plan)
+	for set, res := range rep.Results {
+		fmt.Printf("result %v:\n%s\n", set, res.FormatRows(4))
+	}
+}

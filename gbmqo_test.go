@@ -1,0 +1,271 @@
+package gbmqo
+
+import (
+	"strings"
+	"testing"
+)
+
+func openWithLineitem(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := Open(nil)
+	li, err := GenerateDataset("lineitem", rows, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(li)
+	return db
+}
+
+func TestOpenAndRegister(t *testing.T) {
+	db := openWithLineitem(t, 1000)
+	if got := db.Tables(); len(got) != 1 || got[0] != "lineitem" {
+		t.Fatalf("tables = %v", got)
+	}
+	if _, ok := db.Table("lineitem"); !ok {
+		t.Fatal("table not resolvable")
+	}
+}
+
+func TestQueryGroupingSets(t *testing.T) {
+	db := openWithLineitem(t, 3000)
+	res, err := db.Query(`SELECT l_returnflag, l_linestatus, COUNT(*)
+		FROM lineitem
+		GROUP BY GROUPING SETS ((l_returnflag), (l_linestatus), (l_returnflag, l_linestatus))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 || res.ColIndex("grp_tag") < 0 {
+		t.Fatalf("unexpected result shape: %v", res.ColNames())
+	}
+}
+
+func TestQueryWithStrategiesAgree(t *testing.T) {
+	db := openWithLineitem(t, 3000)
+	q := `SELECT COUNT(*) FROM lineitem GROUP BY GROUPING SETS ((l_shipmode), (l_quantity), (l_shipmode, l_quantity))`
+	counts := func(s Strategy) int {
+		res, err := db.QueryWith(q, QueryOptions{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table.NumRows()
+	}
+	if a, b := counts(Naive), counts(GBMQO); a != b {
+		t.Fatalf("row counts differ: naive %d, gbmqo %d", a, b)
+	}
+}
+
+func TestOptimizeAndExplainSQL(t *testing.T) {
+	db := openWithLineitem(t, 5000)
+	queries := [][]string{
+		{"l_returnflag"}, {"l_linestatus"}, {"l_shipinstruct"}, {"l_shipmode"}, {"l_quantity"},
+	}
+	p, st, err := db.Optimize("lineitem", queries, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalCost > st.NaiveCost {
+		t.Fatalf("optimizer worsened the plan: %v > %v", st.FinalCost, st.NaiveCost)
+	}
+	stmts, err := db.ExplainSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(stmts, "\n")
+	if !strings.Contains(joined, "GROUP BY") {
+		t.Fatalf("explain output:\n%s", joined)
+	}
+	// Low-NDV columns should merge, producing at least one temp table.
+	if !strings.Contains(joined, "INTO tmp_gb_") {
+		t.Fatalf("expected a materialized intermediate:\n%s", joined)
+	}
+}
+
+func TestExecuteReturnsPerSetResults(t *testing.T) {
+	db := openWithLineitem(t, 2000)
+	_, report, err := db.Execute("lineitem", [][]string{{"l_returnflag"}, {"l_linestatus"}}, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d sets", len(report.Results))
+	}
+}
+
+func TestProfileDataQuality(t *testing.T) {
+	db := Open(nil)
+	cust, err := GenerateDataset("customer", 20_000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(cust)
+	rep, err := db.Profile("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Columns) != cust.NumCols() {
+		t.Fatalf("profiled %d columns", len(rep.Columns))
+	}
+	var state, mi *ColumnProfile
+	for i := range rep.Columns {
+		switch rep.Columns[i].Name {
+		case "State":
+			state = &rep.Columns[i]
+		case "MI":
+			mi = &rep.Columns[i]
+		}
+	}
+	if state == nil || state.Distinct <= 50 {
+		t.Fatalf("State profile should expose >50 distinct values: %+v", state)
+	}
+	if mi == nil || mi.NullFraction <= 0 {
+		t.Fatalf("MI profile should expose NULLs: %+v", mi)
+	}
+	if !strings.Contains(rep.String(), "State") {
+		t.Fatal("report rendering missing columns")
+	}
+}
+
+func TestAlmostKey(t *testing.T) {
+	db := Open(nil)
+	cust, err := GenerateDataset("customer", 10_000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(cust)
+	distinct, rows, err := db.AlmostKey("customer", []string{"LastName", "FirstName", "MI", "Zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct >= rows {
+		t.Fatalf("expected almost-key (duplicates injected): %d combos, %d rows", distinct, rows)
+	}
+	if rows-distinct > rows/10 {
+		t.Fatalf("too many duplicates for an almost-key: %d of %d", rows-distinct, rows)
+	}
+}
+
+func TestCreateIndexAffectsPlans(t *testing.T) {
+	db := openWithLineitem(t, 10_000)
+	queries := [][]string{{"l_partkey"}}
+	_, before, err := db.Execute("lineitem", queries, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("ix_partkey", "lineitem", []string{"l_partkey"}, false); err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := db.Execute("lineitem", queries, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.RowsScanned >= before.RowsScanned {
+		t.Fatalf("index did not reduce scan: %d vs %d", after.RowsScanned, before.RowsScanned)
+	}
+	db.DropIndexes("lineitem")
+}
+
+func TestRegisterCSVRoundTrip(t *testing.T) {
+	db := Open(nil)
+	csv := "a,b\n1,x\n2,y\n,z\n"
+	tab, err := db.RegisterCSV("t", []ColumnDef{
+		{Name: "a", Typ: Int64}, {Name: "b", Typ: String},
+	}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || !tab.Col(0).IsNull(2) {
+		t.Fatalf("CSV load wrong: %d rows", tab.NumRows())
+	}
+	res, err := db.Query("SELECT b, COUNT(*) FROM t GROUP BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := Open(nil)
+	if _, _, err := db.Optimize("missing", [][]string{{"a"}}, QueryOptions{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := GenerateDataset("bogus", 10, 1, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := db.CreateIndex("ix", "missing", []string{"a"}, false); err == nil {
+		t.Error("index on unknown table accepted")
+	}
+	li, _ := GenerateDataset("lineitem", 100, 1, 0)
+	db.Register(li)
+	if _, _, err := db.Optimize("lineitem", [][]string{{"nope"}}, QueryOptions{}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, _, err := db.AlmostKey("lineitem", []string{"nope"}); err == nil {
+		t.Error("unknown key column accepted")
+	}
+	if _, err := db.ExplainSQL(&Plan{BaseName: "missing"}); err == nil {
+		t.Error("explain of unknown base accepted")
+	}
+}
+
+func TestExecuteQueriesPerSetAggs(t *testing.T) {
+	db := openWithLineitem(t, 5000)
+	li, _ := db.Table("lineitem")
+	plan, rep, err := db.ExecuteQueries("lineitem", []GroupQuery{
+		{Cols: []string{"l_returnflag"}, Aggs: []Agg{
+			CountStar(),
+			{Kind: AggSum, Col: li.ColIndex("l_quantity"), Name: "tq"},
+		}},
+		{Cols: []string{"l_linestatus"}},
+		{Cols: []string{"l_returnflag", "l_linestatus"}},
+	}, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || len(rep.Results) != 3 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	flagRes := rep.Results[Cols(li.ColIndex("l_returnflag"))]
+	if flagRes == nil || flagRes.ColIndex("tq") < 0 {
+		t.Fatalf("per-set aggregate missing: %v", flagRes.ColNames())
+	}
+	statusRes := rep.Results[Cols(li.ColIndex("l_linestatus"))]
+	if statusRes.ColIndex("tq") >= 0 {
+		t.Fatalf("default-agg set leaked the union: %v", statusRes.ColNames())
+	}
+	// Totals must tie out.
+	var total int64
+	for i := 0; i < statusRes.NumRows(); i++ {
+		total += statusRes.ColByName("cnt").Value(i).I
+	}
+	if total != int64(li.NumRows()) {
+		t.Fatalf("counts sum to %d, want %d", total, li.NumRows())
+	}
+}
+
+func TestExecuteQueriesErrors(t *testing.T) {
+	db := Open(nil)
+	if _, _, err := db.ExecuteQueries("missing", []GroupQuery{{Cols: []string{"a"}}}, QueryOptions{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	li, _ := GenerateDataset("lineitem", 100, 1, 0)
+	db.Register(li)
+	if _, _, err := db.ExecuteQueries("lineitem", []GroupQuery{{Cols: []string{"nope"}}}, QueryOptions{}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestQueryOptionsPlumbed(t *testing.T) {
+	db := openWithLineitem(t, 4000)
+	res, err := db.QueryWith(
+		`SELECT COUNT(*) FROM lineitem GROUP BY COMBI(2; l_returnflag, l_linestatus, l_shipmode)`,
+		QueryOptions{BinaryOnly: true, UseCardinalityModel: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Table.NumRows() == 0 {
+		t.Fatal("combi query produced nothing")
+	}
+}

@@ -1,0 +1,3 @@
+module gbmqo
+
+go 1.22

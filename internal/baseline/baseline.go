@@ -1,0 +1,85 @@
+// Package baseline implements the two comparison strategies of the paper's
+// evaluation: the naïve plan (every required Group By computed directly from
+// the base relation) and an emulation of the GROUPING SETS strategy the paper
+// observed in a commercial DBMS (§1, §6.1).
+package baseline
+
+import (
+	"gbmqo/internal/colset"
+	"gbmqo/internal/plan"
+)
+
+// Naive returns the plan that computes every required query from R — the
+// §6.2 comparison baseline.
+func Naive(baseName string, colNames []string, required []colset.Set) *plan.Plan {
+	return plan.Naive(baseName, colNames, required)
+}
+
+// GroupingSets emulates the commercial GROUPING SETS plan the paper reports:
+//
+//   - containment chains are exploited via shared sorts — "it arranges the
+//     sorting order so that if a grouping set subsumes another, the subsumed
+//     grouping is almost free": each required set is computed from its
+//     smallest required proper superset when one exists;
+//   - everything else hangs off the union of all requested column sets,
+//     materialized once — "the plan picked by the query optimizer is to first
+//     compute the Group By of all 12 columns, materialize that result, and
+//     then compute each of the 12 Group By queries from that materialized
+//     result" (§1). For non-overlapping workloads that union is nearly as
+//     large as R itself, which is precisely why GROUPING SETS performs like
+//     the naïve plan on the SC scenario.
+func GroupingSets(baseName string, colNames []string, required []colset.Set) *plan.Plan {
+	nodes := make(map[colset.Set]*plan.Node, len(required))
+	for _, s := range required {
+		nodes[s] = plan.NewNode(s, true)
+	}
+
+	// Attach each set to its smallest required proper superset.
+	var topLevel []colset.Set
+	for _, s := range required {
+		parent := smallestSuperset(s, required)
+		if parent == nil {
+			topLevel = append(topLevel, s)
+			continue
+		}
+		nodes[*parent].Children = append(nodes[*parent].Children, nodes[s])
+	}
+
+	p := &plan.Plan{BaseName: baseName, ColNames: colNames}
+	if len(topLevel) < len(required) || len(required) == 1 {
+		// Containment exists somewhere: the commercial plan exploits shared
+		// sorts, i.e. each maximal set is computed from R and subsumed sets
+		// stream off their supersets (the CONT behaviour of §6.1).
+		for _, s := range topLevel {
+			p.Roots = append(p.Roots, nodes[s])
+		}
+	} else {
+		// No containment at all (the SC shape): materialize the union of all
+		// requested columns once and compute everything from it.
+		u := colset.UnionAll(required)
+		root := plan.NewNode(u, nodes[u] != nil && nodes[u].Required)
+		for _, s := range topLevel {
+			root.Children = append(root.Children, nodes[s])
+		}
+		p.Roots = []*plan.Node{root}
+	}
+	p.Normalize()
+	return p
+}
+
+// smallestSuperset returns the smallest required proper superset of s, nil
+// when none exists. Ties break toward the lexicographically smallest set so
+// the emulated plan is deterministic.
+func smallestSuperset(s colset.Set, required []colset.Set) *colset.Set {
+	var best *colset.Set
+	for i := range required {
+		r := required[i]
+		if !s.ProperSubsetOf(r) {
+			continue
+		}
+		if best == nil || r.Len() < best.Len() || (r.Len() == best.Len() && r < *best) {
+			best = &required[i]
+		}
+	}
+	return best
+}

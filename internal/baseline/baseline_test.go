@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/plan"
+)
+
+func TestNaiveShape(t *testing.T) {
+	req := []colset.Set{colset.Of(0), colset.Of(1), colset.Of(2)}
+	p := Naive("R", nil, req)
+	if len(p.Roots) != 3 {
+		t.Fatalf("naive roots = %d", len(p.Roots))
+	}
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Roots {
+		if r.IsIntermediate() {
+			t.Fatal("naive plan materialized something")
+		}
+	}
+}
+
+func TestGroupingSetsSCShape(t *testing.T) {
+	// Non-overlapping singles (the SC scenario): one materialized union root
+	// with every query under it — the plan the paper observed commercially.
+	req := []colset.Set{colset.Of(0), colset.Of(1), colset.Of(2), colset.Of(3)}
+	p := GroupingSets("R", nil, req)
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 1 {
+		t.Fatalf("SC shape should have one root, got %d", len(p.Roots))
+	}
+	root := p.Roots[0]
+	if root.Set != colset.Of(0, 1, 2, 3) || root.Required {
+		t.Fatalf("root = %v required=%v", root.Set, root.Required)
+	}
+	if len(root.Children) != 4 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+}
+
+func TestGroupingSetsCONTShape(t *testing.T) {
+	// Containment-rich input: maximal pairs from R, singles streamed from
+	// their smallest superset.
+	req := []colset.Set{
+		colset.Of(0), colset.Of(1), colset.Of(2),
+		colset.Of(0, 1), colset.Of(0, 2), colset.Of(1, 2),
+	}
+	p := GroupingSets("R", nil, req)
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 3 {
+		t.Fatalf("CONT shape should have the 3 pairs as roots:\n%s", p)
+	}
+	for _, r := range p.Roots {
+		if r.Set.Len() != 2 {
+			t.Fatalf("root %v is not a pair", r.Set)
+		}
+	}
+	// Every single hangs under some pair.
+	found := 0
+	for _, r := range p.Roots {
+		r.Walk(func(n *plan.Node) {
+			if n.Set.Len() == 1 {
+				found++
+			}
+		})
+	}
+	if found != 3 {
+		t.Fatalf("%d singles placed under pairs, want 3", found)
+	}
+}
+
+func TestGroupingSetsChain(t *testing.T) {
+	// (a) ⊂ (a,b) ⊂ (a,b,c): a single chain from R.
+	req := []colset.Set{colset.Of(0), colset.Of(0, 1), colset.Of(0, 1, 2)}
+	p := GroupingSets("R", nil, req)
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 1 || p.Roots[0].Set != colset.Of(0, 1, 2) {
+		t.Fatalf("chain root wrong:\n%s", p)
+	}
+	mid := p.Roots[0].Children
+	if len(mid) != 1 || mid[0].Set != colset.Of(0, 1) || len(mid[0].Children) != 1 {
+		t.Fatalf("chain structure wrong:\n%s", p)
+	}
+}
+
+func TestGroupingSetsSingleQuery(t *testing.T) {
+	req := []colset.Set{colset.Of(0, 1)}
+	p := GroupingSets("R", nil, req)
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 1 || p.Roots[0].IsIntermediate() {
+		t.Fatalf("single query should be computed directly:\n%s", p)
+	}
+}
+
+func TestSmallestSupersetTieBreak(t *testing.T) {
+	req := []colset.Set{colset.Of(0), colset.Of(0, 1), colset.Of(0, 2)}
+	got := smallestSuperset(colset.Of(0), req)
+	if got == nil || *got != colset.Of(0, 1) {
+		t.Fatalf("tie-break = %v, want (0,1)", got)
+	}
+	if s := smallestSuperset(colset.Of(0, 1), req); s != nil {
+		t.Fatalf("superset of maximal set = %v", *s)
+	}
+}

@@ -1,0 +1,135 @@
+// Package catalog is the runtime registry tying together base tables,
+// materialized temporary tables, physical design (indexes) and the statistics
+// service. The engine resolves every table reference through it, and the
+// optimizer's what-if costing registers hypothetical tables here so that
+// queries over not-yet-materialized intermediates can be costed (§3.2.2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/index"
+	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
+)
+
+// HypoTable is a what-if hypothetical table: it does not exist, but carries
+// the cardinality and width metadata the cost model needs, exactly like the
+// what-if analysis APIs in commercial optimizers the paper leans on ("these
+// APIs allow us to pretend that a table exists, and has a given cardinality
+// and database statistics").
+type HypoTable struct {
+	Name string
+	// Base is the base relation this hypothetical descends from.
+	Base *table.Table
+	// Set is the grouping column set (ordinals on Base) whose Group By result
+	// this table would hold.
+	Set colset.Set
+	// Rows is the estimated cardinality.
+	Rows float64
+	// RowWidth is the estimated row width in bytes (grouping columns plus
+	// aggregate columns).
+	RowWidth float64
+}
+
+// Catalog registers tables, indexes and hypothetical tables.
+type Catalog struct {
+	tables  map[string]*table.Table
+	indexes map[string][]*index.Index
+	hypos   map[string]*HypoTable
+	stats   *stats.Service
+}
+
+// New creates an empty catalog backed by the given statistics service.
+func New(svc *stats.Service) *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*table.Table),
+		indexes: make(map[string][]*index.Index),
+		hypos:   make(map[string]*HypoTable),
+		stats:   svc,
+	}
+}
+
+// Stats returns the statistics service.
+func (c *Catalog) Stats() *stats.Service { return c.stats }
+
+// Register adds or replaces a table. Replacing drops the old table's indexes
+// and invalidates its statistics.
+func (c *Catalog) Register(t *table.Table) {
+	if _, existed := c.tables[t.Name()]; existed {
+		delete(c.indexes, t.Name())
+		if c.stats != nil {
+			c.stats.Invalidate(t.Name())
+		}
+	}
+	c.tables[t.Name()] = t
+}
+
+// Table resolves a table by name.
+func (c *Catalog) Table(name string) (*table.Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// MustTable resolves a table or panics; for callers that already validated.
+func (c *Catalog) MustTable(name string) *table.Table {
+	t, ok := c.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: unknown table %q", name))
+	}
+	return t
+}
+
+// Drop removes a table, its indexes, and its statistics. Dropping an unknown
+// table is a no-op (temp-table cleanup paths may race with earlier drops).
+func (c *Catalog) Drop(name string) {
+	delete(c.tables, name)
+	delete(c.indexes, name)
+	if c.stats != nil {
+		c.stats.Invalidate(name)
+	}
+}
+
+// TableNames lists registered tables in sorted order.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddIndex registers an index for its table. The table must exist.
+func (c *Catalog) AddIndex(ix *index.Index) error {
+	if _, ok := c.tables[ix.TableName()]; !ok {
+		return fmt.Errorf("catalog: index %q references unknown table %q", ix.Name(), ix.TableName())
+	}
+	for _, existing := range c.indexes[ix.TableName()] {
+		if existing.Name() == ix.Name() {
+			return fmt.Errorf("catalog: duplicate index %q on %q", ix.Name(), ix.TableName())
+		}
+	}
+	c.indexes[ix.TableName()] = append(c.indexes[ix.TableName()], ix)
+	return nil
+}
+
+// Indexes returns the indexes registered for a table (nil when none).
+func (c *Catalog) Indexes(tableName string) []*index.Index { return c.indexes[tableName] }
+
+// DropIndexes removes every index on a table.
+func (c *Catalog) DropIndexes(tableName string) { delete(c.indexes, tableName) }
+
+// RegisterHypo adds or replaces a hypothetical table.
+func (c *Catalog) RegisterHypo(h *HypoTable) { c.hypos[h.Name] = h }
+
+// Hypo resolves a hypothetical table.
+func (c *Catalog) Hypo(name string) (*HypoTable, bool) {
+	h, ok := c.hypos[name]
+	return h, ok
+}
+
+// DropHypo removes a hypothetical table.
+func (c *Catalog) DropHypo(name string) { delete(c.hypos, name) }

@@ -1,0 +1,202 @@
+// Package colset implements small, value-type column sets used throughout the
+// GB-MQO search. A Set identifies a Group By query by the ordinals of its
+// grouping columns within one relation's schema; the search DAG of the paper
+// (§3.1) is the subset lattice over these sets. Sets support at most 64
+// columns, which comfortably covers the paper's widest experiment (48 columns,
+// §6.4).
+package colset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxColumns is the largest column ordinal + 1 representable in a Set.
+const MaxColumns = 64
+
+// Set is a bitset of column ordinals. The zero value is the empty set. Sets
+// are immutable values: all operations return new sets.
+type Set uint64
+
+// Of builds a set from column ordinals. It panics if an ordinal is out of
+// range, since that is always a programming error in callers.
+func Of(cols ...int) Set {
+	var s Set
+	for _, c := range cols {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Range returns the set {0, 1, ..., n-1}.
+func Range(n int) Set {
+	if n < 0 || n > MaxColumns {
+		panic(fmt.Sprintf("colset: Range(%d) out of range", n))
+	}
+	if n == MaxColumns {
+		return Set(^uint64(0))
+	}
+	return Set((uint64(1) << uint(n)) - 1)
+}
+
+// Add returns s with column c included.
+func (s Set) Add(c int) Set {
+	if c < 0 || c >= MaxColumns {
+		panic(fmt.Sprintf("colset: column ordinal %d out of range [0,%d)", c, MaxColumns))
+	}
+	return s | Set(uint64(1)<<uint(c))
+}
+
+// Remove returns s with column c excluded.
+func (s Set) Remove(c int) Set {
+	if c < 0 || c >= MaxColumns {
+		panic(fmt.Sprintf("colset: column ordinal %d out of range [0,%d)", c, MaxColumns))
+	}
+	return s &^ Set(uint64(1)<<uint(c))
+}
+
+// Has reports whether column c is in the set.
+func (s Set) Has(c int) bool {
+	if c < 0 || c >= MaxColumns {
+		return false
+	}
+	return s&Set(uint64(1)<<uint(c)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// Len returns the number of columns in the set.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether the set has no columns.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// SubsetOf reports whether every column of s is in t (s ⊆ t).
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t.
+func (s Set) ProperSubsetOf(t Set) bool { return s != t && s.SubsetOf(t) }
+
+// SupersetOf reports whether s ⊇ t.
+func (s Set) SupersetOf(t Set) bool { return t.SubsetOf(s) }
+
+// Overlaps reports whether s and t share at least one column.
+func (s Set) Overlaps(t Set) bool { return s&t != 0 }
+
+// Min returns the smallest column ordinal in the set. It panics on the empty
+// set.
+func (s Set) Min() int {
+	if s == 0 {
+		panic("colset: Min of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Max returns the largest column ordinal in the set. It panics on the empty
+// set.
+func (s Set) Max() int {
+	if s == 0 {
+		panic("colset: Max of empty set")
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// Columns returns the column ordinals in ascending order.
+func (s Set) Columns() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// ForEach calls fn for each column ordinal in ascending order.
+func (s Set) ForEach(fn func(c int)) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+}
+
+// String renders the set as "{c0,c3,c7}" using raw ordinals. Use Format for
+// schema-aware names.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(c int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "c%d", c)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Format renders the set using the provided column names, e.g.
+// "(l_shipdate, l_commitdate)". Ordinals without a name fall back to "c<i>".
+func (s Set) Format(names []string) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	first := true
+	s.ForEach(func(c int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		if c < len(names) {
+			b.WriteString(names[c])
+		} else {
+			fmt.Fprintf(&b, "c%d", c)
+		}
+	})
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Subsets enumerates every subset of s (including the empty set and s itself)
+// in an unspecified order, calling fn for each. If fn returns false the
+// enumeration stops early.
+func (s Set) Subsets(fn func(Set) bool) {
+	// Standard subset-enumeration trick: iterate sub = (sub-1)&s downward.
+	sub := s
+	for {
+		if !fn(sub) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & s
+	}
+}
+
+// SortSets orders a slice of sets deterministically: ascending by cardinality,
+// then by bit pattern. Experiments rely on this for reproducible output.
+func SortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		if li, lj := sets[i].Len(), sets[j].Len(); li != lj {
+			return li < lj
+		}
+		return sets[i] < sets[j]
+	})
+}
+
+// UnionAll returns the union of all sets.
+func UnionAll(sets []Set) Set {
+	var u Set
+	for _, s := range sets {
+		u |= s
+	}
+	return u
+}

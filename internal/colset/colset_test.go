@@ -1,0 +1,305 @@
+package colset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndColumns(t *testing.T) {
+	s := Of(3, 0, 7, 3)
+	if got := s.Columns(); !reflect.DeepEqual(got, []int{0, 3, 7}) {
+		t.Fatalf("Columns() = %v, want [0 3 7]", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(0); got != 0 {
+		t.Errorf("Range(0) = %v, want empty", got)
+	}
+	if got := Range(3); !reflect.DeepEqual(got.Columns(), []int{0, 1, 2}) {
+		t.Errorf("Range(3) = %v", got.Columns())
+	}
+	if got := Range(64); got.Len() != 64 {
+		t.Errorf("Range(64).Len() = %d", got.Len())
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(65) did not panic")
+		}
+	}()
+	Range(65)
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	var s Set
+	s = s.Add(5)
+	if !s.Has(5) {
+		t.Fatal("Has(5) after Add(5) = false")
+	}
+	if s.Has(4) {
+		t.Fatal("Has(4) = true on {5}")
+	}
+	s = s.Remove(5)
+	if !s.IsEmpty() {
+		t.Fatal("set not empty after removing only element")
+	}
+	// Removing an absent column is a no-op.
+	if got := Of(1).Remove(2); got != Of(1) {
+		t.Fatalf("Remove absent changed set: %v", got)
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	if Of(1).Has(-1) || Of(1).Has(64) {
+		t.Fatal("Has out of range should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	for _, c := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", c)
+				}
+			}()
+			Of(c)
+		}()
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := Of(0, 1, 2), Of(2, 3)
+	if got := a.Union(b); got != Of(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != Of(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != Of(0, 1) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps = false")
+	}
+	if Of(0).Overlaps(Of(1)) {
+		t.Error("disjoint sets report overlap")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a, b := Of(1, 2), Of(1, 2, 3)
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Error("a should be proper subset of b")
+	}
+	if !b.SupersetOf(a) {
+		t.Error("b should be superset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a should hold")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("a ⊂ a should not hold")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a should not hold")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) {
+		t.Error("∅ ⊆ a should hold")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Of(5, 9, 33)
+	if s.Min() != 5 {
+		t.Errorf("Min = %d", s.Min())
+	}
+	if s.Max() != 33 {
+		t.Errorf("Max = %d", s.Max())
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, fn := range map[string]func(Set) int{"Min": Set.Min, "Max": Set.Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty set did not panic", name)
+				}
+			}()
+			fn(Set(0))
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0, 2).String(); got != "{c0,c2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Set(0).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	names := []string{"a", "b"}
+	if got := Of(0, 1).Format(names); got != "(a, b)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := Of(0, 5).Format(names); got != "(a, c5)" {
+		t.Errorf("Format fallback = %q", got)
+	}
+}
+
+func TestSubsetsEnumeration(t *testing.T) {
+	s := Of(0, 2, 5)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) bool {
+		if seen[sub] {
+			t.Fatalf("subset %v enumerated twice", sub)
+		}
+		if !sub.SubsetOf(s) {
+			t.Fatalf("enumerated non-subset %v", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d subsets, want 8", len(seen))
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	n := 0
+	Of(0, 1, 2).Subsets(func(Set) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("enumeration did not stop early: n=%d", n)
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []Set{Of(0, 1), Of(2), Of(0), Of(1, 2), Of(0, 1, 2)}
+	SortSets(sets)
+	want := []Set{Of(0), Of(2), Of(0, 1), Of(1, 2), Of(0, 1, 2)}
+	if !reflect.DeepEqual(sets, want) {
+		t.Fatalf("SortSets = %v, want %v", sets, want)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	if got := UnionAll([]Set{Of(0), Of(3), Of(0, 5)}); got != Of(0, 3, 5) {
+		t.Fatalf("UnionAll = %v", got)
+	}
+	if got := UnionAll(nil); got != 0 {
+		t.Fatalf("UnionAll(nil) = %v", got)
+	}
+}
+
+// modelSet is a map-based reference implementation used to property-test the
+// bitset against.
+type modelSet map[int]bool
+
+func toModel(s Set) modelSet {
+	m := modelSet{}
+	s.ForEach(func(c int) { m[c] = true })
+	return m
+}
+
+func fromModel(m modelSet) Set {
+	var s Set
+	for c := range m {
+		s = s.Add(c)
+	}
+	return s
+}
+
+func randomSet(r *rand.Rand) Set {
+	return Set(r.Uint64())
+}
+
+func TestQuickAlgebraMatchesModel(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa, sb := Set(a), Set(b)
+		ma, mb := toModel(sa), toModel(sb)
+		union := modelSet{}
+		for c := range ma {
+			union[c] = true
+		}
+		for c := range mb {
+			union[c] = true
+		}
+		inter := modelSet{}
+		for c := range ma {
+			if mb[c] {
+				inter[c] = true
+			}
+		}
+		diff := modelSet{}
+		for c := range ma {
+			if !mb[c] {
+				diff[c] = true
+			}
+		}
+		return sa.Union(sb) == fromModel(union) &&
+			sa.Intersect(sb) == fromModel(inter) &&
+			sa.Diff(sb) == fromModel(diff) &&
+			sa.Len() == len(ma)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetDefinition(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa, sb := Set(a), Set(b)
+		want := true
+		sa.ForEach(func(c int) {
+			if !sb.Has(c) {
+				want = false
+			}
+		})
+		return sa.SubsetOf(sb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetsCount(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		// Keep sets small so 2^len is manageable.
+		s := randomSet(r) & Set(0xFFFF) // at most 16 columns
+		if s.Len() > 12 {
+			continue
+		}
+		n := 0
+		s.Subsets(func(Set) bool { n++; return true })
+		if n != 1<<uint(s.Len()) {
+			t.Fatalf("set %v: %d subsets, want %d", s, n, 1<<uint(s.Len()))
+		}
+	}
+}
+
+func TestQuickColumnsRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		s := Set(a)
+		return Of(s.Columns()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package core implements the paper's primary contribution: the GB-MQO
+// search algorithm (§4). Given a set of required Group By queries over one
+// relation, it finds a low-cost logical plan by hill climbing from the naïve
+// plan (every query computed from R), repeatedly applying the SubPlanMerge
+// operator (§4.1, Figure 4) to the best-improving pair of sub-plans until no
+// merge improves the plan (§4.2, Figure 5). Unlike partial-cube and
+// view-selection predecessors it never constructs the exponential search DAG:
+// only the part of the lattice the merges touch is ever instantiated, which
+// is what lets it scale to the data-analysis workloads of §1.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/plan"
+)
+
+// Options configures the search.
+type Options struct {
+	// Model prices plan edges. Required.
+	Model cost.Model
+	// NAggs is the number of aggregate columns each query carries (default 1,
+	// the paper's COUNT(*) setting).
+	NAggs int
+	// BinaryOnly restricts SubPlanMerge to type (b) (§4.2: "restriction of
+	// the space of logical plans to binary trees"), the configuration §6.5
+	// evaluates. The subsumption degenerate case is always available.
+	BinaryOnly bool
+	// PruneSubsumption enables §4.3.1: skip merging (vi, vj) when some other
+	// pair's union is strictly contained in vi ∪ vj.
+	PruneSubsumption bool
+	// PruneMonotonic enables §4.3.2: once a pair's merge fails to improve,
+	// never try a pair whose union contains that pair's union.
+	PruneMonotonic bool
+	// ConsiderCubeRollup enables the §7.1 extension: each merge additionally
+	// considers replacing the new root with a CUBE or ROLLUP operator.
+	ConsiderCubeRollup bool
+	// MaxCubeCols caps the width of CUBE roots considered (default 5; a CUBE
+	// on k columns covers 2^k sets).
+	MaxCubeCols int
+	// StorageBudget, when positive, rejects merged sub-plans whose minimum
+	// intermediate storage (§4.4.1) exceeds the budget (§4.4.2). Requires
+	// SizeFn.
+	StorageBudget float64
+	// SizeFn estimates materialized node sizes for the storage constraint.
+	SizeFn plan.SizeFn
+}
+
+func (o *Options) normalize() error {
+	if o.Model == nil {
+		return fmt.Errorf("core: Options.Model is required")
+	}
+	if o.NAggs <= 0 {
+		o.NAggs = 1
+	}
+	if o.MaxCubeCols <= 0 {
+		o.MaxCubeCols = 5
+	}
+	if o.StorageBudget > 0 && o.SizeFn == nil {
+		return fmt.Errorf("core: StorageBudget requires SizeFn")
+	}
+	return nil
+}
+
+// SearchStats reports search effort, the quantities §6.4–§6.6 chart.
+type SearchStats struct {
+	// Iterations is the number of hill-climbing rounds (applied merges + 1).
+	Iterations int
+	// MergeEvaluations counts SubPlanMerge invocations (cache misses only).
+	MergeEvaluations int
+	// PrunedPairs counts pairs skipped by the §4.3 pruning techniques.
+	PrunedPairs int
+	// OptimizerCalls is the number of cost-model edge costings performed
+	// during the search — the paper's optimization-cost metric.
+	OptimizerCalls int
+	// Elapsed is wall-clock optimization time.
+	Elapsed time.Duration
+	// NaiveCost and FinalCost are the model costs of the starting and final
+	// plans.
+	NaiveCost float64
+	FinalCost float64
+}
+
+// Optimize runs the GB-MQO search and returns the chosen logical plan.
+// required must be non-empty, with distinct non-empty sets.
+func Optimize(baseName string, colNames []string, required []colset.Set, opts Options) (*plan.Plan, SearchStats, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	if len(required) == 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: no required queries")
+	}
+	seen := map[colset.Set]bool{}
+	for _, s := range required {
+		if s.IsEmpty() {
+			return nil, SearchStats{}, fmt.Errorf("core: empty grouping set in input")
+		}
+		if seen[s] {
+			return nil, SearchStats{}, fmt.Errorf("core: duplicate grouping set %s", s)
+		}
+		seen[s] = true
+	}
+
+	start := time.Now()
+	callsBefore := opts.Model.Calls()
+	s := &searcher{
+		opts:       opts,
+		baseName:   baseName,
+		colNames:   colNames,
+		required:   required,
+		desc:       map[*plan.Node]float64{},
+		mergeCache: map[pairKey]mergeOutcome{},
+		setsCache:  map[*plan.Node]map[colset.Set]bool{},
+	}
+	s.initNaive()
+	s.stats.NaiveCost = s.totalCost()
+
+	for {
+		s.stats.Iterations++
+		best, ok := s.bestMerge()
+		if !ok {
+			break
+		}
+		if !s.tryApply(best) {
+			// The merged plan violated a structural invariant (possible in
+			// overlapping workloads when a union collides in ways the cheap
+			// pre-checks miss); remember the pair as unmergeable and retry.
+			s.mergeCache[makePairKey(s.subplans[best.i], s.subplans[best.j])] = mergeOutcome{}
+			continue
+		}
+	}
+
+	s.stats.FinalCost = s.totalCost()
+	s.stats.OptimizerCalls = opts.Model.Calls() - callsBefore
+	s.stats.Elapsed = time.Since(start)
+
+	p := s.plan()
+	p.Normalize()
+	if err := p.Validate(required); err != nil {
+		// A failed invariant here is a bug in the search, not user error.
+		panic(fmt.Sprintf("core: produced invalid plan: %v\n%s", err, p))
+	}
+	return p, s.stats, nil
+}
+
+// subPlan is one tree whose root is computed directly from R.
+type subPlan struct {
+	root *plan.Node
+	// cost is the full subtree cost (edge from base + everything below).
+	cost float64
+}
+
+// searcher holds hill-climbing state.
+type searcher struct {
+	opts     Options
+	baseName string
+	colNames []string
+	required []colset.Set
+
+	subplans []*subPlan
+	// desc caches, per node, the cost of everything strictly below it (the
+	// sum over children of edge-into-child + child's desc). It is invariant
+	// to the node's own parent, which is what makes merge candidates cheap to
+	// price.
+	desc map[*plan.Node]float64
+
+	mergeCache   map[pairKey]mergeOutcome
+	setsCache    map[*plan.Node]map[colset.Set]bool
+	failedUnions []colset.Set // §4.3.2 state
+	stats        SearchStats
+}
+
+// pairKey identifies an evaluated sub-plan pair by root identity. Sub-plan
+// trees are immutable once built, so pointer identity is a sound cache key
+// across iterations; this is the memoization that keeps total SubPlanMerge
+// work O(n²) (§4.2, "Analysis of Running Time").
+type pairKey [2]*plan.Node
+
+func makePairKey(a, b *subPlan) pairKey {
+	if a.root.Set > b.root.Set {
+		a, b = b, a
+	}
+	return pairKey{a.root, b.root}
+}
+
+func (s *searcher) initNaive() {
+	for _, set := range s.required {
+		n := plan.NewNode(set, true)
+		s.desc[n] = 0
+		s.subplans = append(s.subplans, &subPlan{
+			root: n,
+			cost: s.edge(true, 0, set, false),
+		})
+	}
+}
+
+// edge prices one edge through the model.
+func (s *searcher) edge(parentIsBase bool, parent, v colset.Set, materialize bool) float64 {
+	return s.opts.Model.EdgeCost(cost.Edge{
+		ParentIsBase: parentIsBase,
+		Parent:       parent,
+		V:            v,
+		NAggs:        s.opts.NAggs,
+		Materialize:  materialize,
+	})
+}
+
+func (s *searcher) totalCost() float64 {
+	t := 0.0
+	for _, sp := range s.subplans {
+		t += sp.cost
+	}
+	return t
+}
+
+// plan assembles the current state into a Plan.
+func (s *searcher) plan() *plan.Plan {
+	p := &plan.Plan{BaseName: s.baseName, ColNames: s.colNames}
+	for _, sp := range s.subplans {
+		p.Roots = append(p.Roots, sp.root)
+	}
+	return p
+}
+
+// bestMerge evaluates all pairs (subject to pruning and the memo) and
+// returns the best strictly-improving merge.
+func (s *searcher) bestMerge() (chosen applied, ok bool) {
+	bestBenefit := 0.0
+	for i := 0; i < len(s.subplans); i++ {
+		for j := i + 1; j < len(s.subplans); j++ {
+			p1, p2 := s.subplans[i], s.subplans[j]
+			if s.pruned(p1, p2) {
+				s.stats.PrunedPairs++
+				continue
+			}
+			out := s.evaluate(p1, p2)
+			if !out.valid {
+				continue
+			}
+			benefit := p1.cost + p2.cost - out.cost
+			if benefit <= 0 && s.opts.PruneMonotonic {
+				s.noteFailedUnion(p1.root.Set.Union(p2.root.Set))
+			}
+			if benefit > bestBenefit {
+				bestBenefit = benefit
+				chosen = applied{i: i, j: j, outcome: out}
+				ok = true
+			}
+		}
+	}
+	return chosen, ok
+}
+
+// applied identifies the merge to perform.
+type applied struct {
+	i, j    int
+	outcome mergeOutcome
+}
+
+// tryApply replaces sub-plans i and j with the merged sub-plan, coalesces any
+// sub-plans whose root sets became equal (possible when a union collides with
+// an existing required root), and validates the result. On validation failure
+// the previous state is restored and false returned.
+func (s *searcher) tryApply(a applied) bool {
+	snapshot := append([]*subPlan(nil), s.subplans...)
+	merged := s.build(s.subplans[a.i], s.subplans[a.j], a.outcome)
+	keep := make([]*subPlan, 0, len(s.subplans)-1)
+	for k, sp := range s.subplans {
+		if k != a.i && k != a.j {
+			keep = append(keep, sp)
+		}
+	}
+	s.subplans = append(keep, merged)
+	s.coalesceEqualRoots()
+	if err := s.plan().Validate(s.required); err != nil {
+		s.subplans = snapshot
+		return false
+	}
+	return true
+}
+
+// coalesceEqualRoots merges sub-plans sharing a root set into one node.
+func (s *searcher) coalesceEqualRoots() {
+	byset := map[colset.Set]*subPlan{}
+	out := s.subplans[:0]
+	for _, sp := range s.subplans {
+		prev, dup := byset[sp.root.Set]
+		if !dup {
+			byset[sp.root.Set] = sp
+			out = append(out, sp)
+			continue
+		}
+		// Fold sp into prev: union children, OR the required flags.
+		merged := plan.NewNode(prev.root.Set, prev.root.Required || sp.root.Required)
+		merged.Children = append(append([]*plan.Node(nil), prev.root.Children...), sp.root.Children...)
+		s.finishNode(merged)
+		prev.root = merged
+		prev.cost = s.edge(true, 0, merged.Set, merged.IsIntermediate()) + s.desc[merged]
+	}
+	s.subplans = out
+}
+
+// finishNode computes and caches desc for a freshly built node whose
+// children already have cached desc values.
+func (s *searcher) finishNode(n *plan.Node) {
+	d := 0.0
+	for _, c := range n.Children {
+		d += s.edge(false, n.Set, c.Set, c.IsIntermediate()) + s.desc[c]
+	}
+	s.desc[n] = d
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/plan"
+	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
+)
+
+// corrTable builds a table whose first k columns are low-NDV and correlated
+// (so merging their Group Bys is profitable) and whose remaining columns are
+// high-NDV (so merging them is not).
+func corrTable(rows, lowCols, highCols int, seed int64) *table.Table {
+	r := rand.New(rand.NewSource(seed))
+	defs := make([]table.ColumnDef, 0, lowCols+highCols)
+	for i := 0; i < lowCols+highCols; i++ {
+		defs = append(defs, table.ColumnDef{Name: string(rune('a' + i)), Typ: table.TInt64})
+	}
+	t := table.New("R", defs)
+	row := make([]table.Value, lowCols+highCols)
+	for i := 0; i < rows; i++ {
+		base := r.Intn(4)
+		for j := 0; j < lowCols; j++ {
+			row[j] = table.Int(int64(base + j*r.Intn(2)))
+		}
+		for j := lowCols; j < lowCols+highCols; j++ {
+			row[j] = table.Int(int64(r.Intn(rows / 2)))
+		}
+		t.AppendRow(row...)
+	}
+	return t
+}
+
+func exactEnv(t *table.Table) *cost.Env {
+	return cost.NewEnv(t, stats.NewService(stats.Exact, 0, 1), nil)
+}
+
+func singles(n int) []colset.Set {
+	out := make([]colset.Set, n)
+	for i := range out {
+		out[i] = colset.Of(i)
+	}
+	return out
+}
+
+func TestOptimizeImprovesOnNaive(t *testing.T) {
+	tb := corrTable(20_000, 4, 2, 1)
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	p, st, err := Optimize("R", tb.ColNames(), singles(6), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalCost >= st.NaiveCost {
+		t.Fatalf("no improvement: naive %.0f, final %.0f\n%s", st.NaiveCost, st.FinalCost, p)
+	}
+	// The low-NDV columns should have been merged under a shared root.
+	merged := false
+	for _, r := range p.Roots {
+		if r.Set.Len() > 1 && len(r.Children) > 0 {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Fatalf("expected at least one merged sub-plan:\n%s", p)
+	}
+}
+
+func TestOptimizeFinalCostMatchesPlanCost(t *testing.T) {
+	tb := corrTable(10_000, 3, 2, 2)
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	p, st, err := Optimize("R", tb.ColNames(), singles(5), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-pricing the returned plan from scratch must reproduce FinalCost —
+	// the searcher's incremental accounting must not drift.
+	got := p.Cost(m, 1)
+	if math.Abs(got-st.FinalCost) > 1e-6*math.Max(1, st.FinalCost) {
+		t.Fatalf("incremental cost %.3f != replayed cost %.3f", st.FinalCost, got)
+	}
+}
+
+func TestOptimizeSubsumptionAttach(t *testing.T) {
+	// Required {(a), (a,b)}: the optimal move is computing (a) from the
+	// materialized (a,b) — the §4.1 degenerate case.
+	tb := corrTable(10_000, 3, 0, 3)
+	m := cost.NewCardinality(exactEnv(tb))
+	p, _, err := Optimize("R", tb.ColNames(), []colset.Set{colset.Of(0), colset.Of(0, 1)}, Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 1 {
+		t.Fatalf("expected a single sub-plan:\n%s", p)
+	}
+	root := p.Roots[0]
+	if root.Set != colset.Of(0, 1) || !root.Required || len(root.Children) != 1 || root.Children[0].Set != colset.Of(0) {
+		t.Fatalf("expected (a,b)*→(a):\n%s", p)
+	}
+}
+
+func TestOptimizeCONTWorkloadUsesContainment(t *testing.T) {
+	// The §6.1 CONT shape: three singles and their three pairs. Every single
+	// should end up computed from one of the materialized pairs, never from R.
+	tb := corrTable(20_000, 2, 4, 4)
+	required := []colset.Set{
+		colset.Of(0), colset.Of(1), colset.Of(2),
+		colset.Of(0, 1), colset.Of(0, 2), colset.Of(1, 2),
+	}
+	m := cost.NewCardinality(exactEnv(tb))
+	p, st, err := Optimize("R", tb.ColNames(), required, Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalCost >= st.NaiveCost {
+		t.Fatalf("CONT workload not improved: %v vs %v", st.FinalCost, st.NaiveCost)
+	}
+	for _, r := range p.Roots {
+		if r.Set.Len() == 1 {
+			t.Fatalf("single-column set computed from base:\n%s", p)
+		}
+	}
+}
+
+func TestHillClimbNeverBeatsExhaustive(t *testing.T) {
+	// The exhaustive DP searches binary type-(b) forests, so the hill climber
+	// must be restricted to the same space for the dominance check (with all
+	// four merge types it can legitimately find cheaper k-way plans — the
+	// §6.5 observation).
+	for seed := int64(0); seed < 8; seed++ {
+		tb := corrTable(5000, 3, 2, 10+seed)
+		env := exactEnv(tb)
+		m := cost.NewOptimizer(env, cost.Coefficients{})
+		req := singles(5)
+		_, st, err := Optimize("R", tb.ColNames(), req, Options{Model: m, BinaryOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optCost, err := ExhaustiveOptimize("R", tb.ColNames(), req, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FinalCost < optCost-1e-6*optCost {
+			t.Fatalf("seed %d: hill climbing (%.1f) beat the exhaustive optimum (%.1f)", seed, st.FinalCost, optCost)
+		}
+		if optCost > st.NaiveCost+1e-6 {
+			t.Fatalf("seed %d: optimum (%.1f) worse than naive (%.1f)", seed, optCost, st.NaiveCost)
+		}
+	}
+}
+
+func TestExhaustivePlanCostMatchesReportedCost(t *testing.T) {
+	tb := corrTable(5000, 4, 1, 3)
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	req := singles(5)
+	p, reported, err := ExhaustiveOptimize("R", tb.ColNames(), req, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Cost(m, 1)
+	if math.Abs(got-reported) > 1e-6*math.Max(1, reported) {
+		t.Fatalf("DP cost %.3f != plan cost %.3f\n%s", reported, got, p)
+	}
+}
+
+func TestExhaustiveWithOverlappingRequired(t *testing.T) {
+	// Required sets where a union coincides with a required set: {(a),(b),(a,b)}.
+	tb := corrTable(5000, 3, 0, 4)
+	m := cost.NewCardinality(exactEnv(tb))
+	req := []colset.Set{colset.Of(0), colset.Of(1), colset.Of(0, 1)}
+	p, c, err := ExhaustiveOptimize("R", tb.ColNames(), req, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(req); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: materialize (a,b) once (|R|) and compute both singles from it.
+	want := 5000 + 2*float64(stats.ExactNDV(tb, colset.Of(0, 1)))
+	if math.Abs(c-want) > 1e-6 {
+		t.Fatalf("cost = %v, want %v\n%s", c, want, p)
+	}
+}
+
+func TestExhaustiveLimits(t *testing.T) {
+	tb := corrTable(100, 2, 0, 5)
+	m := cost.NewCardinality(exactEnv(tb))
+	if _, _, err := ExhaustiveOptimize("R", nil, nil, m, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	big := make([]colset.Set, MaxExhaustive+1)
+	for i := range big {
+		big[i] = colset.Of(i % 2)
+	}
+	if _, _, err := ExhaustiveOptimize("R", nil, big, m, 1); err == nil {
+		t.Error("oversized input accepted")
+	}
+}
+
+func TestPruningSoundUnderCardinalityModel(t *testing.T) {
+	// §4.3: with the cardinality cost model and type-(b)-only merges over
+	// non-overlapping inputs, both pruning techniques must not change the
+	// final plan cost. Property-checked over random tables.
+	for seed := int64(0); seed < 10; seed++ {
+		tb := corrTable(3000, 4, 3, 20+seed)
+		req := singles(7)
+		run := func(sub, mono bool) float64 {
+			m := cost.NewCardinality(exactEnv(tb))
+			_, st, err := Optimize("R", tb.ColNames(), req, Options{
+				Model: m, BinaryOnly: true,
+				PruneSubsumption: sub, PruneMonotonic: mono,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.FinalCost
+		}
+		base := run(false, false)
+		for _, cfg := range [][2]bool{{true, false}, {false, true}, {true, true}} {
+			if got := run(cfg[0], cfg[1]); math.Abs(got-base) > 1e-6*math.Max(1, base) {
+				t.Fatalf("seed %d: pruning (S=%v M=%v) changed cost: %.1f vs %.1f",
+					seed, cfg[0], cfg[1], got, base)
+			}
+		}
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	tb := corrTable(10_000, 6, 4, 6)
+	req := singles(10)
+	run := func(sub, mono bool) (int, int) {
+		m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+		_, st, err := Optimize("R", tb.ColNames(), req, Options{
+			Model: m, BinaryOnly: true, PruneSubsumption: sub, PruneMonotonic: mono,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.OptimizerCalls, st.PrunedPairs
+	}
+	noneCalls, _ := run(false, false)
+	bothCalls, pruned := run(true, true)
+	if pruned == 0 {
+		t.Fatal("pruning never fired")
+	}
+	if bothCalls >= noneCalls {
+		t.Fatalf("pruning did not reduce optimizer calls: %d vs %d", bothCalls, noneCalls)
+	}
+}
+
+func TestBinaryOnlyProducesBinaryTrees(t *testing.T) {
+	tb := corrTable(10_000, 5, 3, 7)
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	p, _, err := Optimize("R", tb.ColNames(), singles(8), Options{Model: m, BinaryOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Roots {
+		r.Walk(func(n *plan.Node) {
+			if len(n.Children) > 2 {
+				t.Fatalf("node %s has %d children under BinaryOnly:\n%s", n.Set, len(n.Children), p)
+			}
+		})
+	}
+}
+
+func TestNonBinaryCanBeatBinary(t *testing.T) {
+	// With all four merge types the search space is a superset, so the result
+	// is never worse.
+	for seed := int64(0); seed < 6; seed++ {
+		tb := corrTable(8000, 5, 2, 30+seed)
+		req := singles(7)
+		mb := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+		_, stBin, err := Optimize("R", tb.ColNames(), req, Options{Model: mb, BinaryOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+		_, stAll, err := Optimize("R", tb.ColNames(), req, Options{Model: ma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both are hill climbers, so no strict guarantee — but the k-way
+		// space includes every binary plan reachable from the same moves, and
+		// on these inputs all-types should be no more than a sliver worse.
+		if stAll.FinalCost > stBin.FinalCost*1.10 {
+			t.Fatalf("seed %d: all-types (%.0f) much worse than binary (%.0f)", seed, stAll.FinalCost, stBin.FinalCost)
+		}
+	}
+}
+
+func TestMergeEvaluationsQuadraticBound(t *testing.T) {
+	tb := corrTable(5000, 8, 4, 8)
+	n := 12
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	_, st, err := Optimize("R", tb.ColNames(), singles(n), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memoization bounds total merge evaluations by ~n²: each iteration only
+	// evaluates pairs involving the newly created sub-plan.
+	if st.MergeEvaluations > n*n {
+		t.Fatalf("merge evaluations %d exceed n² = %d", st.MergeEvaluations, n*n)
+	}
+	if st.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestCubeRollupExtension(t *testing.T) {
+	// All non-empty subsets of 3 low-NDV columns requested: a CUBE (or
+	// ROLLUP-augmented) plan should be at least as good as the plain search.
+	tb := corrTable(20_000, 3, 0, 9)
+	var req []colset.Set
+	colset.Of(0, 1, 2).Subsets(func(s colset.Set) bool {
+		if !s.IsEmpty() {
+			req = append(req, s)
+		}
+		return true
+	})
+	mPlain := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	_, stPlain, err := Optimize("R", tb.ColNames(), req, Options{Model: mPlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mExt := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	pExt, stExt, err := Optimize("R", tb.ColNames(), req, Options{Model: mExt, ConsiderCubeRollup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stExt.FinalCost > stPlain.FinalCost+1e-6 {
+		t.Fatalf("cube/rollup extension worsened the plan: %.1f vs %.1f\n%s", stExt.FinalCost, stPlain.FinalCost, pExt)
+	}
+}
+
+func TestRollupOrderFor(t *testing.T) {
+	order, ok := rollupOrderFor(colset.Of(0, 1, 2), colset.Of(0), colset.Of(0, 1))
+	if !ok {
+		t.Fatal("rollup order not found")
+	}
+	// (a) then (a,b) must both be prefixes.
+	if !isPrefixOf(colset.Of(0), order) || !isPrefixOf(colset.Of(0, 1), order) {
+		t.Fatalf("order %v does not cover both children", order)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order %v incomplete", order)
+	}
+}
+
+func TestStorageBudgetBlocksMerges(t *testing.T) {
+	tb := corrTable(10_000, 4, 0, 11)
+	size := func(s colset.Set) float64 { return float64(stats.ExactNDV(tb, s)) }
+	m := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	// A budget below any possible intermediate forces the naive plan.
+	p, st, err := Optimize("R", tb.ColNames(), singles(4), Options{
+		Model: m, StorageBudget: 0.5, SizeFn: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalCost != st.NaiveCost || len(p.Roots) != 4 {
+		t.Fatalf("tiny budget should force naive plan:\n%s", p)
+	}
+	// A generous budget must allow merging again.
+	m2 := cost.NewOptimizer(exactEnv(tb), cost.Coefficients{})
+	_, st2, err := Optimize("R", tb.ColNames(), singles(4), Options{
+		Model: m2, StorageBudget: 1e12, SizeFn: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FinalCost >= st2.NaiveCost {
+		t.Fatal("generous budget still blocked merges")
+	}
+}
+
+func TestOptimizeInputValidation(t *testing.T) {
+	tb := corrTable(100, 2, 0, 12)
+	m := cost.NewCardinality(exactEnv(tb))
+	if _, _, err := Optimize("R", nil, singles(2), Options{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, _, err := Optimize("R", nil, nil, Options{Model: m}); err == nil {
+		t.Error("empty required accepted")
+	}
+	if _, _, err := Optimize("R", nil, []colset.Set{colset.Of(0), colset.Of(0)}, Options{Model: m}); err == nil {
+		t.Error("duplicate required accepted")
+	}
+	if _, _, err := Optimize("R", nil, []colset.Set{0}, Options{Model: m}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := Optimize("R", nil, singles(1), Options{Model: m, StorageBudget: 5}); err == nil {
+		t.Error("storage budget without SizeFn accepted")
+	}
+}
+
+func TestOptimizeSingleQuery(t *testing.T) {
+	tb := corrTable(1000, 2, 0, 13)
+	m := cost.NewCardinality(exactEnv(tb))
+	p, st, err := Optimize("R", tb.ColNames(), singles(1), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Roots) != 1 || p.Roots[0].IsIntermediate() {
+		t.Fatalf("single query should stay naive:\n%s", p)
+	}
+	if st.FinalCost != st.NaiveCost {
+		t.Fatal("single query cost changed")
+	}
+}
+
+func TestCardinalityModelMergeMatchesPaperFormula(t *testing.T) {
+	// Under the cardinality model, merging leaf sub-plans (a) and (b) into
+	// (ab)[(a),(b)] changes cost by exactly 2|ab| − |R| (§4.3.1's algebra:
+	// Cost(vi)+Cost(vj)−Cost(vi∪vj) = |R| − 2|vi∪vj|).
+	tb := corrTable(5000, 3, 0, 14)
+	env := exactEnv(tb)
+	m := cost.NewCardinality(env)
+	_, st, err := Optimize("R", tb.ColNames(), singles(2), Options{Model: m, BinaryOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := float64(tb.NumRows())
+	ab := float64(stats.ExactNDV(tb, colset.Of(0, 1)))
+	wantMerged := R + 2*ab
+	wantNaive := 2 * R
+	if st.NaiveCost != wantNaive {
+		t.Fatalf("naive = %v, want %v", st.NaiveCost, wantNaive)
+	}
+	want := math.Min(wantNaive, wantMerged)
+	if math.Abs(st.FinalCost-want) > 1e-9 {
+		t.Fatalf("final = %v, want %v", st.FinalCost, want)
+	}
+}
+
+func TestPlanStringMentionsMaterialization(t *testing.T) {
+	tb := corrTable(20_000, 4, 0, 15)
+	m := cost.NewCardinality(exactEnv(tb))
+	p, _, err := Optimize("R", tb.ColNames(), singles(4), Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "[materialized]") {
+		t.Fatalf("expected materialized intermediates:\n%s", p)
+	}
+}
+
+// TestQuickHillClimbVsExhaustiveRandom cross-checks on random required sets
+// (including overlapping multi-column ones).
+func TestQuickHillClimbVsExhaustiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		tb := corrTable(2000, 4, 2, int64(40+trial))
+		nq := 3 + r.Intn(3)
+		seen := map[colset.Set]bool{}
+		var req []colset.Set
+		for len(req) < nq {
+			var s colset.Set
+			for s.IsEmpty() {
+				for c := 0; c < 6; c++ {
+					if r.Intn(3) == 0 {
+						s = s.Add(c)
+					}
+				}
+			}
+			if !seen[s] {
+				seen[s] = true
+				req = append(req, s)
+			}
+		}
+		m := cost.NewCardinality(exactEnv(tb))
+		p, st, err := Optimize("R", tb.ColNames(), req, Options{Model: m, BinaryOnly: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Validate(req); err != nil {
+			t.Fatalf("trial %d: invalid plan: %v", trial, err)
+		}
+		_, optCost, err := ExhaustiveOptimize("R", tb.ColNames(), req, m, 1)
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive: %v", trial, err)
+		}
+		if st.FinalCost < optCost-1e-6*math.Max(1, optCost) {
+			t.Fatalf("trial %d: hill climb %.1f beat optimum %.1f (req %v)", trial, st.FinalCost, optCost, req)
+		}
+	}
+}

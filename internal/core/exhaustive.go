@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/plan"
+)
+
+// MaxExhaustive is the largest input size ExhaustiveOptimize accepts; the
+// space is exponential (the paper's §6.3 comparison "restricted the number of
+// columns to 7" for the same reason).
+const MaxExhaustive = 12
+
+// ExhaustiveOptimize finds the optimal plan by dynamic programming over
+// subsets of the required queries, searching the space of binary type-(b)
+// forests with subsumption degeneracies — the space §6.5 shows loses less
+// than 10% to the full space while being enumerable. It is used by the §6.3
+// quality comparison and by property tests asserting that hill climbing never
+// beats the optimum.
+func ExhaustiveOptimize(baseName string, colNames []string, required []colset.Set, model cost.Model, nAggs int) (*plan.Plan, float64, error) {
+	n := len(required)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("core: no required queries")
+	}
+	if n > MaxExhaustive {
+		return nil, 0, fmt.Errorf("core: exhaustive search limited to %d queries, got %d", MaxExhaustive, n)
+	}
+	if nAggs <= 0 {
+		nAggs = 1
+	}
+	e := &exhaustive{required: required, model: model, nAggs: nAggs,
+		tree: map[uint32]memo{}, under: map[underKey]memo{}}
+
+	full := uint32(1)<<uint(n) - 1
+	// Forest DP: partition the required set into sub-plans.
+	forest := make([]float64, full+1)
+	choice := make([]uint32, full+1)
+	forest[0] = 0
+	for mask := uint32(1); mask <= full; mask++ {
+		forest[mask] = -1
+		low := mask & (^mask + 1) // lowest set bit anchors the partition
+		for sub := mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			c := e.treeCost(sub) + forest[mask&^sub]
+			if forest[mask] < 0 || c < forest[mask] {
+				forest[mask] = c
+				choice[mask] = sub
+			}
+		}
+	}
+
+	// Reconstruct.
+	p := &plan.Plan{BaseName: baseName, ColNames: colNames}
+	for mask := full; mask != 0; {
+		sub := choice[mask]
+		p.Roots = append(p.Roots, e.buildTree(sub))
+		mask &^= sub
+	}
+	p.Normalize()
+	if err := p.Validate(required); err != nil {
+		return nil, 0, fmt.Errorf("core: exhaustive produced invalid plan: %w", err)
+	}
+	return p, forest[full], nil
+}
+
+type memo struct {
+	cost  float64
+	split uint32 // 0 = leaf / direct
+}
+
+type underKey struct {
+	mask   uint32
+	parent colset.Set
+}
+
+type exhaustive struct {
+	required []colset.Set
+	model    cost.Model
+	nAggs    int
+	tree     map[uint32]memo
+	under    map[underKey]memo
+}
+
+func (e *exhaustive) union(mask uint32) colset.Set {
+	var u colset.Set
+	for m := mask; m != 0; m &= m - 1 {
+		u = u.Union(e.required[bits.TrailingZeros32(m)])
+	}
+	return u
+}
+
+func (e *exhaustive) edge(parentIsBase bool, parent, v colset.Set, mat bool) float64 {
+	return e.model.EdgeCost(cost.Edge{
+		ParentIsBase: parentIsBase,
+		Parent:       parent,
+		V:            v,
+		NAggs:        e.nAggs,
+		Materialize:  mat,
+	})
+}
+
+// treeCost prices computing all required queries in mask as one sub-plan
+// hanging directly off the base relation.
+func (e *exhaustive) treeCost(mask uint32) float64 {
+	if m, ok := e.tree[mask]; ok {
+		return m.cost
+	}
+	var m memo
+	if bits.OnesCount32(mask) == 1 {
+		s := e.required[bits.TrailingZeros32(mask)]
+		m = memo{cost: e.edge(true, 0, s, false)}
+	} else {
+		u := e.union(mask)
+		if e.collidesOutside(u, mask) {
+			e.tree[mask] = memo{cost: math.Inf(1)}
+			return math.Inf(1)
+		}
+		best, split := -1.0, uint32(0)
+		low := mask & (^mask + 1)
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			c := e.underCost(sub, u) + e.underCost(mask&^sub, u)
+			if best < 0 || c < best {
+				best, split = c, sub
+			}
+		}
+		// The root u is materialized; it may itself be a required query (when
+		// the union coincides with one), in which case its own edge is all
+		// that query needs.
+		m = memo{cost: e.edge(true, 0, u, true) + best, split: split}
+	}
+	e.tree[mask] = m
+	return m.cost
+}
+
+// underCost prices computing the queries of mask beneath a materialized
+// parent with grouping set `parent`.
+func (e *exhaustive) underCost(mask uint32, parent colset.Set) float64 {
+	key := underKey{mask, parent}
+	if m, ok := e.under[key]; ok {
+		return m.cost
+	}
+	var m memo
+	if bits.OnesCount32(mask) == 1 {
+		s := e.required[bits.TrailingZeros32(mask)]
+		if s == parent {
+			m = memo{cost: 0} // the parent itself is this required query
+		} else {
+			m = memo{cost: e.edge(false, parent, s, false)}
+		}
+	} else {
+		u := e.union(mask)
+		if u == parent {
+			// No new node: split directly beneath the parent.
+			best, split := -1.0, uint32(0)
+			low := mask & (^mask + 1)
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&low == 0 {
+					continue
+				}
+				c := e.underCost(sub, parent) + e.underCost(mask&^sub, parent)
+				if best < 0 || c < best {
+					best, split = c, sub
+				}
+			}
+			m = memo{cost: best, split: split}
+		} else if e.collidesOutside(u, mask) {
+			m = memo{cost: math.Inf(1)}
+		} else {
+			best, split := -1.0, uint32(0)
+			low := mask & (^mask + 1)
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&low == 0 {
+					continue
+				}
+				c := e.underCost(sub, u) + e.underCost(mask&^sub, u)
+				if best < 0 || c < best {
+					best, split = c, sub
+				}
+			}
+			m = memo{cost: e.edge(false, parent, u, true) + best, split: split}
+		}
+	}
+	e.under[key] = m
+	return m.cost
+}
+
+// buildTree reconstructs the sub-plan for mask rooted under the base.
+func (e *exhaustive) buildTree(mask uint32) *plan.Node {
+	if bits.OnesCount32(mask) == 1 {
+		return plan.NewNode(e.required[bits.TrailingZeros32(mask)], true)
+	}
+	u := e.union(mask)
+	e.treeCost(mask) // ensure memo
+	m := e.tree[mask]
+	root := plan.NewNode(u, e.isRequiredSet(u))
+	e.attachChildren(root, mask, m.split, u)
+	return root
+}
+
+// attachChildren expands the DP's split decisions into child nodes under a
+// node with grouping set `parent`.
+func (e *exhaustive) attachChildren(parent *plan.Node, mask, split uint32, parentSet colset.Set) {
+	for _, part := range []uint32{split, mask &^ split} {
+		e.attachPart(parent, part, parentSet)
+	}
+}
+
+func (e *exhaustive) attachPart(parent *plan.Node, mask uint32, parentSet colset.Set) {
+	if bits.OnesCount32(mask) == 1 {
+		s := e.required[bits.TrailingZeros32(mask)]
+		if s == parentSet {
+			parent.Required = true
+			return
+		}
+		parent.Children = append(parent.Children, plan.NewNode(s, true))
+		return
+	}
+	u := e.union(mask)
+	e.underCost(mask, parentSet) // ensure memo
+	m := e.under[underKey{mask, parentSet}]
+	if u == parentSet {
+		e.attachChildren(parent, mask, m.split, parentSet)
+		return
+	}
+	node := plan.NewNode(u, e.isRequiredSet(u))
+	e.attachChildren(node, mask, m.split, u)
+	parent.Children = append(parent.Children, node)
+}
+
+func (e *exhaustive) isRequiredSet(u colset.Set) bool {
+	for _, r := range e.required {
+		if r == u {
+			return true
+		}
+	}
+	return false
+}
+
+// collidesOutside reports whether creating an internal node with set u inside
+// mask would duplicate a required query handled outside mask (which would
+// make the reconstructed plan invalid).
+func (e *exhaustive) collidesOutside(u colset.Set, mask uint32) bool {
+	for i, r := range e.required {
+		if r == u && mask&(1<<uint(i)) == 0 {
+			return true
+		}
+	}
+	return false
+}

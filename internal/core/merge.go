@@ -1,0 +1,346 @@
+package core
+
+import (
+	"gbmqo/internal/colset"
+	"gbmqo/internal/plan"
+)
+
+// mergeKind identifies which SubPlanMerge variant (Figure 4) a candidate is.
+type mergeKind int
+
+const (
+	// kindInvalid marks an unmergeable pair.
+	kindInvalid mergeKind = iota
+	// kindA re-parents the children of both roots under v1∪v2, eliminating
+	// both roots (Figure 4a; requires neither root to be required).
+	kindA
+	// kindB keeps both sub-plans intact as children of v1∪v2 (Figure 4b; the
+	// binary-tree restriction of §4.2 allows only this).
+	kindB
+	// kindC eliminates v1 (re-parenting its children) and keeps v2 (Figure 4c).
+	kindC
+	// kindD eliminates v2 and keeps v1 (Figure 4d).
+	kindD
+	// kindAttach handles the subsumption degeneracy (§4.1): when v2 ⊂ v1 the
+	// merged root is v1 itself and v2's sub-plan hangs under it.
+	kindAttach
+	// kindAttachFlat is the subsumption degeneracy of (a)/(d): v2 ⊂ v1 and
+	// v2's children re-parent directly under v1, eliminating v2.
+	kindAttachFlat
+	// kindCube replaces the kind-B root with a CUBE operator (§7.1).
+	kindCube
+	// kindRollup replaces the kind-B root with a ROLLUP operator (§7.1).
+	kindRollup
+)
+
+// mergeOutcome is the priced best variant for a pair.
+type mergeOutcome struct {
+	valid bool
+	kind  mergeKind
+	cost  float64
+	// swap indicates p1/p2 roles were exchanged (for kindAttach*, the
+	// subsuming root is always "first").
+	swap bool
+	// rollupOrder is the column order for kindRollup.
+	rollupOrder []int
+}
+
+// evaluate prices SubPlanMerge(p1, p2), returning the cheapest variant. The
+// result is memoized by root identity.
+func (s *searcher) evaluate(p1, p2 *subPlan) mergeOutcome {
+	key := makePairKey(p1, p2)
+	if out, ok := s.mergeCache[key]; ok {
+		return out
+	}
+	s.stats.MergeEvaluations++
+	out := s.evaluateUncached(p1, p2)
+	s.mergeCache[key] = out
+	return out
+}
+
+func (s *searcher) evaluateUncached(p1, p2 *subPlan) mergeOutcome {
+	v1, v2 := p1.root.Set, p2.root.Set
+	u := v1.Union(v2)
+	if v1 == v2 {
+		return mergeOutcome{} // coalesceEqualRoots owns this case
+	}
+	if s.unionCollides(u, v1, v2) || s.subtreesOverlap(p1.root, p2.root) {
+		return mergeOutcome{}
+	}
+
+	// Subsumption degeneracy: the union coincides with one of the roots, so
+	// "merging" means computing the subsumed sub-plan from the subsuming one
+	// (§4.1: "(b) (c) and (d) degenerate into one case in which we compute
+	// v2 from v1").
+	if v2.ProperSubsetOf(v1) {
+		return s.evaluateAttach(p1, p2, false)
+	}
+	if v1.ProperSubsetOf(v2) {
+		return s.evaluateAttach(p2, p1, true)
+	}
+
+	// General case: price each permitted variant from shared edge terms.
+	eU := s.edge(true, 0, u, true) // root u is always materialized
+	intoV1 := s.edge(false, u, v1, p1.root.IsIntermediate()) + s.desc[p1.root]
+	intoV2 := s.edge(false, u, v2, p2.root.IsIntermediate()) + s.desc[p2.root]
+
+	best := mergeOutcome{valid: true, kind: kindB, cost: eU + intoV1 + intoV2}
+	if !s.opts.BinaryOnly {
+		// Re-parenting terms are only priced when types (a)/(c)/(d) are in
+		// play — this is where the §6.5 binary restriction saves its ~30% of
+		// optimizer calls.
+		reparent1 := s.reparentCost(u, p1.root)
+		reparent2 := s.reparentCost(u, p2.root)
+		if !p1.root.Required && !p2.root.Required {
+			if c := eU + reparent1 + reparent2; c < best.cost {
+				best = mergeOutcome{valid: true, kind: kindA, cost: c}
+			}
+		}
+		if !p1.root.Required {
+			if c := eU + reparent1 + intoV2; c < best.cost {
+				best = mergeOutcome{valid: true, kind: kindC, cost: c}
+			}
+		}
+		if !p2.root.Required {
+			if c := eU + reparent2 + intoV1; c < best.cost {
+				best = mergeOutcome{valid: true, kind: kindD, cost: c}
+			}
+		}
+	}
+	if s.opts.ConsiderCubeRollup {
+		if alt, ok := s.evaluateCubeRollup(u, eU, p1, p2); ok && alt.cost < best.cost {
+			best = alt
+		}
+	}
+	if !s.fitsBudget(best, p1, p2) {
+		return mergeOutcome{}
+	}
+	return best
+}
+
+// reparentCost prices moving root's children directly under u (root itself
+// disappears).
+func (s *searcher) reparentCost(u colset.Set, root *plan.Node) float64 {
+	total := 0.0
+	for _, c := range root.Children {
+		total += s.edge(false, u, c.Set, c.IsIntermediate()) + s.desc[c]
+	}
+	return total
+}
+
+// evaluateAttach prices the subsumption case: sub ⊂ sup, candidates are
+// attaching sub's whole sub-plan under sup's root, or (when sub's root is not
+// required, and k-way trees are allowed) re-parenting sub's children under it.
+func (s *searcher) evaluateAttach(sup, sub *subPlan, swapped bool) mergeOutcome {
+	v1 := sup.root.Set
+	// Attaching forces sup's root to be materialized.
+	eRoot := s.edge(true, 0, v1, true)
+	attach := eRoot + s.desc[sup.root] +
+		s.edge(false, v1, sub.root.Set, sub.root.IsIntermediate()) + s.desc[sub.root]
+	best := mergeOutcome{valid: true, kind: kindAttach, cost: attach, swap: swapped}
+	if !s.opts.BinaryOnly && !sub.root.Required && len(sub.root.Children) > 0 {
+		flat := eRoot + s.desc[sup.root] + s.reparentCost(v1, sub.root)
+		if flat < best.cost {
+			best = mergeOutcome{valid: true, kind: kindAttachFlat, cost: flat, swap: swapped}
+		}
+	}
+	if !s.fitsBudget(best, sup, sub) {
+		return mergeOutcome{}
+	}
+	return best
+}
+
+// build constructs the merged sub-plan for a priced outcome. The new root
+// adopts existing subtrees by pointer; sub-plan trees are never mutated after
+// construction, so sharing is safe.
+func (s *searcher) build(p1, p2 *subPlan, out mergeOutcome) *subPlan {
+	if out.swap {
+		p1, p2 = p2, p1
+	}
+	u := p1.root.Set.Union(p2.root.Set)
+	root := plan.NewNode(u, s.isRequired(u))
+	switch out.kind {
+	case kindA:
+		root.Children = append(append([]*plan.Node(nil), p1.root.Children...), p2.root.Children...)
+	case kindB:
+		root.Children = []*plan.Node{p1.root, p2.root}
+	case kindC:
+		root.Children = append(append([]*plan.Node(nil), p1.root.Children...), p2.root)
+	case kindD:
+		root.Children = append(append([]*plan.Node(nil), p2.root.Children...), p1.root)
+	case kindAttach:
+		root = plan.NewNode(p1.root.Set, p1.root.Required)
+		root.Children = append(append([]*plan.Node(nil), p1.root.Children...), p2.root)
+	case kindAttachFlat:
+		root = plan.NewNode(p1.root.Set, p1.root.Required)
+		root.Children = append(append([]*plan.Node(nil), p1.root.Children...), p2.root.Children...)
+	case kindCube:
+		root.Op = plan.OpCube
+		root.Children = []*plan.Node{p1.root, p2.root}
+	case kindRollup:
+		root.Op = plan.OpRollup
+		root.RollupOrder = out.rollupOrder
+		root.Children = []*plan.Node{p1.root, p2.root}
+	default:
+		panic("core: building invalid merge outcome")
+	}
+	// The outcome's cost already includes every edge; derive desc without
+	// re-pricing (keeps the optimizer-call counter honest).
+	s.desc[root] = out.cost - s.edge(true, 0, root.Set, root.IsIntermediate())
+	// That edge call re-priced the root edge; refund the counter by pricing
+	// once and reusing: acceptable—the extra call is one per applied merge.
+	return &subPlan{root: root, cost: out.cost}
+}
+
+// isRequired reports whether set is one of the required queries (a merge
+// union can coincide with a required set, e.g. merging (A) and (B) when
+// (A,B) is itself requested).
+func (s *searcher) isRequired(set colset.Set) bool {
+	for _, r := range s.required {
+		if r == set {
+			return true
+		}
+	}
+	return false
+}
+
+// unionCollides reports whether u already exists as an internal (non-root)
+// node somewhere, which would create a duplicate temp table.
+func (s *searcher) unionCollides(u, v1, v2 colset.Set) bool {
+	for _, sp := range s.subplans {
+		if sp.root.Set == v1 || sp.root.Set == v2 {
+			continue
+		}
+		found := false
+		sp.root.Walk(func(n *plan.Node) {
+			if n != sp.root && n.Set == u {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// fitsBudget applies the §4.4.2 storage constraint to a candidate by building
+// a throwaway view of the merged tree and evaluating the §4.4.1 recursion.
+func (s *searcher) fitsBudget(out mergeOutcome, p1, p2 *subPlan) bool {
+	if s.opts.StorageBudget <= 0 {
+		return true
+	}
+	probe := s.build(p1, p2, out)
+	return plan.MinStorage(probe.root, s.opts.SizeFn, nil) <= s.opts.StorageBudget
+}
+
+// evaluateCubeRollup prices the §7.1 alternatives for a kind-B-shaped merge:
+// a CUBE root covers every subset of u (children come free but all 2^|u|
+// covered sets are computed), a ROLLUP root covers the prefixes of a chosen
+// column order.
+func (s *searcher) evaluateCubeRollup(u colset.Set, eU float64, p1, p2 *subPlan) (mergeOutcome, bool) {
+	var best mergeOutcome
+	found := false
+	if u.Len() <= s.opts.MaxCubeCols {
+		// Level-wise pricing matching plan.coveredCost: each subset comes
+		// from CoveredParent, and both children are covered (they are proper
+		// subsets of u), so only their descendants cost anything.
+		probe := &plan.Node{Set: u, Op: plan.OpCube}
+		c := eU + s.desc[p1.root] + s.desc[p2.root]
+		u.Subsets(func(sub colset.Set) bool {
+			if !sub.IsEmpty() && sub != u {
+				c += s.edge(false, plan.CoveredParent(probe, sub), sub, false)
+			}
+			return true
+		})
+		best = mergeOutcome{valid: true, kind: kindCube, cost: c}
+		found = true
+	}
+	if order, ok := rollupOrderFor(u, p1.root.Set, p2.root.Set); ok {
+		probe := &plan.Node{Set: u, Op: plan.OpRollup, RollupOrder: order}
+		c := eU
+		var prefix colset.Set
+		for _, col := range order {
+			prefix = prefix.Add(col)
+			if prefix != u {
+				c += s.edge(false, plan.CoveredParent(probe, prefix), prefix, false)
+			}
+		}
+		for _, child := range []*plan.Node{p1.root, p2.root} {
+			if isPrefixOf(child.Set, order) {
+				c += s.desc[child]
+			} else {
+				c += s.edge(false, u, child.Set, child.IsIntermediate()) + s.desc[child]
+			}
+		}
+		if !found || c < best.cost {
+			best = mergeOutcome{valid: true, kind: kindRollup, cost: c, rollupOrder: order}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// rollupOrderFor picks a column order for ROLLUP(u) that makes at least one
+// of the two child sets a prefix: the smaller child's columns first, then the
+// rest. Returns ok=false when neither child can be a prefix (e.g. equal-size
+// overlapping sets where neither contains the other's start).
+func rollupOrderFor(u, a, b colset.Set) ([]int, bool) {
+	small, big := a, b
+	if b.Len() < a.Len() {
+		small, big = b, a
+	}
+	order := small.Columns()
+	// If the bigger child extends the smaller one, put its extra columns next
+	// so both are prefixes.
+	if small.SubsetOf(big) {
+		order = append(order, big.Diff(small).Columns()...)
+		order = append(order, u.Diff(big).Columns()...)
+	} else {
+		order = append(order, u.Diff(small).Columns()...)
+	}
+	if len(order) != u.Len() {
+		return nil, false
+	}
+	return order, true
+}
+
+func isPrefixOf(set colset.Set, order []int) bool {
+	var prefix colset.Set
+	for _, c := range order {
+		prefix = prefix.Add(c)
+		if prefix == set {
+			return true
+		}
+		if prefix.Len() >= set.Len() {
+			break
+		}
+	}
+	return false
+}
+
+// subtreeSets returns (and caches) the grouping sets occurring in a sub-plan.
+func (s *searcher) subtreeSets(root *plan.Node) map[colset.Set]bool {
+	if m, ok := s.setsCache[root]; ok {
+		return m
+	}
+	m := map[colset.Set]bool{}
+	root.Walk(func(n *plan.Node) { m[n.Set] = true })
+	s.setsCache[root] = m
+	return m
+}
+
+// subtreesOverlap reports whether two sub-plans contain a common grouping
+// set, which would create duplicate temp tables if merged into one tree.
+func (s *searcher) subtreesOverlap(a, b *plan.Node) bool {
+	sa, sb := s.subtreeSets(a), s.subtreeSets(b)
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	for set := range sa {
+		if sb[set] {
+			return true
+		}
+	}
+	return false
+}

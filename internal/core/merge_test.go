@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/plan"
+)
+
+// tableModel is a fully scripted cost model for white-box merge tests: edge
+// costs come from a lookup table, with a fallback constant.
+type tableModel struct {
+	calls    int
+	base     float64 // cost of any base edge not listed
+	inner    float64 // cost of any non-base edge not listed
+	override map[cost.Edge]float64
+}
+
+func (m *tableModel) Name() string { return "table" }
+func (m *tableModel) Calls() int   { return m.calls }
+func (m *tableModel) ResetCalls()  { m.calls = 0 }
+func (m *tableModel) EdgeCost(e cost.Edge) float64 {
+	m.calls++
+	if v, ok := m.override[e]; ok {
+		return v
+	}
+	if e.ParentIsBase {
+		return m.base
+	}
+	return m.inner
+}
+
+// newSearcher builds a searcher over the given required sets with leaves as
+// sub-plans (the naive starting state).
+func newSearcher(t *testing.T, m cost.Model, required ...colset.Set) *searcher {
+	t.Helper()
+	opts := Options{Model: m}
+	if err := opts.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := &searcher{
+		opts:       opts,
+		baseName:   "R",
+		required:   required,
+		desc:       map[*plan.Node]float64{},
+		mergeCache: map[pairKey]mergeOutcome{},
+		setsCache:  map[*plan.Node]map[colset.Set]bool{},
+	}
+	s.initNaive()
+	return s
+}
+
+func TestMergeKindBChosenForRequiredRoots(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1))
+	out := s.evaluate(s.subplans[0], s.subplans[1])
+	if !out.valid || out.kind != kindB {
+		t.Fatalf("outcome = %+v, want valid kind B (required roots forbid a/c/d)", out)
+	}
+	// cost = base edge for (0,1) materialized + two cheap inner edges.
+	if out.cost != 102 {
+		t.Fatalf("cost = %v, want 102", out.cost)
+	}
+}
+
+func TestMergeKindAEliminatesBothNonRequiredRoots(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1), colset.Of(2), colset.Of(3))
+	// Merge (0),(1) and (2),(3) to create two non-required intermediate
+	// roots (01) and (23).
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("first merge failed")
+	}
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("second merge failed")
+	}
+	if len(s.subplans) != 2 {
+		t.Fatalf("subplans = %d", len(s.subplans))
+	}
+	p1, p2 := s.subplans[0], s.subplans[1]
+	if p1.root.Required || p2.root.Required {
+		t.Fatal("intermediate roots should not be required")
+	}
+	out := s.evaluateUncached(p1, p2)
+	if !out.valid || out.kind != kindA {
+		t.Fatalf("outcome = %+v, want kind A (re-parent all four leaves)", out)
+	}
+	merged := s.build(p1, p2, out)
+	if merged.root.Set != colset.Of(0, 1, 2, 3) || len(merged.root.Children) != 4 {
+		t.Fatalf("kind-A root = %s with %d children", merged.root.Set, len(merged.root.Children))
+	}
+}
+
+func TestMergeKindCDKeepCheaperSide(t *testing.T) {
+	// Make keeping p2's root much better than keeping p1's: p1's root is
+	// non-required and expensive to keep materialized.
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1), colset.Of(2))
+	// Build a non-required root (01) over leaves (0), (1).
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("setup merge failed")
+	}
+	leaf := s.subplans[0]  // root (2), required (merged sub-plans append last)
+	inter := s.subplans[1] // root (01), not required
+	if inter.root.Set != colset.Of(0, 1) || leaf.root.Set != colset.Of(2) {
+		t.Fatalf("unexpected setup: %s / %s", inter.root.Set, leaf.root.Set)
+	}
+	// Make computing (01) from (012) expensive so eliminating it (kind C with
+	// p1 = inter) wins over keeping it (kind B).
+	m.override = map[cost.Edge]float64{
+		{Parent: colset.Of(0, 1, 2), V: colset.Of(0, 1), NAggs: 1, Materialize: true}: 50,
+	}
+	out := s.evaluateUncached(inter, leaf)
+	if !out.valid || out.kind != kindC {
+		t.Fatalf("outcome = %+v, want kind C (eliminate the intermediate root)", out)
+	}
+	merged := s.build(inter, leaf, out)
+	// Children: (0), (1) re-parented + the kept leaf (2).
+	if len(merged.root.Children) != 3 {
+		t.Fatalf("kind-C children = %d, want 3", len(merged.root.Children))
+	}
+	for _, c := range merged.root.Children {
+		if c.Set == colset.Of(0, 1) {
+			t.Fatal("eliminated root survived")
+		}
+	}
+}
+
+func TestMergeAttachSubsumption(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0, 1), colset.Of(0))
+	out := s.evaluate(s.subplans[0], s.subplans[1])
+	if !out.valid || out.kind != kindAttach {
+		t.Fatalf("outcome = %+v, want attach", out)
+	}
+	merged := s.build(s.subplans[0], s.subplans[1], out)
+	if merged.root.Set != colset.Of(0, 1) || !merged.root.Required {
+		t.Fatalf("attach root = %s required=%v", merged.root.Set, merged.root.Required)
+	}
+	if len(merged.root.Children) != 1 || merged.root.Children[0].Set != colset.Of(0) {
+		t.Fatalf("attach children wrong: %v", merged.root.Children)
+	}
+}
+
+func TestMergeAttachSwapNormalizesRoles(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	// Pass the subsumed sub-plan FIRST: evaluate must swap.
+	s := newSearcher(t, m, colset.Of(0), colset.Of(0, 1))
+	out := s.evaluate(s.subplans[0], s.subplans[1])
+	if !out.valid || out.kind != kindAttach || !out.swap {
+		t.Fatalf("outcome = %+v, want swapped attach", out)
+	}
+	merged := s.build(s.subplans[0], s.subplans[1], out)
+	if merged.root.Set != colset.Of(0, 1) {
+		t.Fatalf("attach root = %s", merged.root.Set)
+	}
+}
+
+func TestMergeAttachFlatEliminatesSubsumedIntermediate(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1), colset.Of(0, 1, 2))
+	// Build non-required (01) over (0),(1).
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("setup merge failed")
+	}
+	wide := s.subplans[0]  // (012), required leaf (merged sub-plans append last)
+	inter := s.subplans[1] // (01), not required
+	// Computing (01) from (012) priced prohibitively: the flat variant, which
+	// eliminates (01) and re-parents (0),(1) under (012), must win.
+	m.override = map[cost.Edge]float64{
+		{Parent: colset.Of(0, 1, 2), V: colset.Of(0, 1), NAggs: 1, Materialize: true}: 1000,
+	}
+	out := s.evaluateUncached(inter, wide)
+	if !out.valid || out.kind != kindAttachFlat {
+		t.Fatalf("outcome = %+v, want attach-flat", out)
+	}
+	merged := s.build(inter, wide, out)
+	if merged.root.Set != colset.Of(0, 1, 2) || len(merged.root.Children) != 2 {
+		t.Fatalf("flat root = %s children=%d", merged.root.Set, len(merged.root.Children))
+	}
+}
+
+func TestMergeBinaryOnlyForbidsACD(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1), colset.Of(2), colset.Of(3))
+	s.opts.BinaryOnly = true
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("setup failed")
+	}
+	if !s.tryApply(applied{i: 0, j: 1, outcome: s.evaluate(s.subplans[0], s.subplans[1])}) {
+		t.Fatal("setup failed")
+	}
+	out := s.evaluateUncached(s.subplans[0], s.subplans[1])
+	if !out.valid || out.kind != kindB {
+		t.Fatalf("outcome = %+v, want kind B under BinaryOnly", out)
+	}
+}
+
+func TestMergeRejectsOverlappingSubtrees(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1))
+	// Fabricate two sub-plans that share an internal set.
+	shared := plan.NewNode(colset.Of(2), false)
+	s.desc[shared] = 0
+	a := plan.NewNode(colset.Of(0, 2), false)
+	a.Children = []*plan.Node{shared}
+	s.desc[a] = 1
+	b := plan.NewNode(colset.Of(1, 2), false)
+	b.Children = []*plan.Node{shared.Clone()}
+	s.desc[b.Children[0]] = 0
+	s.desc[b] = 1
+	out := s.evaluateUncached(&subPlan{root: a, cost: 1}, &subPlan{root: b, cost: 1})
+	if out.valid {
+		t.Fatal("overlapping subtrees accepted")
+	}
+}
+
+func TestMergeCacheHitsAreFree(t *testing.T) {
+	m := &tableModel{base: 100, inner: 1}
+	s := newSearcher(t, m, colset.Of(0), colset.Of(1))
+	s.evaluate(s.subplans[0], s.subplans[1])
+	evals := s.stats.MergeEvaluations
+	calls := m.Calls()
+	s.evaluate(s.subplans[0], s.subplans[1])
+	s.evaluate(s.subplans[1], s.subplans[0]) // symmetric key
+	if s.stats.MergeEvaluations != evals || m.Calls() != calls {
+		t.Fatal("cache miss on repeated pair")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"gbmqo/internal/colset"
+)
+
+// pruned applies the §4.3 pruning techniques to a candidate pair, returning
+// true when the pair should not be evaluated this round.
+func (s *searcher) pruned(p1, p2 *subPlan) bool {
+	if !s.opts.PruneSubsumption && !s.opts.PruneMonotonic {
+		return false
+	}
+	u := p1.root.Set.Union(p2.root.Set)
+	if s.opts.PruneMonotonic && s.monotonicPruned(u) {
+		return true
+	}
+	if s.opts.PruneSubsumption && s.subsumptionPruned(p1, p2, u) {
+		return true
+	}
+	return false
+}
+
+// subsumptionPruned implements §4.3.1: "given two sub-plans rooted at vi and
+// vj, if there are any two sub-plans rooted at vx and vy such that
+// (vi ∪ vj) ⊃ (vx ∪ vy), then do not consider merging vi and vj" — it is
+// always at least as good to merge the closer pair first. Sound under the
+// cardinality cost model with type-(b) merges (paper's Claim); a heuristic
+// otherwise.
+func (s *searcher) subsumptionPruned(p1, p2 *subPlan, u colset.Set) bool {
+	for i := 0; i < len(s.subplans); i++ {
+		for j := i + 1; j < len(s.subplans); j++ {
+			q1, q2 := s.subplans[i], s.subplans[j]
+			if (q1 == p1 && q2 == p2) || (q1 == p2 && q2 == p1) {
+				continue
+			}
+			if q1.root.Set.Union(q2.root.Set).ProperSubsetOf(u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// monotonicPruned implements §4.3.2, the Apriori-style rule: once merging a
+// pair with union f failed to improve the plan, any pair whose union contains
+// f is skipped. Sound under the cardinality model with type-(b) merges
+// (paper's Claim); a heuristic otherwise.
+func (s *searcher) monotonicPruned(u colset.Set) bool {
+	for _, f := range s.failedUnions {
+		if f.SubsetOf(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// noteFailedUnion records a non-improving merge union for monotonic pruning,
+// keeping the list minimal (supersets of an existing entry are redundant).
+func (s *searcher) noteFailedUnion(u colset.Set) {
+	keep := s.failedUnions[:0]
+	for _, f := range s.failedUnions {
+		if f.SubsetOf(u) {
+			return // already covered by a smaller failed union
+		}
+		if !u.SubsetOf(f) {
+			keep = append(keep, f)
+		}
+	}
+	s.failedUnions = append(keep, u)
+}

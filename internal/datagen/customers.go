@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"fmt"
+
+	"gbmqo/internal/table"
+)
+
+// CustomersOpts configures the Customer relation generator from the paper's
+// introduction: Customer(LastName, FirstName, MI, Gender, Address, City,
+// State, Zip, Country). The generated data deliberately contains the quality
+// problems the paper motivates data analysts to hunt for: more than 50
+// distinct State values for USA customers (typos), missing (NULL) values in
+// several columns, and (LastName, FirstName, MI, Zip) being *almost* — but not
+// exactly — a key.
+type CustomersOpts struct {
+	Rows int
+	Seed int64
+}
+
+// Customer column ordinals.
+const (
+	CLastName = iota
+	CFirstName
+	CMI
+	CGender
+	CAddress
+	CCity
+	CState
+	CZip
+	CCountry
+	customersNumCols
+)
+
+var (
+	lastNames = []string{
+		"SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+		"DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ",
+		"WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN",
+		"LEE", "PEREZ", "THOMPSON", "WHITE", "HARRIS", "SANCHEZ", "CLARK",
+		"RAMIREZ", "LEWIS", "ROBINSON", "WALKER", "YOUNG", "ALLEN", "KING",
+	}
+	firstNames = []string{
+		"JAMES", "MARY", "ROBERT", "PATRICIA", "JOHN", "JENNIFER", "MICHAEL",
+		"LINDA", "DAVID", "ELIZABETH", "WILLIAM", "BARBARA", "RICHARD",
+		"SUSAN", "JOSEPH", "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN",
+	}
+	usStates = []string{
+		"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+		"IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+		"MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+		"OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+		"WI", "WY",
+	}
+	// Dirty state values that push the distinct count past 50 — the paper's
+	// concrete data-quality example ("if the number of distinct values in the
+	// State column ... is more than 50, this could indicate a potential
+	// problem with data quality").
+	dirtyStates = []string{"CALIFORNIA", "Tex", "N.Y.", "FLA", "wa", "Ohio."}
+	streets     = []string{"MAIN ST", "OAK AVE", "PARK BLVD", "CEDAR LN", "ELM DR", "LAKE RD", "HILL CT"}
+)
+
+// CustomersDefs returns the Customer schema.
+func CustomersDefs() []table.ColumnDef {
+	return []table.ColumnDef{
+		{Name: "LastName", Typ: table.TString},
+		{Name: "FirstName", Typ: table.TString},
+		{Name: "MI", Typ: table.TString},
+		{Name: "Gender", Typ: table.TString},
+		{Name: "Address", Typ: table.TString},
+		{Name: "City", Typ: table.TString},
+		{Name: "State", Typ: table.TString},
+		{Name: "Zip", Typ: table.TString},
+		{Name: "Country", Typ: table.TString},
+	}
+}
+
+// Customers generates the Customer table with injected quality defects.
+func Customers(opts CustomersOpts) *table.Table {
+	if opts.Rows <= 0 {
+		opts.Rows = 20_000
+	}
+	r := rng(opts.Seed ^ 0xc057)
+	t := table.New("customer", CustomersDefs())
+	appendOne := func() {
+		state := pick(r, usStates)
+		if r.Intn(400) == 0 {
+			state = pick(r, dirtyStates)
+		}
+		mi := table.Str(string(rune('A' + r.Intn(26))))
+		if r.Intn(5) == 0 {
+			mi = table.Null(table.TString)
+		}
+		gender := table.Str([]string{"M", "F"}[r.Intn(2)])
+		switch r.Intn(50) {
+		case 0:
+			gender = table.Null(table.TString)
+		case 1:
+			gender = table.Str("U")
+		}
+		country := table.Str("USA")
+		if r.Intn(300) == 0 {
+			country = table.Str(pick(r, []string{"U.S.A.", "US", "United States"}))
+		}
+		t.AppendRow(
+			table.Str(pick(r, lastNames)),
+			table.Str(pick(r, firstNames)),
+			mi,
+			gender,
+			table.Str(fmt.Sprintf("%d %s", 1+r.Intn(9999), pick(r, streets))),
+			table.Str(fmt.Sprintf("CITY%03d", r.Intn(180))),
+			table.Str(state),
+			table.Str(fmt.Sprintf("%05d", 10000+r.Intn(2000))),
+			country,
+		)
+	}
+	for i := 0; i < opts.Rows; i++ {
+		appendOne()
+	}
+	// Duplicate a handful of rows so (LastName, FirstName, MI, Zip) is almost
+	// — but not exactly — a key.
+	dups := opts.Rows / 2000
+	if dups == 0 {
+		dups = 2
+	}
+	for i := 0; i < dups; i++ {
+		src := r.Intn(t.NumRows())
+		t.AppendRow(t.Row(src)...)
+	}
+	return t
+}
+
+// CustomersSC returns all single-column workload ordinals.
+func CustomersSC() []int {
+	out := make([]int, customersNumCols)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"gbmqo/internal/table"
+)
+
+func TestLineitemShapeAndDeterminism(t *testing.T) {
+	opts := LineitemOpts{Rows: 2000, Seed: 1}
+	a := Lineitem(opts)
+	b := Lineitem(opts)
+	if a.NumRows() != 2000 || a.NumCols() != lineitemNumCols {
+		t.Fatalf("shape = %dx%d", a.NumRows(), a.NumCols())
+	}
+	for i := 0; i < a.NumRows(); i += 97 {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if !ra[j].Equal(rb[j]) {
+				t.Fatalf("row %d col %d differs between runs: %v vs %v", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}
+
+func TestLineitemCardinalityStructure(t *testing.T) {
+	li := Lineitem(LineitemOpts{Rows: 20_000, Seed: 2})
+	ndv := func(ord int) int { return li.Col(ord).DistinctCount() }
+	// Low-NDV columns the optimizer should want to merge.
+	if n := ndv(LReturnFlag); n != 3 {
+		t.Errorf("returnflag NDV = %d, want 3", n)
+	}
+	if n := ndv(LLineStatus); n != 2 {
+		t.Errorf("linestatus NDV = %d, want 2", n)
+	}
+	if n := ndv(LShipMode); n != 7 {
+		t.Errorf("shipmode NDV = %d, want 7", n)
+	}
+	if n := ndv(LQuantity); n != 10 {
+		t.Errorf("quantity NDV = %d, want 10", n)
+	}
+	// Dates: correlated; pair NDV must stay well under the row count so the
+	// paper's (receipt, commit) merge is profitable.
+	if n := ndv(LShipDate); n > 150 {
+		t.Errorf("shipdate NDV = %d, want <= 150", n)
+	}
+	pairNDV := distinctPairs(li, LCommitDate, LReceiptDate)
+	if pairNDV > li.NumRows()/2 {
+		t.Errorf("(commit,receipt) NDV = %d, too close to row count %d", pairNDV, li.NumRows())
+	}
+	// Comment is near-unique.
+	if n := ndv(LComment); n < li.NumRows()*8/10 {
+		t.Errorf("comment NDV = %d, want near %d", n, li.NumRows())
+	}
+	// Date arithmetic invariants.
+	for i := 0; i < li.NumRows(); i += 131 {
+		ship := li.Col(LShipDate).Value(i).I
+		receipt := li.Col(LReceiptDate).Value(i).I
+		commit := li.Col(LCommitDate).Value(i).I
+		if receipt < ship+1 || receipt > ship+3 {
+			t.Fatalf("row %d: receipt %d out of range for ship %d", i, receipt, ship)
+		}
+		if commit < ship+4 || commit > ship+10 {
+			t.Fatalf("row %d: commit %d out of range for ship %d", i, commit, ship)
+		}
+	}
+}
+
+func distinctPairs(t *table.Table, a, b int) int {
+	seen := map[[2]uint32]bool{}
+	ca, cb := t.Col(a), t.Col(b)
+	for i := 0; i < t.NumRows(); i++ {
+		seen[[2]uint32{ca.Code(i), cb.Code(i)}] = true
+	}
+	return len(seen)
+}
+
+func TestLineitemZipfSkewConcentrates(t *testing.T) {
+	flat := Lineitem(LineitemOpts{Rows: 10_000, Seed: 3, Zipf: 0})
+	skewed := Lineitem(LineitemOpts{Rows: 10_000, Seed: 3, Zipf: 2})
+	// Skew should reduce distinct quantity values observed or at least
+	// concentrate: compare NDV of the suppkey column, whose domain is larger
+	// than the row slice each value gets under heavy skew.
+	nFlat := flat.Col(LSuppKey).DistinctCount()
+	nSkew := skewed.Col(LSuppKey).DistinctCount()
+	if nSkew >= nFlat {
+		t.Fatalf("zipf=2 NDV (%d) should be below zipf=0 NDV (%d)", nSkew, nFlat)
+	}
+}
+
+func TestZipfDrawerRangeAndSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, z := range []float64{0, 0.5, 1, 1.5, 2, 3} {
+		d := newZipfDrawer(r, z)
+		counts := make([]int, 37)
+		for i := 0; i < 20_000; i++ {
+			got := d.index(37)
+			if got < 0 || got >= 37 {
+				t.Fatalf("zipf(z=%v) = %d out of range", z, got)
+			}
+			counts[got]++
+		}
+		if z > 0 {
+			// Mass must concentrate on low indexes, increasingly with z.
+			if counts[0] <= counts[18] {
+				t.Fatalf("z=%v: index 0 (%d draws) not favored over 18 (%d)", z, counts[0], counts[18])
+			}
+		}
+	}
+	d := newZipfDrawer(r, 2)
+	if d.index(1) != 0 {
+		t.Fatal("n=1 must return 0")
+	}
+}
+
+func TestZipfDrawerMonotoneConcentration(t *testing.T) {
+	// The share of the most frequent value must grow with z — the §6.8
+	// premise ("as a column becomes more skewed, it becomes more sparse").
+	top := func(z float64) float64 {
+		r := rand.New(rand.NewSource(6))
+		d := newZipfDrawer(r, z)
+		counts := make([]int, 50)
+		n := 30_000
+		for i := 0; i < n; i++ {
+			counts[d.index(50)]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / float64(n)
+	}
+	prev := 0.0
+	for _, z := range []float64{0, 1, 2, 3} {
+		cur := top(z)
+		if cur <= prev {
+			t.Fatalf("top-value share not growing: z=%v gives %.3f after %.3f", z, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLineitemSCWorkload(t *testing.T) {
+	sc := LineitemSC()
+	if len(sc) != 12 {
+		t.Fatalf("SC workload has %d columns, want 12", len(sc))
+	}
+	defs := LineitemDefs()
+	for _, ord := range sc {
+		typ := defs[ord].Typ
+		if typ == table.TFloat64 {
+			t.Errorf("SC workload includes float column %s", defs[ord].Name)
+		}
+	}
+}
+
+func TestLineitemCONTWorkload(t *testing.T) {
+	cont := LineitemCONT()
+	if len(cont) != 6 {
+		t.Fatalf("CONT workload has %d sets, want 6", len(cont))
+	}
+	// First three are singles, last three pairs with containment.
+	for i, set := range cont {
+		wantLen := 1
+		if i >= 3 {
+			wantLen = 2
+		}
+		if len(set) != wantLen {
+			t.Errorf("CONT[%d] has %d cols, want %d", i, len(set), wantLen)
+		}
+	}
+}
+
+func TestSalesHierarchyFunctionalDependencies(t *testing.T) {
+	s := Sales(SalesOpts{Rows: 15_000, Seed: 4})
+	if s.NumCols() != salesNumCols {
+		t.Fatalf("sales cols = %d", s.NumCols())
+	}
+	// store_id → store_state must be functional: |(store_id, state)| == |store_id|.
+	storeNDV := s.Col(SStoreID).DistinctCount()
+	if pairs := distinctPairs(s, SStoreID, SStoreState); pairs != storeNDV {
+		t.Errorf("store→state not functional: %d pairs vs %d stores", pairs, storeNDV)
+	}
+	prodNDV := s.Col(SProductID).DistinctCount()
+	if pairs := distinctPairs(s, SProductID, SProductBrand); pairs != prodNDV {
+		t.Errorf("product→brand not functional: %d pairs vs %d products", pairs, prodNDV)
+	}
+	brandNDV := s.Col(SProductBrand).DistinctCount()
+	if pairs := distinctPairs(s, SProductBrand, SProductCategory); pairs != brandNDV {
+		t.Errorf("brand→category not functional")
+	}
+	if len(SalesSC()) != 15 {
+		t.Errorf("sales SC = %d cols, want 15", len(SalesSC()))
+	}
+}
+
+func TestNRefShape(t *testing.T) {
+	n := NRef(NRefOpts{Rows: 8000, Seed: 5})
+	if n.NumCols() != nrefNumCols || n.NumRows() != 8000 {
+		t.Fatalf("nref shape = %dx%d", n.NumRows(), n.NumCols())
+	}
+	if got := n.Col(NFlag).DistinctCount(); got != 2 {
+		t.Errorf("flag NDV = %d", got)
+	}
+	// nref_id is high NDV.
+	if got := n.Col(NRefID).DistinctCount(); got < 1000 {
+		t.Errorf("nref_id NDV = %d, want high", got)
+	}
+	if len(NRefSC()) != 10 {
+		t.Errorf("nref SC = %d cols, want 10", len(NRefSC()))
+	}
+}
+
+func TestCustomersQualityDefects(t *testing.T) {
+	c := Customers(CustomersOpts{Rows: 30_000, Seed: 6})
+	// The State column must exceed 50 distinct values (the paper's motivating
+	// data-quality signal).
+	if got := c.ColByName("State").DistinctCount(); got <= 50 {
+		t.Errorf("State NDV = %d, want > 50", got)
+	}
+	// MI and Gender must contain NULLs.
+	hasNull := func(name string) bool {
+		col := c.ColByName(name)
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasNull("MI") {
+		t.Error("MI has no NULLs")
+	}
+	if !hasNull("Gender") {
+		t.Error("Gender has no NULLs")
+	}
+	// (LastName, FirstName, MI, Zip) must NOT be a key (injected duplicates)…
+	rows := c.NumRows()
+	keyNDV := distinct4(c, CLastName, CFirstName, CMI, CZip)
+	if keyNDV >= rows {
+		t.Errorf("almost-key is exactly a key: %d combos over %d rows", keyNDV, rows)
+	}
+	// …but it must be close to one.
+	if keyNDV < rows*9/10 {
+		t.Errorf("almost-key too far from key: %d combos over %d rows", keyNDV, rows)
+	}
+	if len(CustomersSC()) != customersNumCols {
+		t.Errorf("customers SC size = %d", len(CustomersSC()))
+	}
+}
+
+func distinct4(t *table.Table, ords ...int) int {
+	seen := map[[4]uint32]bool{}
+	for i := 0; i < t.NumRows(); i++ {
+		var k [4]uint32
+		for j, o := range ords {
+			k[j] = t.Col(o).Code(i)
+		}
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+func TestWiden(t *testing.T) {
+	li := Lineitem(LineitemOpts{Rows: 500, Seed: 7})
+	narrow := li.Project("narrow", LineitemSC())
+	wide := Widen(narrow, 3)
+	if wide.NumCols() != 36 {
+		t.Fatalf("widened cols = %d, want 36", wide.NumCols())
+	}
+	if wide.NumRows() != 500 {
+		t.Fatalf("widened rows = %d", wide.NumRows())
+	}
+	// Repeated columns carry the same data under suffixed names.
+	if wide.ColIndex("l_shipdate_2") < 0 || wide.ColIndex("l_shipdate_3") < 0 {
+		t.Fatalf("missing suffixed columns: %v", wide.ColNames())
+	}
+	orig := wide.ColByName("l_shipdate")
+	copy2 := wide.ColByName("l_shipdate_2")
+	for i := 0; i < 500; i += 50 {
+		if !orig.Value(i).Equal(copy2.Value(i)) {
+			t.Fatalf("row %d: copy differs", i)
+		}
+	}
+}
+
+func TestWidenPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Widen(0) did not panic")
+		}
+	}()
+	Widen(table.New("x", []table.ColumnDef{{Name: "a", Typ: table.TInt64}}), 0)
+}
+
+func TestLineitemOptsNormalize(t *testing.T) {
+	opts := LineitemOpts{}
+	opts.normalize()
+	if opts.Rows != 100_000 || opts.Days != 120 {
+		t.Fatalf("normalize defaults = %+v", opts)
+	}
+}

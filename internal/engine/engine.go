@@ -1,0 +1,505 @@
+// Package engine executes logical plans: it walks the §4.4 storage-minimizing
+// schedule, materializes intermediate Group By results as temp tables in the
+// catalog, rolls aggregates up when computing from intermediates (§5.2),
+// exploits indexes on base-table scans (§6.9), drops temp tables as soon as
+// their children are computed, and accounts wall time, rows scanned and peak
+// intermediate storage. It also packages the end-to-end strategies the
+// experiments compare: naive, commercial GROUPING SETS emulation, GB-MQO and
+// exhaustive.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gbmqo/internal/catalog"
+	"gbmqo/internal/colset"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/index"
+	"gbmqo/internal/plan"
+	"gbmqo/internal/table"
+)
+
+// ExecReport describes one plan execution.
+type ExecReport struct {
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// RowsScanned totals the input rows consumed by all Group By operators.
+	RowsScanned int64
+	// QueriesRun counts executed Group By statements (covered cube/rollup
+	// levels included).
+	QueriesRun int
+	// TempTables counts materialized intermediates.
+	TempTables int
+	// PeakTempBytes is the maximum bytes held by live temp tables.
+	PeakTempBytes float64
+	// Results holds the output table per required grouping set.
+	Results map[colset.Set]*table.Table
+}
+
+// Executor runs plans over a base table resolved through a catalog.
+type Executor struct {
+	cat *catalog.Catalog
+}
+
+// NewExecutor builds an executor over the catalog.
+func NewExecutor(cat *catalog.Catalog) *Executor { return &Executor{cat: cat} }
+
+// ExecOptions tunes plan execution.
+type ExecOptions struct {
+	// SharedScan computes sibling Group Bys (consecutive schedule steps with
+	// the same parent) in one pass over the parent — the §5.1 shared-scan
+	// technique. Index fast paths and CUBE/ROLLUP nodes are executed
+	// individually regardless.
+	SharedScan bool
+	// PerSetAggs assigns different aggregates per required grouping set
+	// (§7.2). Intermediate nodes carry the union of their required
+	// descendants' aggregates; each required set's result is projected back
+	// to its own.
+	PerSetAggs map[colset.Set][]exec.Agg
+	// Parallel executes independent sub-plans (trees hanging directly off the
+	// base relation) concurrently, one goroutine per sub-plan bounded by
+	// GOMAXPROCS. Temp tables are private to their sub-plan, so no
+	// synchronization is needed beyond merging the reports; PeakTempBytes
+	// becomes the (pessimistic) sum of concurrent per-sub-plan peaks.
+	Parallel bool
+}
+
+// ExecutePlan runs the plan against its base table. aggs are the aggregate
+// specifications with source ordinals on the base table; nil selects
+// COUNT(*). size estimates node result sizes for the §4.4 scheduler (nil
+// falls back to a flat estimate, preserving plan order but not storage
+// optimality).
+func (ex *Executor) ExecutePlan(p *plan.Plan, aggs []exec.Agg, size plan.SizeFn) (*ExecReport, error) {
+	return ex.ExecutePlanWith(p, aggs, size, ExecOptions{})
+}
+
+// ExecutePlanWith is ExecutePlan with execution options.
+func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.SizeFn, opts ExecOptions) (*ExecReport, error) {
+	base, ok := ex.cat.Table(p.BaseName)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown base table %q", p.BaseName)
+	}
+	if len(aggs) == 0 {
+		aggs = []exec.Agg{exec.CountStar()}
+	}
+	if size == nil {
+		size = func(colset.Set) float64 { return 1 }
+	}
+	run := &planRun{
+		ex:     ex,
+		base:   base,
+		aggs:   aggs,
+		temps:  map[colset.Set]*table.Table{},
+		report: &ExecReport{Results: map[colset.Set]*table.Table{}},
+	}
+	if len(opts.PerSetAggs) > 0 {
+		run.perSet = opts.PerSetAggs
+		run.nodeAggs = map[*plan.Node][]exec.Agg{}
+		for _, r := range p.Roots {
+			run.buildAggUnion(r)
+		}
+	}
+	steps := plan.Schedule(p, size)
+	if opts.Parallel {
+		return ex.executeParallel(run, p, steps, opts)
+	}
+	start := time.Now()
+	for i := 0; i < len(steps); {
+		step := steps[i]
+		if step.Kind == plan.StepDrop {
+			run.drop(step.Node.Set)
+			i++
+			continue
+		}
+		if opts.SharedScan {
+			if batch := shareableRun(steps[i:], run); len(batch) > 1 {
+				if err := run.computeShared(batch, step.Parent); err != nil {
+					return nil, err
+				}
+				i += len(batch)
+				continue
+			}
+		}
+		if err := run.compute(step.Node, step.Parent); err != nil {
+			return nil, err
+		}
+		i++
+	}
+	run.report.Wall = time.Since(start)
+	return run.report, nil
+}
+
+// shareableRun returns the maximal prefix of steps that can execute as one
+// shared scan: consecutive plain Group By computations from the same parent,
+// none of which has an index fast path.
+func shareableRun(steps []plan.Step, run *planRun) []*plan.Node {
+	var batch []*plan.Node
+	parent := steps[0].Parent
+	for _, s := range steps {
+		if s.Kind != plan.StepCompute || !sameParent(s.Parent, parent) || s.Node.Op != plan.OpGroupBy {
+			break
+		}
+		if parent == nil && index.BestFor(run.ex.cat.Indexes(run.base.Name()), s.Node.Set) != nil {
+			break // let the index path handle it individually
+		}
+		batch = append(batch, s.Node)
+	}
+	return batch
+}
+
+func sameParent(a, b *plan.Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Set == b.Set
+}
+
+// planRun is the state of one plan execution.
+type planRun struct {
+	ex        *Executor
+	base      *table.Table
+	aggs      []exec.Agg
+	temps     map[colset.Set]*table.Table
+	liveBytes float64
+	report    *ExecReport
+
+	// §7.2 state: per-required-set aggregates and the per-node unions.
+	perSet   map[colset.Set][]exec.Agg
+	nodeAggs map[*plan.Node][]exec.Agg
+}
+
+// buildAggUnion computes, bottom-up, the union of aggregates each node must
+// carry: its own (when required) plus everything its descendants need —
+// the §7.2 union method. Aggregates are deduplicated by output name.
+func (r *planRun) buildAggUnion(n *plan.Node) []exec.Agg {
+	var union []exec.Agg
+	seen := map[string]bool{}
+	add := func(aggs []exec.Agg) {
+		for _, a := range aggs {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				union = append(union, a)
+			}
+		}
+	}
+	if n.Required {
+		add(r.setAggs(n.Set))
+	}
+	for _, c := range n.Children {
+		add(r.buildAggUnion(c))
+	}
+	if len(union) == 0 {
+		add(r.aggs)
+	}
+	r.nodeAggs[n] = union
+	return union
+}
+
+// setAggs returns a required set's own aggregates.
+func (r *planRun) setAggs(set colset.Set) []exec.Agg {
+	if a, ok := r.perSet[set]; ok && len(a) > 0 {
+		return a
+	}
+	return r.aggs
+}
+
+// aggsFor returns the aggregates node n's computation must produce.
+func (r *planRun) aggsFor(n *plan.Node) []exec.Agg {
+	if r.nodeAggs == nil {
+		return r.aggs
+	}
+	return r.nodeAggs[n]
+}
+
+// projectResult narrows a required node's result to its own grouping columns
+// and aggregates (intermediates keep the union for their children).
+func (r *planRun) projectResult(n *plan.Node, t *table.Table) *table.Table {
+	if r.perSet == nil {
+		return t
+	}
+	own := r.setAggs(n.Set)
+	var ords []int
+	n.Set.ForEach(func(c int) {
+		ords = append(ords, t.ColIndex(r.base.Col(c).Name()))
+	})
+	for _, a := range own {
+		ords = append(ords, t.ColIndex(a.Name))
+	}
+	for _, o := range ords {
+		if o < 0 {
+			return t // defensive: never drop data over a naming mismatch
+		}
+	}
+	if len(ords) == t.NumCols() {
+		return t
+	}
+	return t.Project(t.Name(), ords)
+}
+
+// compute evaluates one node from its parent (nil parent = base relation).
+func (r *planRun) compute(n *plan.Node, parent *plan.Node) error {
+	var out *table.Table
+	var err error
+	if parent == nil {
+		out, err = r.fromBase(n)
+	} else {
+		out, err = r.fromTemp(n, parent.Set)
+	}
+	if err != nil {
+		return err
+	}
+	switch n.Op {
+	case plan.OpCube, plan.OpRollup:
+		if err := r.expandCovered(n, out); err != nil {
+			return err
+		}
+	}
+	if n.IsIntermediate() {
+		r.retain(n.Set, out)
+	}
+	if n.Required {
+		r.report.Results[n.Set] = r.projectResult(n, out)
+	}
+	return nil
+}
+
+// computeShared evaluates several sibling nodes in one pass over their
+// common parent (nil = base relation).
+func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
+	src := r.base
+	if parent != nil {
+		var ok bool
+		src, ok = r.temps[parent.Set]
+		if !ok {
+			return fmt.Errorf("engine: intermediate %s not materialized", parent.Set)
+		}
+	}
+	queries := make([]exec.MultiQuery, len(nodes))
+	for i, n := range nodes {
+		if parent == nil {
+			queries[i] = exec.MultiQuery{GroupCols: n.Set.Columns(), Aggs: r.aggsFor(n), OutName: plan.TempName(n.Set)}
+		} else {
+			cols, rolled, err := r.mapToParent(src, n.Set, r.aggsFor(n))
+			if err != nil {
+				return err
+			}
+			queries[i] = exec.MultiQuery{GroupCols: cols, Aggs: rolled, OutName: plan.TempName(n.Set)}
+		}
+	}
+	// One scan of the parent feeds every sibling.
+	r.report.RowsScanned += int64(src.NumRows())
+	r.report.QueriesRun += len(nodes)
+	outs := exec.GroupByHashMulti(src, queries)
+	for i, n := range nodes {
+		if n.IsIntermediate() {
+			r.retain(n.Set, outs[i])
+		}
+		if n.Required {
+			r.report.Results[n.Set] = r.projectResult(n, outs[i])
+		}
+	}
+	return nil
+}
+
+// fromBase computes a Group By over the base relation, exploiting an index
+// when the physical design allows.
+func (r *planRun) fromBase(n *plan.Node) (*table.Table, error) {
+	cols := n.Set.Columns()
+	aggs := r.aggsFor(n)
+	r.report.QueriesRun++
+	r.report.RowsScanned += int64(r.base.NumRows())
+	name := plan.TempName(n.Set)
+	if ix := index.BestFor(r.ex.cat.Indexes(r.base.Name()), n.Set); ix != nil {
+		if countStarOnly(aggs) {
+			// Index-only fast paths: counts off the boundaries, O(#full-key
+			// groups) — no base-table scan at all.
+			r.report.RowsScanned -= int64(r.base.NumRows())
+			r.report.RowsScanned += int64(ix.NumGroups())
+			var out *table.Table
+			if ix.ExactMatch(n.Set) {
+				out = exec.GroupByIndexCounts(r.base, ix, name)
+			} else {
+				out = exec.GroupByIndexPrefixCounts(r.base, ix, cols, name)
+			}
+			return renameAggs(out, aggs), nil
+		}
+		return exec.GroupByIndexStream(r.base, ix, cols, aggs, name), nil
+	}
+	return exec.GroupByHash(r.base, cols, aggs, name), nil
+}
+
+// fromTemp computes a Group By over a materialized intermediate, rolling the
+// aggregates up (COUNT(*) → SUM(cnt) etc., §5.2).
+func (r *planRun) fromTemp(n *plan.Node, parentSet colset.Set) (*table.Table, error) {
+	parent, ok := r.temps[parentSet]
+	if !ok {
+		return nil, fmt.Errorf("engine: intermediate %s not materialized", parentSet)
+	}
+	return r.groupFromTable(parent, n.Set, r.aggsFor(n))
+}
+
+// groupFromTable evaluates GROUP BY set over a materialized intermediate.
+func (r *planRun) groupFromTable(parent *table.Table, set colset.Set, aggs []exec.Agg) (*table.Table, error) {
+	cols, rolled, err := r.mapToParent(parent, set, aggs)
+	if err != nil {
+		return nil, err
+	}
+	r.report.QueriesRun++
+	r.report.RowsScanned += int64(parent.NumRows())
+	return exec.GroupByHash(parent, cols, rolled, plan.TempName(set)), nil
+}
+
+// mapToParent resolves base ordinals and aggregates against an intermediate
+// table's schema (intermediates keep base column names; aggregate columns
+// keep their output names).
+func (r *planRun) mapToParent(parent *table.Table, set colset.Set, aggs []exec.Agg) ([]int, []exec.Agg, error) {
+	baseCols := set.Columns()
+	cols := make([]int, len(baseCols))
+	for i, bc := range baseCols {
+		name := r.base.Col(bc).Name()
+		ord := parent.ColIndex(name)
+		if ord < 0 {
+			return nil, nil, fmt.Errorf("engine: intermediate %s lacks column %q", parent.Name(), name)
+		}
+		cols[i] = ord
+	}
+	rolled := make([]exec.Agg, len(aggs))
+	for i, a := range aggs {
+		src := parent.ColIndex(a.Name)
+		if src < 0 {
+			return nil, nil, fmt.Errorf("engine: intermediate %s lacks aggregate %q", parent.Name(), a.Name)
+		}
+		rolled[i] = a.Rollup(src)
+	}
+	return cols, rolled, nil
+}
+
+// expandCovered executes the level-wise covered sets of a CUBE/ROLLUP node
+// (each covered set computed from its CoveredParent, mirroring the plan-cost
+// pricing), keeping covered results available for required sets and for
+// children of the plan tree that the operator covers.
+func (r *planRun) expandCovered(n *plan.Node, own *table.Table) error {
+	covered := coveredSets(n)
+	results := map[colset.Set]*table.Table{n.Set: own}
+	for _, s := range covered { // sorted descending by size via coveredSets
+		if s == n.Set {
+			continue
+		}
+		parentSet := plan.CoveredParent(n, s)
+		parent, ok := results[parentSet]
+		if !ok {
+			return fmt.Errorf("engine: covered parent %s of %s not computed", parentSet, s)
+		}
+		out, err := r.groupFromTable(parent, s, r.aggsFor(n))
+		if err != nil {
+			return err
+		}
+		results[s] = out
+	}
+	// Hand covered results to required sets and covered children.
+	for _, c := range n.Children {
+		if !plan.Covered(n, c.Set) {
+			continue
+		}
+		t := results[c.Set]
+		if t == nil {
+			return fmt.Errorf("engine: covered child %s missing from cube output", c.Set)
+		}
+		if c.Required {
+			r.report.Results[c.Set] = r.projectResult(c, t)
+		}
+		if c.IsIntermediate() {
+			r.retain(c.Set, t)
+		}
+	}
+	// Required sets covered by the operator that are not explicit children do
+	// not occur (the planner always makes them children), but requiredness of
+	// the node itself is handled by compute().
+	return nil
+}
+
+// coveredSets lists the operator's covered sets in descending size order so
+// each level's parent is computed before it.
+func coveredSets(n *plan.Node) []colset.Set {
+	var out []colset.Set
+	switch n.Op {
+	case plan.OpCube:
+		n.Set.Subsets(func(s colset.Set) bool {
+			if !s.IsEmpty() {
+				out = append(out, s)
+			}
+			return true
+		})
+	case plan.OpRollup:
+		var prefix colset.Set
+		for _, c := range n.RollupOrder {
+			prefix = prefix.Add(c)
+			out = append(out, prefix)
+		}
+	}
+	colset.SortSets(out)
+	// Descending by size.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// retain registers a materialized intermediate and updates storage accounting.
+func (r *planRun) retain(set colset.Set, t *table.Table) {
+	if _, dup := r.temps[set]; dup {
+		return
+	}
+	r.temps[set] = t
+	r.report.TempTables++
+	r.liveBytes += t.SizeBytes()
+	if r.liveBytes > r.report.PeakTempBytes {
+		r.report.PeakTempBytes = r.liveBytes
+	}
+}
+
+// drop frees an intermediate.
+func (r *planRun) drop(set colset.Set) {
+	t, ok := r.temps[set]
+	if !ok {
+		return
+	}
+	r.liveBytes -= t.SizeBytes()
+	delete(r.temps, set)
+}
+
+// countStarOnly reports whether every aggregate is COUNT(*) — the condition
+// for the exact-match index fast path.
+func countStarOnly(aggs []exec.Agg) bool {
+	for _, a := range aggs {
+		if a.Kind != exec.AggCountStar {
+			return false
+		}
+	}
+	return true
+}
+
+// renameAggs aligns the index fast path's single "cnt" column with the
+// requested aggregate names (COUNT(*) only, possibly aliased).
+func renameAggs(t *table.Table, aggs []exec.Agg) *table.Table {
+	if len(aggs) == 1 && aggs[0].Name == "cnt" {
+		return t
+	}
+	cols := make([]*table.Column, 0, t.NumCols()-1+len(aggs))
+	cnt := t.ColByName("cnt")
+	for i := 0; i < t.NumCols(); i++ {
+		if t.Col(i) == cnt {
+			continue
+		}
+		cols = append(cols, t.Col(i))
+	}
+	for _, a := range aggs {
+		out := cnt.EmptyLike(a.Name)
+		for i := 0; i < cnt.Len(); i++ {
+			out.AppendCode(cnt.Code(i))
+		}
+		cols = append(cols, out)
+	}
+	return table.FromColumns(t.Name(), cols)
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/plan"
+	"gbmqo/internal/table"
+)
+
+// executeParallel runs the schedule's per-sub-plan segments concurrently.
+// Schedule emits each sub-plan's steps contiguously, and sub-plans share no
+// intermediates (grouping sets are unique across the plan), so each segment
+// runs in an isolated planRun. The base table's scan image is forced before
+// fan-out because its lazy construction is the only shared mutable state.
+func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []plan.Step, opts ExecOptions) (*ExecReport, error) {
+	template.base.RowImage()
+	segments := splitByRoot(steps)
+
+	type result struct {
+		report *ExecReport
+		err    error
+	}
+	results := make([]result, len(segments))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, seg := range segments {
+		wg.Add(1)
+		go func(i int, seg []plan.Step) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run := &planRun{
+				ex:       ex,
+				base:     template.base,
+				aggs:     template.aggs,
+				perSet:   template.perSet,
+				nodeAggs: template.nodeAggs,
+				temps:    map[colset.Set]*table.Table{},
+				report:   &ExecReport{Results: map[colset.Set]*table.Table{}},
+			}
+			results[i] = result{report: run.report, err: runSegment(run, seg, opts)}
+		}(i, seg)
+	}
+	wg.Wait()
+
+	merged := template.report
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		merged.RowsScanned += res.report.RowsScanned
+		merged.QueriesRun += res.report.QueriesRun
+		merged.TempTables += res.report.TempTables
+		merged.PeakTempBytes += res.report.PeakTempBytes
+		for set, t := range res.report.Results {
+			merged.Results[set] = t
+		}
+	}
+	merged.Wall = time.Since(start)
+	return merged, nil
+}
+
+// runSegment executes one sub-plan's steps (same loop as the sequential
+// path, minus the parallel re-entry).
+func runSegment(run *planRun, steps []plan.Step, opts ExecOptions) error {
+	for i := 0; i < len(steps); {
+		step := steps[i]
+		if step.Kind == plan.StepDrop {
+			run.drop(step.Node.Set)
+			i++
+			continue
+		}
+		if opts.SharedScan {
+			if batch := shareableRun(steps[i:], run); len(batch) > 1 {
+				if err := run.computeShared(batch, step.Parent); err != nil {
+					return err
+				}
+				i += len(batch)
+				continue
+			}
+		}
+		if err := run.compute(step.Node, step.Parent); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// splitByRoot cuts the schedule at every base-level computation (Parent ==
+// nil), yielding one contiguous segment per sub-plan.
+func splitByRoot(steps []plan.Step) [][]plan.Step {
+	var segments [][]plan.Step
+	startIdx := -1
+	for i, s := range steps {
+		if s.Kind == plan.StepCompute && s.Parent == nil {
+			if startIdx >= 0 {
+				segments = append(segments, steps[startIdx:i])
+			}
+			startIdx = i
+		}
+	}
+	if startIdx >= 0 {
+		segments = append(segments, steps[startIdx:])
+	} else if len(steps) > 0 {
+		// Defensive: a schedule that doesn't start at a root is malformed.
+		panic(fmt.Sprintf("engine: schedule does not start at a sub-plan root (%d steps)", len(steps)))
+	}
+	return segments
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/core"
+	"gbmqo/internal/datagen"
+)
+
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	e, li := newTestEngine(t, 8000)
+	sets := scSets()
+	seq, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, sets, par.Report.Results)
+	if par.Report.RowsScanned != seq.Report.RowsScanned {
+		t.Fatalf("parallel scanned %d rows, sequential %d", par.Report.RowsScanned, seq.Report.RowsScanned)
+	}
+	if par.Report.QueriesRun != seq.Report.QueriesRun {
+		t.Fatalf("parallel ran %d queries, sequential %d", par.Report.QueriesRun, seq.Report.QueriesRun)
+	}
+	if par.Report.TempTables != seq.Report.TempTables {
+		t.Fatalf("parallel made %d temps, sequential %d", par.Report.TempTables, seq.Report.TempTables)
+	}
+}
+
+func TestParallelWithSharedScan(t *testing.T) {
+	e, li := newTestEngine(t, 5000)
+	sets := scSets()
+	res, err := e.Run(Request{
+		Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO,
+		Parallel: true, SharedScan: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, sets, res.Report.Results)
+}
+
+func TestParallelNaive(t *testing.T) {
+	e, li := newTestEngine(t, 4000)
+	sets := scSets()[:6]
+	res, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyNaive, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, sets, res.Report.Results)
+}
+
+func TestParallelWithCubePlan(t *testing.T) {
+	e, li := newTestEngine(t, 4000)
+	var sets []colset.Set
+	colset.Of(datagen.LReturnFlag, datagen.LLineStatus, datagen.LShipMode).Subsets(func(s colset.Set) bool {
+		if !s.IsEmpty() {
+			sets = append(sets, s)
+		}
+		return true
+	})
+	res, err := e.Run(Request{
+		Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO,
+		Core:     core.Options{ConsiderCubeRollup: true},
+		Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, sets, res.Report.Results)
+}
+
+func TestParallelRepeatedRunsDeterministicResults(t *testing.T) {
+	e, li := newTestEngine(t, 3000)
+	sets := scSets()[:8]
+	for trial := 0; trial < 5; trial++ {
+		res, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO, Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsMatch(t, li, sets, res.Report.Results)
+	}
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/datagen"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// TestPerSetAggregatesUnionMethod exercises the §7.2 extension: different
+// queries request different aggregates; intermediates carry the union; each
+// result comes back with exactly its own aggregates, with values matching
+// direct evaluation.
+func TestPerSetAggregatesUnionMethod(t *testing.T) {
+	e, li := newTestEngine(t, 6000)
+	flag := colset.Of(datagen.LReturnFlag)
+	status := colset.Of(datagen.LLineStatus)
+	pair := colset.Of(datagen.LReturnFlag, datagen.LLineStatus)
+
+	perSet := map[colset.Set][]exec.Agg{
+		flag:   {exec.CountStar(), {Kind: exec.AggSum, Col: datagen.LQuantity, Name: "sq"}},
+		status: {{Kind: exec.AggMin, Col: datagen.LShipDate, Name: "mn"}, exec.CountStar()},
+		pair:   {exec.CountStar()},
+	}
+	res, err := e.Run(Request{
+		Table:      "lineitem",
+		Sets:       []colset.Set{flag, status, pair},
+		Strategy:   StrategyGBMQO,
+		PerSetAggs: perSet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each result carries exactly its own columns.
+	checkCols := func(set colset.Set, want []string) {
+		t.Helper()
+		res := res.Report.Results[set]
+		if res == nil {
+			t.Fatalf("no result for %s", set)
+		}
+		got := res.ColNames()
+		if len(got) != len(want) {
+			t.Fatalf("set %s columns = %v, want %v", set, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("set %s columns = %v, want %v", set, got, want)
+			}
+		}
+	}
+	checkCols(flag, []string{"l_returnflag", "cnt", "sq"})
+	checkCols(status, []string{"l_linestatus", "mn", "cnt"})
+	checkCols(pair, []string{"l_returnflag", "l_linestatus", "cnt"})
+
+	// Values must match direct evaluation.
+	direct := exec.GroupByHash(li, []int{datagen.LReturnFlag}, perSet[flag], "d")
+	got := res.Report.Results[flag]
+	if got.NumRows() != direct.NumRows() {
+		t.Fatalf("flag rows %d vs %d", got.NumRows(), direct.NumRows())
+	}
+	collect := func(tb *table.Table) map[string][2]table.Value {
+		m := map[string][2]table.Value{}
+		for i := 0; i < tb.NumRows(); i++ {
+			m[tb.ColByName("l_returnflag").Value(i).S] = [2]table.Value{
+				tb.ColByName("cnt").Value(i), tb.ColByName("sq").Value(i),
+			}
+		}
+		return m
+	}
+	d, g := collect(direct), collect(got)
+	for k, dv := range d {
+		gv := g[k]
+		if !dv[0].Equal(gv[0]) || !dv[1].Equal(gv[1]) {
+			t.Fatalf("flag %q: %v vs %v", k, gv, dv)
+		}
+	}
+
+	// The MIN aggregate must also survive the rollup path.
+	directMin := exec.GroupByHash(li, []int{datagen.LLineStatus}, perSet[status], "d2")
+	gotMin := res.Report.Results[status]
+	mins := func(tb *table.Table) map[string]table.Value {
+		m := map[string]table.Value{}
+		for i := 0; i < tb.NumRows(); i++ {
+			m[tb.ColByName("l_linestatus").Value(i).S] = tb.ColByName("mn").Value(i)
+		}
+		return m
+	}
+	dm, gm := mins(directMin), mins(gotMin)
+	for k, v := range dm {
+		if !v.Equal(gm[k]) {
+			t.Fatalf("status %q min: %v vs %v", k, gm[k], v)
+		}
+	}
+}
+
+func TestPerSetAggregatesWithSharedScan(t *testing.T) {
+	e, li := newTestEngine(t, 4000)
+	flag := colset.Of(datagen.LReturnFlag)
+	mode := colset.Of(datagen.LShipMode)
+	perSet := map[colset.Set][]exec.Agg{
+		flag: {exec.CountStar()},
+		mode: {{Kind: exec.AggMax, Col: datagen.LQuantity, Name: "mx"}},
+	}
+	res, err := e.Run(Request{
+		Table: "lineitem", Sets: []colset.Set{flag, mode},
+		Strategy: StrategyNaive, PerSetAggs: perSet, SharedScan: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := exec.GroupByHash(li, []int{datagen.LShipMode}, perSet[mode], "d")
+	got := res.Report.Results[mode]
+	if got.NumRows() != direct.NumRows() {
+		t.Fatalf("rows %d vs %d", got.NumRows(), direct.NumRows())
+	}
+	if got.ColIndex("mx") < 0 || got.ColIndex("cnt") >= 0 {
+		t.Fatalf("projection wrong: %v", got.ColNames())
+	}
+}
+
+func TestPerSetAggsFallbackToDefault(t *testing.T) {
+	e, li := newTestEngine(t, 3000)
+	flag := colset.Of(datagen.LReturnFlag)
+	mode := colset.Of(datagen.LShipMode)
+	// Only one set customized; the other falls back to COUNT(*).
+	res, err := e.Run(Request{
+		Table: "lineitem", Sets: []colset.Set{flag, mode},
+		Strategy: StrategyGBMQO,
+		PerSetAggs: map[colset.Set][]exec.Agg{
+			flag: {exec.CountStar(), {Kind: exec.AggSum, Col: datagen.LQuantity, Name: "sq"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, []colset.Set{mode}, map[colset.Set]*table.Table{mode: res.Report.Results[mode]})
+	if res.Report.Results[flag].ColIndex("sq") < 0 {
+		t.Fatal("customized set lost its aggregate")
+	}
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+
+	"gbmqo/internal/baseline"
+	"gbmqo/internal/catalog"
+	"gbmqo/internal/colset"
+	"gbmqo/internal/core"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/plan"
+	"gbmqo/internal/stats"
+)
+
+// Strategy selects how the logical plan for a grouping-sets request is built.
+type Strategy int
+
+// Strategies compared throughout §6. The zero value is GB-MQO, so requests
+// default to the paper's optimizer.
+const (
+	// StrategyGBMQO runs the paper's hill-climbing optimizer.
+	StrategyGBMQO Strategy = iota
+	// StrategyNaive computes every query directly from the base relation.
+	StrategyNaive
+	// StrategyGroupingSets emulates the commercial GROUPING SETS plan.
+	StrategyGroupingSets
+	// StrategyExhaustive finds the optimal binary type-(b) plan (small inputs
+	// only; §6.3).
+	StrategyExhaustive
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyGroupingSets:
+		return "groupingsets"
+	case StrategyGBMQO:
+		return "gbmqo"
+	case StrategyExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ModelKind selects the cost model for optimizing strategies (§3.2).
+type ModelKind int
+
+// Cost models.
+const (
+	// ModelOptimizer is the what-if, physical-design-aware model (§3.2.2).
+	ModelOptimizer ModelKind = iota
+	// ModelCardinality is the |u|-per-edge model (§3.2.1).
+	ModelCardinality
+)
+
+// Request describes one multi-Group-By computation.
+type Request struct {
+	// Table is the base relation name in the catalog.
+	Table string
+	// Sets are the required grouping sets (base column ordinals).
+	Sets []colset.Set
+	// Aggs are the aggregates (default COUNT(*)), shared by every set.
+	Aggs []exec.Agg
+	// PerSetAggs optionally assigns different aggregates per grouping set
+	// (§7.2). Intermediate nodes then carry the union of the aggregates
+	// their required descendants need (the paper's union method), and each
+	// set's result is projected back to its own aggregates. Sets absent from
+	// the map fall back to Aggs.
+	PerSetAggs map[colset.Set][]exec.Agg
+	// Strategy picks the planner.
+	Strategy Strategy
+	// Model picks the cost model for GB-MQO/exhaustive.
+	Model ModelKind
+	// Core forwards search options (pruning, binary restriction, cube/rollup,
+	// storage budget). Model/NAggs/SizeFn fields are filled in by Run.
+	Core core.Options
+	// SharedScan enables the §5.1 shared-scan execution technique: sibling
+	// Group Bys run in one pass over their common parent.
+	SharedScan bool
+	// Parallel executes independent sub-plans concurrently.
+	Parallel bool
+}
+
+// RunResult bundles the chosen plan, its execution report, and search effort.
+type RunResult struct {
+	Plan     *plan.Plan
+	Report   *ExecReport
+	Search   core.SearchStats
+	ModelUsd cost.Model
+}
+
+// Engine ties the catalog, statistics and executor into the public runtime.
+type Engine struct {
+	cat  *catalog.Catalog
+	exec *Executor
+}
+
+// New creates an engine over a fresh catalog with the given statistics
+// service (nil selects GEE sampling with defaults).
+func New(svc *stats.Service) *Engine {
+	if svc == nil {
+		svc = stats.NewService(stats.GEE, 0, 1)
+	}
+	cat := catalog.New(svc)
+	return &Engine{cat: cat, exec: NewExecutor(cat)}
+}
+
+// Catalog exposes the engine's catalog (registration, indexes).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// CostEnv builds a costing environment for a registered table, wiring in its
+// current physical design.
+func (e *Engine) CostEnv(tableName string) (*cost.Env, error) {
+	t, ok := e.cat.Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	return cost.NewEnv(t, e.cat.Stats(), e.cat.Indexes(tableName)), nil
+}
+
+// Plan builds the logical plan for a request without executing it.
+func (e *Engine) Plan(req Request) (*plan.Plan, core.SearchStats, cost.Model, error) {
+	t, ok := e.cat.Table(req.Table)
+	if !ok {
+		return nil, core.SearchStats{}, nil, fmt.Errorf("engine: unknown table %q", req.Table)
+	}
+	env := cost.NewEnv(t, e.cat.Stats(), e.cat.Indexes(req.Table))
+	var model cost.Model
+	if req.Model == ModelCardinality {
+		model = cost.NewCardinality(env)
+	} else {
+		model = cost.NewOptimizer(env, cost.Coefficients{})
+	}
+	nAggs := len(req.Aggs)
+	if nAggs == 0 {
+		nAggs = 1
+	}
+	switch req.Strategy {
+	case StrategyNaive:
+		return baseline.Naive(req.Table, t.ColNames(), req.Sets), core.SearchStats{}, model, nil
+	case StrategyGroupingSets:
+		return baseline.GroupingSets(req.Table, t.ColNames(), req.Sets), core.SearchStats{}, model, nil
+	case StrategyExhaustive:
+		p, c, err := core.ExhaustiveOptimize(req.Table, t.ColNames(), req.Sets, model, nAggs)
+		return p, core.SearchStats{FinalCost: c}, model, err
+	case StrategyGBMQO:
+		opts := req.Core
+		opts.Model = model
+		opts.NAggs = nAggs
+		if opts.StorageBudget > 0 && opts.SizeFn == nil {
+			opts.SizeFn = e.sizeFn(env, nAggs)
+		}
+		p, st, err := core.Optimize(req.Table, t.ColNames(), req.Sets, opts)
+		return p, st, model, err
+	default:
+		return nil, core.SearchStats{}, nil, fmt.Errorf("engine: unknown strategy %v", req.Strategy)
+	}
+}
+
+// Run plans and executes a request.
+func (e *Engine) Run(req Request) (*RunResult, error) {
+	p, st, model, err := e.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	env, err := e.CostEnv(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	nAggs := len(req.Aggs)
+	if nAggs == 0 {
+		nAggs = 1
+	}
+	report, err := e.exec.ExecutePlanWith(p, req.Aggs, e.sizeFn(env, nAggs),
+		ExecOptions{SharedScan: req.SharedScan, PerSetAggs: req.PerSetAggs, Parallel: req.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Plan: p, Report: report, Search: st, ModelUsd: model}, nil
+}
+
+// sizeFn estimates materialized node bytes from statistics for the §4.4
+// scheduler and the storage-budget constraint.
+func (e *Engine) sizeFn(env *cost.Env, nAggs int) plan.SizeFn {
+	return func(s colset.Set) float64 {
+		return env.NDV(s) * (env.Width(s) + 8*float64(nAggs))
+	}
+}

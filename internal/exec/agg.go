@@ -1,0 +1,213 @@
+// Package exec implements the physical operators of the execution substrate:
+// hash / sort / index-stream group-by, filter, union-all with Grp-Tags, and
+// hash join. Operators are materializing — each consumes and produces whole
+// tables — which matches the paper's notion of a logical plan as a partial
+// order of SQL statements whose intermediate results land in temp tables.
+package exec
+
+import (
+	"fmt"
+
+	"gbmqo/internal/table"
+)
+
+// AggKind enumerates the aggregate functions supported (§3.1 uses COUNT(*)
+// throughout; §7.2 extends to MIN/MAX/SUM, all implemented here).
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCountStar AggKind = iota
+	AggCount             // COUNT(col): non-null count
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String renders the kind as SQL.
+func (k AggKind) String() string {
+	switch k {
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Agg is one aggregate column specification. Col is the source column ordinal
+// in the *input* table (ignored for AggCountStar). Name is the output column
+// name.
+type Agg struct {
+	Kind AggKind
+	Col  int
+	Name string
+}
+
+// CountStar is the default aggregate used by the paper's queries.
+func CountStar() Agg { return Agg{Kind: AggCountStar, Name: "cnt"} }
+
+// Rollup translates an aggregate so it can be computed from a materialized
+// intermediate instead of the base table (§5.2: "if T_u is an intermediate
+// node then we need to replace COUNT(*) with SUM(cnt)"). srcOrd is the ordinal
+// in the intermediate table holding this aggregate's partial result.
+func (a Agg) Rollup(srcOrd int) Agg {
+	out := Agg{Col: srcOrd, Name: a.Name}
+	switch a.Kind {
+	case AggCountStar, AggCount:
+		out.Kind = AggSum
+	default:
+		out.Kind = a.Kind // SUM/MIN/MAX roll up as themselves
+	}
+	return out
+}
+
+// accumulator maintains per-group aggregate state.
+type accumulator interface {
+	// observe feeds source row `row` into group g, growing state as needed.
+	observe(g int, row int)
+	// result emits the final value for group g.
+	result(g int) table.Value
+	// outType is the result column type.
+	outType() table.Type
+}
+
+// newAccumulator builds the accumulator for one agg over the input table.
+func newAccumulator(a Agg, t *table.Table) accumulator {
+	switch a.Kind {
+	case AggCountStar:
+		return &countStarAcc{}
+	case AggCount:
+		return &countAcc{col: t.Col(a.Col)}
+	case AggSum:
+		col := t.Col(a.Col)
+		switch col.Type() {
+		case table.TFloat64:
+			return &sumFloatAcc{codes: col.Codes(), vals: col.Float64DecodeTable()}
+		case table.TInt64, table.TDate:
+			return &sumIntAcc{codes: col.Codes(), vals: col.Int64DecodeTable()}
+		default:
+			panic(fmt.Sprintf("exec: SUM over %s column %q", col.Type(), col.Name()))
+		}
+	case AggMin:
+		return &extremeAcc{col: t.Col(a.Col), ranks: t.Col(a.Col).Ranks(), min: true}
+	case AggMax:
+		return &extremeAcc{col: t.Col(a.Col), ranks: t.Col(a.Col).Ranks(), min: false}
+	default:
+		panic(fmt.Sprintf("exec: unknown aggregate kind %v", a.Kind))
+	}
+}
+
+type countStarAcc struct{ counts []int64 }
+
+func (a *countStarAcc) observe(g, _ int) {
+	for len(a.counts) <= g {
+		a.counts = append(a.counts, 0)
+	}
+	a.counts[g]++
+}
+func (a *countStarAcc) result(g int) table.Value { return table.Int(a.counts[g]) }
+func (a *countStarAcc) outType() table.Type      { return table.TInt64 }
+
+type countAcc struct {
+	col    *table.Column
+	counts []int64
+}
+
+func (a *countAcc) observe(g, row int) {
+	for len(a.counts) <= g {
+		a.counts = append(a.counts, 0)
+	}
+	if !a.col.IsNull(row) {
+		a.counts[g]++
+	}
+}
+func (a *countAcc) result(g int) table.Value { return table.Int(a.counts[g]) }
+func (a *countAcc) outType() table.Type      { return table.TInt64 }
+
+type sumIntAcc struct {
+	codes []uint32
+	vals  []int64 // code-indexed decode table
+	sums  []int64
+	seen  []bool
+}
+
+func (a *sumIntAcc) observe(g, row int) {
+	for len(a.sums) <= g {
+		a.sums = append(a.sums, 0)
+		a.seen = append(a.seen, false)
+	}
+	if code := a.codes[row]; code != 0 {
+		a.sums[g] += a.vals[code]
+		a.seen[g] = true
+	}
+}
+func (a *sumIntAcc) result(g int) table.Value {
+	if !a.seen[g] {
+		return table.Null(table.TInt64)
+	}
+	return table.Int(a.sums[g])
+}
+func (a *sumIntAcc) outType() table.Type { return table.TInt64 }
+
+type sumFloatAcc struct {
+	codes []uint32
+	vals  []float64 // code-indexed decode table
+	sums  []float64
+	seen  []bool
+}
+
+func (a *sumFloatAcc) observe(g, row int) {
+	for len(a.sums) <= g {
+		a.sums = append(a.sums, 0)
+		a.seen = append(a.seen, false)
+	}
+	if code := a.codes[row]; code != 0 {
+		a.sums[g] += a.vals[code]
+		a.seen[g] = true
+	}
+}
+func (a *sumFloatAcc) result(g int) table.Value {
+	if !a.seen[g] {
+		return table.Null(table.TFloat64)
+	}
+	return table.Float(a.sums[g])
+}
+func (a *sumFloatAcc) outType() table.Type { return table.TFloat64 }
+
+// extremeAcc tracks MIN or MAX per group by dictionary code, comparing codes
+// through the column's rank table (rank order == value order), so no value
+// decoding happens on the hot path. NULLs are ignored per SQL.
+type extremeAcc struct {
+	col   *table.Column
+	ranks []uint32
+	min   bool
+	best  []uint32 // code per group; nullCode means "no non-null value yet"
+}
+
+func (a *extremeAcc) observe(g, row int) {
+	for len(a.best) <= g {
+		a.best = append(a.best, 0)
+	}
+	code := a.col.Code(row)
+	if code == 0 {
+		return
+	}
+	cur := a.best[g]
+	if cur == 0 {
+		a.best[g] = code
+		return
+	}
+	if a.min == (a.ranks[code] < a.ranks[cur]) && a.ranks[code] != a.ranks[cur] {
+		a.best[g] = code
+	}
+}
+func (a *extremeAcc) result(g int) table.Value { return a.col.Decode(a.best[g]) }
+func (a *extremeAcc) outType() table.Type      { return a.col.Type() }

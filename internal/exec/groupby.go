@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"fmt"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/index"
+	"gbmqo/internal/table"
+)
+
+// GroupByHash computes SELECT groupCols, aggs FROM t GROUP BY groupCols with
+// an open-addressing hash aggregate over dictionary-code tuples. Key codes
+// are read through the table's row-major scan image, so the scan pays for the
+// table's full width like the row store the paper ran on (see
+// table.RowImage).
+func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *table.Table {
+	n := t.NumRows()
+	image, stride := t.RowImage()
+	rd := rowReader{image: image, stride: stride, offs: make([]int, len(groupCols))}
+	for i, c := range groupCols {
+		rd.offs[i] = 4 * c
+	}
+	ht := newGroupHash(n, rd)
+	accs := make([]accumulator, len(aggs))
+	for i, a := range aggs {
+		accs[i] = newAccumulator(a, t)
+	}
+	firstRows := make([]int32, 0, 1024)
+	for row := 0; row < n; row++ {
+		g, isNew := ht.groupOf(row)
+		if isNew {
+			firstRows = append(firstRows, int32(row))
+		}
+		for _, acc := range accs {
+			acc.observe(g, row)
+		}
+	}
+	return emitGroups(t, groupCols, aggs, accs, firstRows, outName)
+}
+
+// GroupBySort computes the same result by sorting row ids and streaming over
+// runs. It exists for the shared-sort emulation of the commercial GROUPING
+// SETS baseline and for operator cross-checking in tests.
+func GroupBySort(t *table.Table, groupCols []int, aggs []Agg, outName string) *table.Table {
+	ix := index.Build(t, "tmp_sort", groupCols, false)
+	return GroupByIndexStream(t, ix, groupCols, aggs, outName)
+}
+
+// GroupByIndexStream computes the group-by by walking an index whose key has
+// groupCols as a prefix (in order): rows arrive clustered by group, so a
+// boundary scan replaces the hash table. Panics when the index does not cover
+// groupCols as a prefix — the planner must not choose this path otherwise.
+func GroupByIndexStream(t *table.Table, ix *index.Index, groupCols []int, aggs []Agg, outName string) *table.Table {
+	set := setOf(groupCols)
+	if ix.PrefixLen(set) == 0 {
+		panic(fmt.Sprintf("exec: index %s does not prefix-cover %v", ix.Name(), groupCols))
+	}
+	codes := make([][]uint32, len(groupCols))
+	for i, c := range groupCols {
+		codes[i] = t.Col(c).Codes()
+	}
+	accs := make([]accumulator, len(aggs))
+	for i, a := range aggs {
+		accs[i] = newAccumulator(a, t)
+	}
+	perm := ix.Perm()
+	var firstRows []int32
+	g := -1
+	for pi, row := range perm {
+		newGroup := pi == 0
+		if !newGroup {
+			prev := perm[pi-1]
+			for _, col := range codes {
+				if col[row] != col[prev] {
+					newGroup = true
+					break
+				}
+			}
+		}
+		if newGroup {
+			g++
+			firstRows = append(firstRows, row)
+		}
+		for _, acc := range accs {
+			acc.observe(g, int(row))
+		}
+	}
+	return emitGroups(t, groupCols, aggs, accs, firstRows, outName)
+}
+
+// GroupByIndexCounts is the exact-match fast path: a COUNT(*) Group By on
+// precisely the index key reads group sizes straight off the boundaries in
+// O(#groups) — the §6.9 effect where building an index on a dense column
+// (e.g. l_comment) collapses its Group By cost.
+func GroupByIndexCounts(t *table.Table, ix *index.Index, outName string) *table.Table {
+	groupCols := ix.Cols()
+	perm, bounds := ix.Perm(), ix.Bounds()
+	nGroups := ix.NumGroups()
+	cols := make([]*table.Column, 0, len(groupCols)+1)
+	for _, c := range groupCols {
+		cols = append(cols, t.Col(c).EmptyLike(t.Col(c).Name()))
+	}
+	cnt := table.NewColumn(table.ColumnDef{Name: "cnt", Typ: table.TInt64})
+	for g := 0; g < nGroups; g++ {
+		first := int(perm[bounds[g]])
+		for i, c := range groupCols {
+			cols[i].AppendCode(t.Col(c).Code(first))
+		}
+		cnt.Append(table.Int(int64(bounds[g+1] - bounds[g])))
+	}
+	cols = append(cols, cnt)
+	return table.FromColumns(outName, cols)
+}
+
+// GroupByIndexPrefixCounts is the prefix-match fast path for COUNT(*): a
+// Group By on a proper key prefix walks the index's full-key group
+// boundaries — O(#full-key groups), touching only group-start rows — summing
+// run lengths whenever the prefix codes repeat. This models reading the
+// index's leaf level instead of the base table, the §6.9 benefit of
+// non-clustered indexes.
+func GroupByIndexPrefixCounts(t *table.Table, ix *index.Index, prefixCols []int, outName string) *table.Table {
+	set := setOf(prefixCols)
+	k := ix.PrefixLen(set)
+	if k == 0 {
+		panic(fmt.Sprintf("exec: index %s does not prefix-cover %v", ix.Name(), prefixCols))
+	}
+	codes := make([][]uint32, len(prefixCols))
+	for i, c := range prefixCols {
+		codes[i] = t.Col(c).Codes()
+	}
+	perm, bounds := ix.Perm(), ix.Bounds()
+	cols := make([]*table.Column, 0, len(prefixCols)+1)
+	for _, c := range prefixCols {
+		cols = append(cols, t.Col(c).EmptyLike(t.Col(c).Name()))
+	}
+	cnt := table.NewColumn(table.ColumnDef{Name: "cnt", Typ: table.TInt64})
+	run := int64(0)
+	var prevStart int32 = -1
+	flush := func() {
+		if prevStart < 0 {
+			return
+		}
+		for i, col := range codes {
+			cols[i].AppendCode(col[prevStart])
+		}
+		cnt.Append(table.Int(run))
+	}
+	for g := 0; g < ix.NumGroups(); g++ {
+		start := perm[bounds[g]]
+		newGroup := prevStart < 0
+		if !newGroup {
+			for _, col := range codes {
+				if col[start] != col[prevStart] {
+					newGroup = true
+					break
+				}
+			}
+		}
+		if newGroup {
+			flush()
+			prevStart = start
+			run = 0
+		}
+		run += int64(bounds[g+1] - bounds[g])
+	}
+	flush()
+	cols = append(cols, cnt)
+	return table.FromColumns(outName, cols)
+}
+
+// emitGroups assembles the output table: group key columns share the input's
+// dictionaries; aggregate columns are fresh.
+func emitGroups(t *table.Table, groupCols []int, aggs []Agg, accs []accumulator, firstRows []int32, outName string) *table.Table {
+	cols := make([]*table.Column, 0, len(groupCols)+len(aggs))
+	for _, c := range groupCols {
+		src := t.Col(c)
+		out := src.EmptyLike(src.Name())
+		for _, row := range firstRows {
+			out.AppendCode(src.Code(int(row)))
+		}
+		cols = append(cols, out)
+	}
+	for i, a := range aggs {
+		out := table.NewColumn(table.ColumnDef{Name: a.Name, Typ: accs[i].outType()})
+		for g := range firstRows {
+			out.Append(accs[i].result(g))
+		}
+		cols = append(cols, out)
+	}
+	return table.FromColumns(outName, cols)
+}
+
+// rowReader extracts key-column codes from a table's row-major scan image.
+type rowReader struct {
+	image  []byte
+	stride int
+	offs   []int // byte offsets of the key columns within one row
+}
+
+// code reads key column k of row r.
+func (rd rowReader) code(r int, k int) uint32 {
+	p := r*rd.stride + rd.offs[k]
+	return uint32(rd.image[p]) | uint32(rd.image[p+1])<<8 |
+		uint32(rd.image[p+2])<<16 | uint32(rd.image[p+3])<<24
+}
+
+// groupHash is an open-addressing hash table mapping code tuples to dense
+// group ids. It stores per-slot (hash, groupID, firstRow) and verifies
+// candidate matches against a representative row's codes, so keys are never
+// copied.
+type groupHash struct {
+	rd        rowReader
+	mask      uint64
+	slotHash  []uint64
+	slotGroup []int32 // group+1; 0 = empty
+	slotRow   []int32
+	groups    int
+}
+
+func newGroupHash(expectRows int, rd rowReader) *groupHash {
+	size := 1024
+	for size < expectRows*2 {
+		size <<= 1
+	}
+	return &groupHash{
+		rd:        rd,
+		mask:      uint64(size - 1),
+		slotHash:  make([]uint64, size),
+		slotGroup: make([]int32, size),
+		slotRow:   make([]int32, size),
+	}
+}
+
+// groupOf returns the dense group id for the key tuple at row, allocating a
+// new group on first sight.
+func (h *groupHash) groupOf(row int) (g int, isNew bool) {
+	hash := hashRow(h.rd, row)
+	slot := hash & h.mask
+	for {
+		sg := h.slotGroup[slot]
+		if sg == 0 {
+			h.slotHash[slot] = hash
+			h.slotRow[slot] = int32(row)
+			h.groups++
+			h.slotGroup[slot] = int32(h.groups)
+			return h.groups - 1, true
+		}
+		if h.slotHash[slot] == hash && h.rowsEqual(h.slotRow[slot], int32(row)) {
+			return int(sg - 1), false
+		}
+		slot = (slot + 1) & h.mask
+	}
+}
+
+func (h *groupHash) rowsEqual(a, b int32) bool {
+	for k := range h.rd.offs {
+		if h.rd.code(int(a), k) != h.rd.code(int(b), k) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashRow mixes the code tuple of one row with a splitmix-style finalizer.
+func hashRow(rd rowReader, row int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for k := range rd.offs {
+		h ^= uint64(rd.code(row, k)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	// Final avalanche so empty tuples and single columns spread too.
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 29
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func setOf(cols []int) colset.Set { return colset.Of(cols...) }

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"fmt"
+
+	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
+)
+
+// Filter returns the rows of t satisfying pred, as a new table sharing
+// dictionaries with t.
+func Filter(t *table.Table, outName string, pred func(row int) bool) *table.Table {
+	var idx []int32
+	for i := 0; i < t.NumRows(); i++ {
+		if pred(i) {
+			idx = append(idx, int32(i))
+		}
+	}
+	return t.Gather(outName, idx)
+}
+
+// CmpPredicate builds a row predicate for `col op literal` with SQL NULL
+// semantics (NULL never satisfies a comparison).
+func CmpPredicate(t *table.Table, col int, op stats.CmpOp, lit table.Value) func(int) bool {
+	c := t.Col(col)
+	return func(row int) bool {
+		v := c.Value(row)
+		if v.Null || lit.Null {
+			return false
+		}
+		return op.Eval(v, lit)
+	}
+}
+
+// GrpTagCol is the name of the tag column UnionAllTagged adds (§5.1.1: "the
+// notion of a Grp-Tag (i.e., a new column) with each tuple that denotes which
+// Group By query it is a result of").
+const GrpTagCol = "grp_tag"
+
+// UnionAllTagged assembles the result set of a GROUPING SETS query: the
+// output schema is outCols (the union of all grouping columns plus aggregate
+// columns); each part contributes its own columns with NULL for grouping
+// columns absent from its set, plus a Grp-Tag naming the part.
+func UnionAllTagged(outName string, outCols []table.ColumnDef, parts []*table.Table, tags []string) *table.Table {
+	if len(parts) != len(tags) {
+		panic(fmt.Sprintf("exec: %d parts but %d tags", len(parts), len(tags)))
+	}
+	defs := append(append([]table.ColumnDef(nil), outCols...), table.ColumnDef{Name: GrpTagCol, Typ: table.TString})
+	out := table.New(outName, defs)
+	row := make([]table.Value, len(defs))
+	for pi, part := range parts {
+		// Map each output column to the part's column of the same name (-1 =
+		// absent, emit NULL).
+		srcOrd := make([]int, len(outCols))
+		for i, def := range outCols {
+			srcOrd[i] = part.ColIndex(def.Name)
+		}
+		tag := table.Str(tags[pi])
+		for r := 0; r < part.NumRows(); r++ {
+			for i, def := range outCols {
+				if srcOrd[i] < 0 {
+					row[i] = table.Null(def.Typ)
+				} else {
+					row[i] = part.Col(srcOrd[i]).Value(r)
+				}
+			}
+			row[len(outCols)] = tag
+			out.AppendRow(row...)
+		}
+	}
+	return out
+}
+
+// HashJoin computes the inner equi-join of l and r on l.lKey = r.rKey. The
+// output schema is all columns of l followed by all columns of r; name
+// clashes on the right side get the right table's name as a prefix. NULL keys
+// never join (SQL semantics).
+func HashJoin(l, r *table.Table, lKey, rKey int, outName string) *table.Table {
+	// Build side: hash right-side key values to row lists. The two tables
+	// have distinct dictionaries, so the build keys on decoded values via a
+	// value-keyed map; join keys are single columns which keeps this simple.
+	build := make(map[table.Value][]int32, r.NumRows())
+	rCol := r.Col(rKey)
+	for i := 0; i < r.NumRows(); i++ {
+		v := rCol.Value(i)
+		if v.Null {
+			continue
+		}
+		v.Typ = normalizeJoinType(v.Typ)
+		build[v] = append(build[v], int32(i))
+	}
+	var lIdx, rIdx []int32
+	lCol := l.Col(lKey)
+	for i := 0; i < l.NumRows(); i++ {
+		v := lCol.Value(i)
+		if v.Null {
+			continue
+		}
+		v.Typ = normalizeJoinType(v.Typ)
+		for _, rr := range build[v] {
+			lIdx = append(lIdx, int32(i))
+			rIdx = append(rIdx, rr)
+		}
+	}
+	lg := l.Gather("l", lIdx)
+	rg := r.Gather("r", rIdx)
+	cols := make([]*table.Column, 0, lg.NumCols()+rg.NumCols())
+	seen := map[string]bool{}
+	for i := 0; i < lg.NumCols(); i++ {
+		cols = append(cols, lg.Col(i))
+		seen[lg.Col(i).Name()] = true
+	}
+	for i := 0; i < rg.NumCols(); i++ {
+		c := rg.Col(i)
+		if seen[c.Name()] {
+			c = renameColumn(c, r.Name()+"_"+c.Name())
+		}
+		cols = append(cols, c)
+	}
+	return table.FromColumns(outName, cols)
+}
+
+// normalizeJoinType lets TInt64 and TDate keys join (both carry I); other
+// cross-type joins are planner errors surfaced by Value.Compare panics.
+func normalizeJoinType(t table.Type) table.Type {
+	if t == table.TDate {
+		return table.TInt64
+	}
+	return t
+}
+
+// renameColumn rebuilds a column under a new name sharing the dictionary.
+func renameColumn(c *table.Column, name string) *table.Column {
+	out := c.EmptyLike(name)
+	for i := 0; i < c.Len(); i++ {
+		out.AppendCode(c.Code(i))
+	}
+	return out
+}

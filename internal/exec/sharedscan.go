@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"fmt"
+
+	"gbmqo/internal/table"
+)
+
+// MultiQuery is one member of a shared scan: a grouping column list with its
+// aggregates and output name.
+type MultiQuery struct {
+	GroupCols []int
+	Aggs      []Agg
+	OutName   string
+}
+
+// GroupByHashMulti computes several Group By queries in ONE pass over t —
+// the shared-scan technique of §5.1 ("the basic ideas is to take advantage
+// of commonality across Group By queries using techniques such as shared
+// scans…", PipeHash-style): every row is read once and fed to each query's
+// hash aggregate, so the table's row width is paid once instead of once per
+// query. Results are returned in query order.
+func GroupByHashMulti(t *table.Table, queries []MultiQuery) []*table.Table {
+	if len(queries) == 0 {
+		return nil
+	}
+	validateMulti(t, queries)
+	n := t.NumRows()
+	image, stride := t.RowImage()
+
+	type state struct {
+		ht        *groupHash
+		accs      []accumulator
+		firstRows []int32
+	}
+	states := make([]*state, len(queries))
+	for qi, q := range queries {
+		rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols))}
+		for i, c := range q.GroupCols {
+			rd.offs[i] = 4 * c
+		}
+		st := &state{ht: newGroupHash(n, rd), accs: make([]accumulator, len(q.Aggs))}
+		for i, a := range q.Aggs {
+			st.accs[i] = newAccumulator(a, t)
+		}
+		states[qi] = st
+	}
+	for row := 0; row < n; row++ {
+		for _, st := range states {
+			g, isNew := st.ht.groupOf(row)
+			if isNew {
+				st.firstRows = append(st.firstRows, int32(row))
+			}
+			for _, acc := range st.accs {
+				acc.observe(g, row)
+			}
+		}
+	}
+	out := make([]*table.Table, len(queries))
+	for qi, q := range queries {
+		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, states[qi].accs, states[qi].firstRows, q.OutName)
+	}
+	return out
+}
+
+// validateMulti panics on malformed shared-scan requests; callers are
+// internal and a bad request is always a planner bug.
+func validateMulti(t *table.Table, queries []MultiQuery) {
+	for _, q := range queries {
+		for _, c := range q.GroupCols {
+			if c < 0 || c >= t.NumCols() {
+				panic(fmt.Sprintf("exec: shared scan group column %d out of range", c))
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic substrate. Each experiment function
+// returns a result struct with a String() renderer producing rows shaped like
+// the paper's; cmd/experiments and the root benchmarks drive them. Absolute
+// numbers differ from the paper (different hardware, reduced scale) — the
+// quantities that must reproduce are the *shapes*: who wins, by roughly what
+// factor, and where behaviour changes.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/core"
+	"gbmqo/internal/datagen"
+	"gbmqo/internal/engine"
+	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
+)
+
+// Scale sets dataset sizes. The defaults stand in for the paper's 6M-row
+// TPC-H 1G, 60M-row TPC-H 10G, 24M-row SALES and 78M-row NREF datasets at
+// laptop scale, preserving the NDV-to-rowcount ratios that drive plan choice.
+type Scale struct {
+	TPCHSmall int
+	TPCHLarge int
+	Sales     int
+	NRef      int
+	Seed      int64
+}
+
+// DefaultScale returns the benchmark-friendly sizes.
+func DefaultScale() Scale {
+	return Scale{TPCHSmall: 40_000, TPCHLarge: 120_000, Sales: 50_000, NRef: 60_000, Seed: 1}
+}
+
+// dataset caching: experiments re-use generated tables across benchmarks.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*table.Table{}
+)
+
+func cached(key string, build func() *table.Table) *table.Table {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if t, ok := cache[key]; ok {
+		return t
+	}
+	t := build()
+	cache[key] = t
+	return t
+}
+
+func cachedLineitem(rows int, seed int64) *table.Table {
+	return cached(fmt.Sprintf("li-%d-%d", rows, seed), func() *table.Table {
+		return datagen.Lineitem(datagen.LineitemOpts{Rows: rows, Seed: seed})
+	})
+}
+
+func lineitemSmall(s Scale) *table.Table { return cachedLineitem(s.TPCHSmall, s.Seed) }
+
+func lineitemLarge(s Scale) *table.Table { return cachedLineitem(s.TPCHLarge, s.Seed) }
+
+func salesTable(s Scale) *table.Table {
+	return cached(fmt.Sprintf("sales-%d-%d", s.Sales, s.Seed), func() *table.Table {
+		return datagen.Sales(datagen.SalesOpts{Rows: s.Sales, Seed: s.Seed})
+	})
+}
+
+func nrefTable(s Scale) *table.Table {
+	return cached(fmt.Sprintf("nref-%d-%d", s.NRef, s.Seed), func() *table.Table {
+		return datagen.NRef(datagen.NRefOpts{Rows: s.NRef, Seed: s.Seed})
+	})
+}
+
+// newEngine builds an engine with sampling statistics (the production
+// configuration; §6.7 measures exactly this statistics-creation overhead).
+// 2000-row samples keep estimates accurate at experiment scale (the birthday
+// fallback and single-column dictionary counts carry the high-NDV regime)
+// while keeping profiling cheap.
+func newEngine(seed int64) *engine.Engine {
+	return engine.New(stats.NewService(stats.GEE, 2000, seed))
+}
+
+// singleSets converts column ordinals to single-column grouping sets.
+func singleSets(ords []int) []colset.Set {
+	out := make([]colset.Set, len(ords))
+	for i, c := range ords {
+		out[i] = colset.Of(c)
+	}
+	return out
+}
+
+// pairSets builds all two-column grouping sets over the ordinals (the paper's
+// "TC" workloads).
+func pairSets(ords []int) []colset.Set {
+	var out []colset.Set
+	for i := 0; i < len(ords); i++ {
+		for j := i + 1; j < len(ords); j++ {
+			out = append(out, colset.Of(ords[i], ords[j]))
+		}
+	}
+	return out
+}
+
+// prunedGBMQO are the search options every experiment uses unless it is
+// explicitly studying a knob: both §4.3 pruning techniques on, all merge
+// types allowed.
+func prunedGBMQO() core.Options {
+	return core.Options{PruneSubsumption: true, PruneMonotonic: true}
+}
+
+// measure runs a request and returns its execution wall time and the result.
+func measure(e *engine.Engine, req engine.Request) (time.Duration, *engine.RunResult, error) {
+	return measureMin(e, req, 2)
+}
+
+// measureMin runs a request `reps` times and returns the minimum execution
+// wall time (the standard way to strip scheduler noise from micro-scale
+// timings), along with the last run's result.
+func measureMin(e *engine.Engine, req engine.Request, reps int) (time.Duration, *engine.RunResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best time.Duration
+	var last *engine.RunResult
+	for i := 0; i < reps; i++ {
+		res, err := e.Run(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		if last == nil || res.Report.Wall < best {
+			best = res.Report.Wall
+		}
+		last = res
+	}
+	return best, last, nil
+}
+
+// speedup guards against division by ~zero on very fast runs.
+func speedup(baseline, improved time.Duration) float64 {
+	if improved <= 0 {
+		improved = time.Microsecond
+	}
+	return float64(baseline) / float64(improved)
+}
+
+// reduction renders the "ratio of reduction in running time against naive"
+// metric of Figure 9/11.
+func reduction(naive, other time.Duration) float64 {
+	if naive <= 0 {
+		return 0
+	}
+	r := 1 - float64(other)/float64(naive)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/datagen"
+	"gbmqo/internal/engine"
+)
+
+// testScale keeps unit-test runtime modest while preserving the NDV/rowcount
+// regime the experiments rely on.
+func testScale() Scale {
+	return Scale{TPCHSmall: 8000, TPCHLarge: 20_000, Sales: 8000, NRef: 8000, Seed: 3}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byName[r.Query] = r
+	}
+	// SC: GB-MQO must clearly beat the commercial GROUPING SETS emulation
+	// (paper: 4.5x). The work ratio is deterministic; the wall speedup is
+	// asserted loosely because unit-test timings are micro-scale.
+	if byName["SC"].WorkRatio < 1.3 {
+		t.Errorf("SC work ratio = %.2f, want > 1.3\n%s", byName["SC"].WorkRatio, res)
+	}
+	if byName["SC"].Speedup < 1.0 {
+		t.Errorf("SC speedup = %.2f, want >= 1\n%s", byName["SC"].Speedup, res)
+	}
+	// CONT: both should be comparable (paper: 1.03x); we only require GB-MQO
+	// not to lose badly.
+	if byName["CONT"].Speedup < 0.6 {
+		t.Errorf("CONT speedup = %.2f, want comparable\n%s", byName["CONT"].Speedup, res)
+	}
+	if !strings.Contains(res.String(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 datasets × SC/TC
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// GB-MQO must reduce scan work everywhere (paper speedups: 1.9–4.5x;
+		// the deterministic work ratio is the unit-test proxy because
+		// micro-scale wall timings jitter). Wall time must at least not
+		// collapse.
+		min := 1.25
+		if r.Workload == "TC" {
+			min = 1.1 // pair NDVs approach the row count at unit-test scale
+		}
+		if r.WorkRatio < min {
+			t.Errorf("%s %s work ratio = %.2f, want > %.2f", r.Dataset, r.Workload, r.WorkRatio, min)
+		}
+		if r.Speedup < 0.75 {
+			t.Errorf("%s %s wall speedup = %.2f, collapsed", r.Dataset, r.Workload, r.Speedup)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.GBMQOReduction < 0 || r.GBMQOReduction > 1 || r.OptimalReduction < 0 || r.OptimalReduction > 1 {
+			t.Errorf("%s reductions out of range: %+v", r.Query, r)
+		}
+	}
+	// Across ten queries GB-MQO must land close to optimal on average
+	// (timing noise makes per-query comparison flaky).
+	var mqo, opt float64
+	for _, r := range res.Rows {
+		mqo += r.GBMQOReduction
+		opt += r.OptimalReduction
+	}
+	if mqo < opt-2.0 { // average gap under 20 points
+		t.Errorf("GB-MQO far from optimal: sums %.2f vs %.2f", mqo, opt)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	res, err := Figure10(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if r.Columns != 12*(i+1) {
+			t.Errorf("row %d columns = %d", i, r.Columns)
+		}
+		if i > 0 && r.OptimizerCalls <= res.Rows[i-1].OptimizerCalls {
+			t.Errorf("optimizer calls not growing: %d then %d", res.Rows[i-1].OptimizerCalls, r.OptimizerCalls)
+		}
+		if r.GBMQOScan >= r.NaiveScan {
+			t.Errorf("width %d: GB-MQO scanned %d rows, naive %d", r.Columns, r.GBMQOScan, r.NaiveScan)
+		}
+	}
+}
+
+func TestSection65Shape(t *testing.T) {
+	res, err := Section65(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		// Binary restriction must reduce optimization work (paper: ~30%).
+		if r.CallsBinary >= r.CallsAllTypes {
+			t.Errorf("%s: binary calls %d >= all-types calls %d", r.Dataset, r.CallsBinary, r.CallsAllTypes)
+		}
+		// And execution quality must stay in the same ballpark (paper: <10%;
+		// we allow 2x for timing noise at test scale).
+		if float64(r.TimeBinary) > 2*float64(r.TimeAllTypes)+float64(msOf(2)) {
+			t.Errorf("%s: binary plan much slower: %v vs %v", r.Dataset, r.TimeBinary, r.TimeAllTypes)
+		}
+	}
+}
+
+func msOf(n int) int64 { return int64(n) * 1_000_000 }
+
+func TestFigure11Shape(t *testing.T) {
+	res, err := Figure11(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 { // 4 datasets × 4 configs
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[string]Figure11Row{}
+	for _, r := range res.Rows {
+		byKey[r.Dataset+"/"+r.Config] = r
+	}
+	for _, ds := range []string{"tpch (sc)", "tpch (tc)", "sales (sc)", "sales (tc)"} {
+		none := byKey[ds+"/None"]
+		both := byKey[ds+"/S+M"]
+		if both.OptimizerCalls >= none.OptimizerCalls {
+			t.Errorf("%s: S+M calls %d >= None calls %d", ds, both.OptimizerCalls, none.OptimizerCalls)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	res, err := Figure12(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[string]Figure12Row{}
+	for _, r := range res.Rows {
+		byKey[r.Dataset+"/"+r.Workload] = r
+		if r.StatsTime <= 0 {
+			t.Errorf("%s %s: no statistics creation recorded", r.Dataset, r.Workload)
+		}
+	}
+	// The paper's claim is relative: "the statistics creation overhead
+	// appears to become smaller as the dataset becomes larger". The SC
+	// workload has robust savings at any scale; the TC rows' savings sit
+	// within timing noise at test scale, so the shrink assertion uses SC.
+	small := byKey["tpch-small/SC"]
+	large := byKey["tpch-large/SC"]
+	if small.Savings <= 0 || large.Savings <= 0 {
+		t.Fatalf("SC savings not positive: small %v, large %v", small.Savings, large.Savings)
+	}
+	if large.OverheadPct >= small.OverheadPct {
+		t.Errorf("SC overhead did not shrink with scale: small %.1f%%, large %.1f%%",
+			small.OverheadPct*100, large.OverheadPct*100)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	res, err := Figure13(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's shape: the advantage grows with skew (sparser columns merge
+	// better). Asserted on the deterministic work ratio.
+	first, last := res.Rows[0].WorkRatio, res.Rows[len(res.Rows)-1].WorkRatio
+	if last <= first {
+		t.Errorf("work ratio not growing with skew: z=0 %.2f, z=3 %.2f\n%s", first, last, res)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	res, err := Figure14(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 { // clustered-only + 10 steps
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0].GBMQOTime, res.Rows[len(res.Rows)-1].GBMQOTime
+	if last >= first {
+		t.Errorf("full physical design (%v) not faster than none (%v)\n%s", last, first, res)
+	}
+	// Plan adaptation: once l_receiptdate has its own index (step 1), it
+	// should become (and stay) a singleton.
+	if !res.Rows[1].ReceiptDateSingleton {
+		t.Errorf("receiptdate not singleton after its index\n%s", res)
+	}
+}
+
+func TestFigure6Storage(t *testing.T) {
+	res, err := Figure6(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FormulaBF != 18 || res.FormulaDF != 20 {
+		t.Fatalf("paper example: BF %.0f DF %.0f, want 18/20", res.FormulaBF, res.FormulaDF)
+	}
+	if res.MeasuredScheduled > res.MeasuredDepthFirst {
+		t.Fatalf("scheduled peak %.0f exceeds depth-first peak %.0f", res.MeasuredScheduled, res.MeasuredDepthFirst)
+	}
+	if !strings.Contains(res.String(), "18") {
+		t.Error("render missing formula value")
+	}
+}
+
+// TestExample1PlanShape anchors the paper's Example 1: on the SC workload
+// the chosen plan must (a) merge the correlated date columns into one
+// materialized intermediate, (b) merge low-cardinality flag-like columns into
+// another, and (c) compute the near-unique l_comment directly from the base
+// table (no merge can help it).
+func TestExample1PlanShape(t *testing.T) {
+	s := testScale()
+	li := lineitemSmall(s)
+	e := newEngine(s.Seed)
+	e.Catalog().Register(li)
+	p, _, _, err := e.Plan(engine.Request{
+		Table: li.Name(), Sets: singleSets(datagen.LineitemSC()),
+		Strategy: engine.StrategyGBMQO, Core: prunedGBMQO(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comment := colset.Of(datagen.LComment)
+	dates := colset.Of(datagen.LShipDate, datagen.LCommitDate, datagen.LReceiptDate)
+	lowCols := colset.Of(datagen.LReturnFlag, datagen.LLineStatus, datagen.LShipMode,
+		datagen.LShipInstruct, datagen.LQuantity, datagen.LLineNumber)
+
+	var commentFromBase, datesMerged, lowMerged bool
+	for _, r := range p.Roots {
+		if r.Set == comment && len(r.Children) == 0 {
+			commentFromBase = true
+		}
+		if r.Set.SubsetOf(dates) && r.Set.Len() >= 2 && r.IsIntermediate() {
+			datesMerged = true
+		}
+		if r.Set.SubsetOf(lowCols) && r.Set.Len() >= 2 && r.IsIntermediate() {
+			lowMerged = true
+		}
+	}
+	if !commentFromBase {
+		t.Errorf("l_comment not computed directly from base:\n%s", p)
+	}
+	if !datesMerged {
+		t.Errorf("date columns not merged into an intermediate:\n%s", p)
+	}
+	if !lowMerged {
+		t.Errorf("low-cardinality columns not merged:\n%s", p)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	s := testScale()
+	t2, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/datagen"
+	"gbmqo/internal/engine"
+)
+
+// Table2Row is one row of the paper's Table 2 (§6.1): GROUPING SETS vs
+// GB-MQO on the CONT and SC workloads. WorkRatio is the rows-scanned ratio, a
+// deterministic hardware-independent companion to the wall-clock speedup.
+type Table2Row struct {
+	Query      string
+	GrpSetTime time.Duration
+	GBMQOTime  time.Duration
+	Speedup    float64
+	GrpSetScan int64
+	GBMQOScan  int64
+	WorkRatio  float64
+}
+
+// Table2Result reproduces Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs the §6.1 comparison: the commercial GROUPING SETS emulation
+// against GB-MQO on TPC-H lineitem, for the containment-rich CONT input and
+// the non-overlapping SC input. The paper reports speedups of ~1.03 (CONT)
+// and ~4.5 (SC).
+func Table2(s Scale) (*Table2Result, error) {
+	li := lineitemSmall(s)
+	e := newEngine(s.Seed)
+	e.Catalog().Register(li)
+
+	var contSets []colset.Set
+	for _, cols := range datagen.LineitemCONT() {
+		contSets = append(contSets, colset.Of(cols...))
+	}
+	scSets := singleSets(datagen.LineitemSC())
+
+	out := &Table2Result{}
+	for _, w := range []struct {
+		name string
+		sets []colset.Set
+	}{{"CONT", contSets}, {"SC", scSets}} {
+		gs, gsRes, err := measure(e, engine.Request{Table: li.Name(), Sets: w.sets, Strategy: engine.StrategyGroupingSets})
+		if err != nil {
+			return nil, err
+		}
+		mqo, mqoRes, err := measure(e, engine.Request{Table: li.Name(), Sets: w.sets, Strategy: engine.StrategyGBMQO, Core: prunedGBMQO()})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table2Row{
+			Query: w.name, GrpSetTime: gs, GBMQOTime: mqo, Speedup: speedup(gs, mqo),
+			GrpSetScan: gsRes.Report.RowsScanned, GBMQOScan: mqoRes.Report.RowsScanned,
+			WorkRatio: float64(gsRes.Report.RowsScanned) / float64(mqoRes.Report.RowsScanned),
+		})
+	}
+	return out, nil
+}
+
+// String renders Table 2.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Speedup over GROUPING SETS (TPC-H lineitem)\n")
+	fmt.Fprintf(&b, "%-6s %14s %14s %9s %10s\n", "Query", "GrpSet Time", "GB-MQO Time", "Speedup", "Work ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %14s %14s %8.2fx %9.2fx\n", row.Query,
+			row.GrpSetTime.Round(time.Microsecond), row.GBMQOTime.Round(time.Microsecond),
+			row.Speedup, row.WorkRatio)
+	}
+	return b.String()
+}
+
+// Table3Row is one row of Table 3 (§6.2): GB-MQO speedup over the naïve plan
+// per dataset and workload.
+type Table3Row struct {
+	Dataset   string
+	Workload  string // SC or TC
+	NumGroups int
+	NaiveTime time.Duration
+	GBMQOTime time.Duration
+	Speedup   float64
+	NaiveScan int64
+	GBMQOScan int64
+	// WorkRatio is the deterministic rows-scanned ratio.
+	WorkRatio float64
+}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs single-column (SC) and two-column (TC) workloads over the four
+// datasets, comparing GB-MQO against the naïve plan. The paper reports
+// speedups of 1.9–4.5.
+func Table3(s Scale) (*Table3Result, error) {
+	out := &Table3Result{}
+	datasets := []struct {
+		name string
+		get  func() (string, *engine.Engine, []int)
+	}{
+		{"sales", func() (string, *engine.Engine, []int) {
+			t := salesTable(s)
+			e := newEngine(s.Seed)
+			e.Catalog().Register(t)
+			return t.Name(), e, datagen.SalesSC()
+		}},
+		{"nref", func() (string, *engine.Engine, []int) {
+			t := nrefTable(s)
+			e := newEngine(s.Seed)
+			e.Catalog().Register(t)
+			return t.Name(), e, datagen.NRefSC()
+		}},
+		{"tpch-large", func() (string, *engine.Engine, []int) {
+			t := lineitemLarge(s)
+			e := newEngine(s.Seed)
+			e.Catalog().Register(t)
+			return t.Name(), e, datagen.LineitemSC()
+		}},
+		{"tpch-small", func() (string, *engine.Engine, []int) {
+			t := lineitemSmall(s)
+			e := newEngine(s.Seed)
+			e.Catalog().Register(t)
+			return t.Name(), e, datagen.LineitemSC()
+		}},
+	}
+	for _, d := range datasets {
+		name, e, ords := d.get()
+		for _, w := range []struct {
+			kind string
+			sets []colset.Set
+		}{{"SC", singleSets(ords)}, {"TC", pairSets(ords)}} {
+			naive, nRes, err := measure(e, engine.Request{Table: name, Sets: w.sets, Strategy: engine.StrategyNaive})
+			if err != nil {
+				return nil, err
+			}
+			mqo, mRes, err := measure(e, engine.Request{Table: name, Sets: w.sets, Strategy: engine.StrategyGBMQO, Core: prunedGBMQO()})
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, Table3Row{
+				Dataset: d.name, Workload: w.kind, NumGroups: len(w.sets),
+				NaiveTime: naive, GBMQOTime: mqo, Speedup: speedup(naive, mqo),
+				NaiveScan: nRes.Report.RowsScanned, GBMQOScan: mRes.Report.RowsScanned,
+				WorkRatio: float64(nRes.Report.RowsScanned) / float64(mRes.Report.RowsScanned),
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders Table 3.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3. Speedup over naive plan on different datasets\n")
+	fmt.Fprintf(&b, "%-12s %-4s %8s %14s %14s %9s %10s\n", "Dataset", "WL", "#GrBys", "Naive", "GB-MQO", "Speedup", "Work ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %-4s %8d %14s %14s %8.2fx %9.2fx\n",
+			row.Dataset, row.Workload, row.NumGroups,
+			row.NaiveTime.Round(time.Microsecond), row.GBMQOTime.Round(time.Microsecond),
+			row.Speedup, row.WorkRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/table"
+)
+
+func twoColTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.New("t", []table.ColumnDef{
+		{Name: "a", Typ: table.TInt64},
+		{Name: "b", Typ: table.TString},
+	})
+	rows := []struct {
+		a int64
+		b string
+	}{
+		{3, "x"}, {1, "y"}, {3, "x"}, {2, "z"}, {1, "y"}, {3, "w"},
+	}
+	for _, r := range rows {
+		tb.AppendRow(table.Int(r.a), table.Str(r.b))
+	}
+	return tb
+}
+
+func TestBuildSortsAndBounds(t *testing.T) {
+	tb := twoColTable(t)
+	ix := Build(tb, "ix_ab", []int{0, 1}, false)
+	if ix.NumGroups() != 4 { // (1,y) (2,z) (3,w) (3,x)
+		t.Fatalf("groups = %d, want 4", ix.NumGroups())
+	}
+	// Permutation must be sorted by (a, b).
+	perm := ix.Perm()
+	for i := 1; i < len(perm); i++ {
+		pa, pb := perm[i-1], perm[i]
+		va, vb := tb.Col(0).Value(int(pa)), tb.Col(0).Value(int(pb))
+		c := va.Compare(vb)
+		if c > 0 {
+			t.Fatalf("perm not sorted on a at %d", i)
+		}
+		if c == 0 {
+			if tb.Col(1).Value(int(pa)).Compare(tb.Col(1).Value(int(pb))) > 0 {
+				t.Fatalf("perm not sorted on b at %d", i)
+			}
+		}
+	}
+	// Bounds must partition [0, rows).
+	b := ix.Bounds()
+	if b[0] != 0 || b[len(b)-1] != int32(tb.NumRows()) {
+		t.Fatalf("bounds ends = %v", b)
+	}
+	if !sort.SliceIsSorted(b, func(i, j int) bool { return b[i] < b[j] }) {
+		t.Fatalf("bounds unsorted: %v", b)
+	}
+	// Group sizes: (1,y)x2 (2,z)x1 (3,w)x1 (3,x)x2.
+	sizes := []int32{}
+	for i := 1; i < len(b); i++ {
+		sizes = append(sizes, b[i]-b[i-1])
+	}
+	wantSizes := []int32{2, 1, 1, 2}
+	for i := range sizes {
+		if sizes[i] != wantSizes[i] {
+			t.Fatalf("group sizes = %v, want %v", sizes, wantSizes)
+		}
+	}
+}
+
+func TestPrefixLen(t *testing.T) {
+	tb := twoColTable(t)
+	ix := Build(tb, "ix", []int{0, 1}, false)
+	if got := ix.PrefixLen(colset.Of(0)); got != 1 {
+		t.Errorf("PrefixLen({a}) = %d, want 1", got)
+	}
+	if got := ix.PrefixLen(colset.Of(0, 1)); got != 2 {
+		t.Errorf("PrefixLen({a,b}) = %d, want 2", got)
+	}
+	if got := ix.PrefixLen(colset.Of(1)); got != 0 {
+		t.Errorf("PrefixLen({b}) = %d, want 0 (not a prefix)", got)
+	}
+	if got := ix.PrefixLen(colset.Of(0, 1, 2)); got != 0 {
+		t.Errorf("PrefixLen(superset) = %d, want 0", got)
+	}
+	if !ix.ExactMatch(colset.Of(0, 1)) || ix.ExactMatch(colset.Of(0)) {
+		t.Error("ExactMatch wrong")
+	}
+}
+
+func TestBuildEmptyKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty key")
+		}
+	}()
+	Build(twoColTable(t), "bad", nil, false)
+}
+
+func TestBestFor(t *testing.T) {
+	tb := twoColTable(t)
+	ixA := Build(tb, "ix_a", []int{0}, false)
+	ixAB := Build(tb, "ix_ab", []int{0, 1}, false)
+	ixB := Build(tb, "ix_b", []int{1}, true)
+	all := []*Index{ixA, ixAB, ixB}
+
+	// Exact match beats prefix: Group By {a} should pick ix_a over ix_ab.
+	if got := BestFor(all, colset.Of(0)); got != ixA {
+		t.Errorf("BestFor({a}) = %v", got)
+	}
+	if got := BestFor(all, colset.Of(0, 1)); got != ixAB {
+		t.Errorf("BestFor({a,b}) = %v", got)
+	}
+	if got := BestFor(all, colset.Of(1)); got != ixB {
+		t.Errorf("BestFor({b}) = %v", got)
+	}
+	if got := BestFor(all, colset.Of(2)); got != nil {
+		t.Errorf("BestFor(unindexed) = %v, want nil", got)
+	}
+	if got := BestFor(nil, colset.Of(0)); got != nil {
+		t.Errorf("BestFor(no indexes) = %v", got)
+	}
+}
+
+func TestBestForPrefersLongerPrefix(t *testing.T) {
+	tb := table.New("t3", []table.ColumnDef{
+		{Name: "a", Typ: table.TInt64},
+		{Name: "b", Typ: table.TInt64},
+		{Name: "c", Typ: table.TInt64},
+	})
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		tb.AppendRow(table.Int(int64(r.Intn(5))), table.Int(int64(r.Intn(5))), table.Int(int64(r.Intn(5))))
+	}
+	ixABC := Build(tb, "abc", []int{0, 1, 2}, false)
+	ixAB := Build(tb, "ab", []int{0, 1}, false)
+	// For Group By {a,b}: ixAB is exact, ixABC only prefix — exact wins.
+	if got := BestFor([]*Index{ixABC, ixAB}, colset.Of(0, 1)); got != ixAB {
+		t.Errorf("exact match should win: got %v", got)
+	}
+}
+
+func TestClusteredFlagAndString(t *testing.T) {
+	tb := twoColTable(t)
+	c := Build(tb, "pk", []int{0}, true)
+	n := Build(tb, "nc", []int{1}, false)
+	if !c.Clustered() || n.Clustered() {
+		t.Fatal("clustered flags wrong")
+	}
+	if !strings.Contains(c.String(), "clustered") || !strings.Contains(n.String(), "nonclustered") {
+		t.Fatalf("String() = %q / %q", c.String(), n.String())
+	}
+	if c.TableName() != "t" || c.Name() != "pk" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestColsCopy(t *testing.T) {
+	tb := twoColTable(t)
+	ix := Build(tb, "ix", []int{0, 1}, false)
+	cols := ix.Cols()
+	cols[0] = 99
+	if ix.Cols()[0] == 99 {
+		t.Fatal("Cols() exposed internal slice")
+	}
+}
+
+func TestBoundsMatchDistinctGroups(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	tb := table.New("t", []table.ColumnDef{
+		{Name: "a", Typ: table.TInt64},
+		{Name: "b", Typ: table.TInt64},
+	})
+	for i := 0; i < 5000; i++ {
+		tb.AppendRow(table.Int(int64(r.Intn(30))), table.Int(int64(r.Intn(30))))
+	}
+	ix := Build(tb, "ix", []int{0, 1}, false)
+	// Count exact distinct pairs.
+	seen := map[[2]uint32]bool{}
+	for i := 0; i < tb.NumRows(); i++ {
+		seen[[2]uint32{tb.Col(0).Code(i), tb.Col(1).Code(i)}] = true
+	}
+	if ix.NumGroups() != len(seen) {
+		t.Fatalf("index groups = %d, distinct pairs = %d", ix.NumGroups(), len(seen))
+	}
+	// Every group must be homogeneous.
+	b := ix.Bounds()
+	perm := ix.Perm()
+	for g := 0; g < ix.NumGroups(); g++ {
+		first := perm[b[g]]
+		for i := b[g] + 1; i < b[g+1]; i++ {
+			if tb.Col(0).Code(int(perm[i])) != tb.Col(0).Code(int(first)) ||
+				tb.Col(1).Code(int(perm[i])) != tb.Col(1).Code(int(first)) {
+				t.Fatalf("group %d not homogeneous", g)
+			}
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+)
+
+// fakeModel is a deterministic cost.Model for plan tests: base has 1000 rows
+// and NDV(set) = 10 · 2^|set|; edge cost = |parent| (+ materialization bytes
+// when asked to, so Materialize matters).
+type fakeModel struct {
+	calls       int
+	chargeWrite bool
+}
+
+func (m *fakeModel) Name() string { return "fake" }
+func (m *fakeModel) Calls() int   { return m.calls }
+func (m *fakeModel) ResetCalls()  { m.calls = 0 }
+
+func fakeRows(set colset.Set) float64 { return 10 * float64(int(1)<<uint(set.Len())) }
+
+func (m *fakeModel) EdgeCost(e cost.Edge) float64 {
+	m.calls++
+	c := 1000.0
+	if !e.ParentIsBase {
+		c = fakeRows(e.Parent)
+	}
+	if m.chargeWrite && e.Materialize {
+		c += fakeRows(e.V)
+	}
+	return c
+}
+
+func reqSets() []colset.Set {
+	return []colset.Set{colset.Of(0), colset.Of(1), colset.Of(2), colset.Of(0, 2)}
+}
+
+func TestNaivePlan(t *testing.T) {
+	p := Naive("R", []string{"A", "B", "C", "D"}, reqSets())
+	if len(p.Roots) != 4 {
+		t.Fatalf("naive roots = %d", len(p.Roots))
+	}
+	if err := p.Validate(reqSets()); err != nil {
+		t.Fatalf("naive plan invalid: %v", err)
+	}
+	m := &fakeModel{}
+	// Four edges from base: 4 × 1000.
+	if got := p.Cost(m, 1); got != 4000 {
+		t.Fatalf("naive cost = %v, want 4000", got)
+	}
+}
+
+// figure2P2 builds plan P2 from the paper's Figure 2: (AB) materialized
+// feeding (A) and (B); (AC) required and materialized feeding (C).
+func figure2P2() *Plan {
+	ab := NewNode(colset.Of(0, 1), false)
+	ab.Children = []*Node{NewNode(colset.Of(0), true), NewNode(colset.Of(1), true)}
+	ac := NewNode(colset.Of(0, 2), true)
+	ac.Children = []*Node{NewNode(colset.Of(2), true)}
+	return &Plan{BaseName: "R", ColNames: []string{"A", "B", "C", "D"}, Roots: []*Node{ab, ac}}
+}
+
+func TestFigure2PlanValidatesAndCosts(t *testing.T) {
+	p := figure2P2()
+	if err := p.Validate(reqSets()); err != nil {
+		t.Fatalf("figure-2 plan invalid: %v", err)
+	}
+	m := &fakeModel{}
+	// Edges: R→AB (1000), AB→A (40), AB→B (40), R→AC (1000), AC→C (40).
+	if got := p.Cost(m, 1); got != 2120 {
+		t.Fatalf("cost = %v, want 2120", got)
+	}
+	if m.Calls() != 5 {
+		t.Fatalf("edge costings = %d, want 5", m.Calls())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := figure2P2()
+	c := p.Clone()
+	c.Roots[0].Children[0].Required = false
+	c.Roots[0].Children = c.Roots[0].Children[:1]
+	if !p.Roots[0].Children[0].Required || len(p.Roots[0].Children) != 2 {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestValidateRejectsDuplicateSet(t *testing.T) {
+	a1, a2 := NewNode(colset.Of(0), true), NewNode(colset.Of(0), false)
+	ab := NewNode(colset.Of(0, 1), false)
+	ab.Children = []*Node{a2}
+	p := &Plan{BaseName: "R", Roots: []*Node{a1, ab}}
+	if err := p.Validate([]colset.Set{colset.Of(0)}); err == nil {
+		t.Fatal("duplicate set accepted")
+	}
+}
+
+func TestValidateRejectsNonSubsetChild(t *testing.T) {
+	ab := NewNode(colset.Of(0, 1), false)
+	ab.Children = []*Node{NewNode(colset.Of(2), true)}
+	p := &Plan{BaseName: "R", Roots: []*Node{ab}}
+	if err := p.Validate([]colset.Set{colset.Of(2)}); err == nil {
+		t.Fatal("non-subset child accepted")
+	}
+}
+
+func TestValidateRejectsEqualChild(t *testing.T) {
+	ab := NewNode(colset.Of(0, 1), false)
+	ab.Children = []*Node{NewNode(colset.Of(0, 1), true)}
+	p := &Plan{BaseName: "R", Roots: []*Node{ab}}
+	if err := p.Validate([]colset.Set{colset.Of(0, 1)}); err == nil {
+		t.Fatal("child equal to parent accepted")
+	}
+}
+
+func TestValidateRejectsMissingRequired(t *testing.T) {
+	p := Naive("R", nil, []colset.Set{colset.Of(0)})
+	if err := p.Validate([]colset.Set{colset.Of(0), colset.Of(1)}); err == nil {
+		t.Fatal("missing required set accepted")
+	}
+}
+
+func TestValidateRejectsWrongRequired(t *testing.T) {
+	p := Naive("R", nil, []colset.Set{colset.Of(0)})
+	if err := p.Validate([]colset.Set{colset.Of(1)}); err == nil {
+		t.Fatal("wrong required set accepted")
+	}
+}
+
+func TestValidateRejectsEmptySet(t *testing.T) {
+	p := &Plan{BaseName: "R", Roots: []*Node{NewNode(colset.Set(0), true)}}
+	if err := p.Validate([]colset.Set{colset.Set(0)}); err == nil {
+		t.Fatal("empty grouping set accepted")
+	}
+}
+
+func TestNormalizeDeterministic(t *testing.T) {
+	p := figure2P2()
+	// Shuffle roots/children then normalize.
+	p.Roots[0], p.Roots[1] = p.Roots[1], p.Roots[0]
+	p.Roots[1].Children[0], p.Roots[1].Children[1] = p.Roots[1].Children[1], p.Roots[1].Children[0]
+	p.Normalize()
+	q := figure2P2()
+	q.Normalize()
+	if p.String() != q.String() {
+		t.Fatalf("normalize not canonical:\n%s\nvs\n%s", p, q)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := figure2P2()
+	s := p.String()
+	for _, want := range []string{"(A, B) [materialized]", "(A) *", "(A, C) * [materialized]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIsIntermediateAndCounts(t *testing.T) {
+	p := figure2P2()
+	if !p.Roots[0].IsIntermediate() || p.Roots[0].Children[0].IsIntermediate() {
+		t.Fatal("IsIntermediate wrong")
+	}
+	if got := p.Roots[0].CountNodes(); got != 3 {
+		t.Fatalf("CountNodes = %d", got)
+	}
+}
+
+// figure6Tree reproduces the paper's Figure 6 sub-plan with its storage
+// numbers: ABCD(10) → {ABC(6) → {AB(4), BC, AC}, BCD(2) → {BD, CD}}.
+func figure6Tree() (*Node, SizeFn) {
+	abcd := NewNode(colset.Of(0, 1, 2, 3), false)
+	abc := NewNode(colset.Of(0, 1, 2), false)
+	bcd := NewNode(colset.Of(1, 2, 3), false)
+	ab := NewNode(colset.Of(0, 1), true)
+	bc := NewNode(colset.Of(1, 2), true)
+	ac := NewNode(colset.Of(0, 2), true)
+	bd := NewNode(colset.Of(1, 3), true)
+	cd := NewNode(colset.Of(2, 3), true)
+	abc.Children = []*Node{ab, bc, ac}
+	bcd.Children = []*Node{bd, cd}
+	abcd.Children = []*Node{abc, bcd}
+	sizes := map[colset.Set]float64{
+		abcd.Set: 10, abc.Set: 6, bcd.Set: 2,
+		ab.Set: 4, bc.Set: 1, ac.Set: 1, bd.Set: 1, cd.Set: 1,
+	}
+	return abcd, func(s colset.Set) float64 { return sizes[s] }
+}
+
+func TestFigure6StorageFormula(t *testing.T) {
+	root, size := figure6Tree()
+	marks := map[*Node]Traversal{}
+	got := MinStorage(root, size, marks)
+	// Paper: breadth-first at (ABCD) gives 18 (10+6+2); depth-first gives 20
+	// (10+6+4). The formula must choose 18 and mark (ABCD) breadth-first.
+	if got != 18 {
+		t.Fatalf("MinStorage = %v, want 18", got)
+	}
+	if marks[root] != BreadthFirst {
+		t.Fatalf("root marked %v, want BF", marks[root])
+	}
+}
+
+func TestFigure6ScheduleSimulation(t *testing.T) {
+	root, size := figure6Tree()
+	p := &Plan{BaseName: "R", Roots: []*Node{root}}
+	steps := Schedule(p, size)
+	peak, err := SimulatePeak(steps, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 18 {
+		t.Fatalf("simulated peak = %v, want 18", peak)
+	}
+	// Force all-DF by inverting marks: simulate manually with a DF schedule.
+	dfSteps := depthFirstSchedule(p)
+	dfPeak, err := SimulatePeak(dfSteps, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfPeak != 20 {
+		t.Fatalf("pure-DF peak = %v, want 20", dfPeak)
+	}
+}
+
+// depthFirstSchedule builds the naive depth-first order for comparison.
+func depthFirstSchedule(p *Plan) []Step {
+	var steps []Step
+	var walk func(n *Node, parent *Node)
+	walk = func(n *Node, parent *Node) {
+		steps = append(steps, Step{Kind: StepCompute, Node: n, Parent: parent})
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+		if n.IsIntermediate() {
+			steps = append(steps, Step{Kind: StepDrop, Node: n})
+		}
+	}
+	for _, r := range p.Roots {
+		walk(r, nil)
+	}
+	return steps
+}
+
+func TestScheduleInvariants(t *testing.T) {
+	p := figure2P2()
+	size := func(s colset.Set) float64 { return fakeRows(s) }
+	steps := Schedule(p, size)
+	computed := map[colset.Set]bool{}
+	dropped := map[colset.Set]bool{}
+	childrenDone := map[colset.Set]int{}
+	wantChildren := map[colset.Set]int{}
+	p.Roots[0].Walk(func(n *Node) { wantChildren[n.Set] = len(n.Children) })
+	p.Roots[1].Walk(func(n *Node) { wantChildren[n.Set] = len(n.Children) })
+	for _, s := range steps {
+		switch s.Kind {
+		case StepCompute:
+			if computed[s.Node.Set] {
+				t.Fatalf("%s computed twice", s.Node.Set)
+			}
+			if s.Parent != nil {
+				if !computed[s.Parent.Set] || dropped[s.Parent.Set] {
+					t.Fatalf("%s computed from unavailable parent", s.Node.Set)
+				}
+				childrenDone[s.Parent.Set]++
+			}
+			computed[s.Node.Set] = true
+		case StepDrop:
+			if dropped[s.Node.Set] {
+				t.Fatalf("%s dropped twice", s.Node.Set)
+			}
+			if childrenDone[s.Node.Set] != wantChildren[s.Node.Set] {
+				t.Fatalf("%s dropped before all children computed", s.Node.Set)
+			}
+			dropped[s.Node.Set] = true
+		}
+	}
+	for set, n := range wantChildren {
+		if !computed[set] {
+			t.Fatalf("%s never computed", set)
+		}
+		if n > 0 && !dropped[set] {
+			t.Fatalf("intermediate %s never dropped", set)
+		}
+	}
+}
+
+func TestSimulatePeakRejectsMalformed(t *testing.T) {
+	a := NewNode(colset.Of(0), true)
+	size := func(colset.Set) float64 { return 1 }
+	// Drop without compute.
+	if _, err := SimulatePeak([]Step{{Kind: StepDrop, Node: a}}, size); err == nil {
+		t.Error("drop-before-compute accepted")
+	}
+	// Double compute.
+	if _, err := SimulatePeak([]Step{
+		{Kind: StepCompute, Node: a}, {Kind: StepCompute, Node: a},
+	}, size); err == nil {
+		t.Error("double compute accepted")
+	}
+	// Never-dropped intermediate.
+	ab := NewNode(colset.Of(0, 1), false)
+	ab.Children = []*Node{NewNode(colset.Of(1), true)}
+	if _, err := SimulatePeak([]Step{{Kind: StepCompute, Node: ab}}, size); err == nil {
+		t.Error("undropped intermediate accepted")
+	}
+}
+
+func TestFitsStorageBudget(t *testing.T) {
+	root, size := figure6Tree()
+	p := &Plan{BaseName: "R", Roots: []*Node{root}}
+	if !FitsStorageBudget(p, size, 18) {
+		t.Error("plan should fit budget 18")
+	}
+	if FitsStorageBudget(p, size, 17) {
+		t.Error("plan should not fit budget 17")
+	}
+}
+
+func TestEmitSQL(t *testing.T) {
+	p := figure2P2()
+	size := func(s colset.Set) float64 { return fakeRows(s) }
+	stmts := EmitSQL(p, size, SQLOptions{})
+	joined := strings.Join(stmts, "\n")
+	// Intermediate (A,B) goes INTO a temp table and is later dropped.
+	if !strings.Contains(joined, "INTO tmp_gb_0_1") || !strings.Contains(joined, "DROP TABLE tmp_gb_0_1;") {
+		t.Fatalf("missing temp-table lifecycle:\n%s", joined)
+	}
+	// First-level query uses COUNT(*), second-level SUM(cnt) (§5.2).
+	if !strings.Contains(joined, "SELECT A, B, COUNT(*) AS cnt INTO tmp_gb_0_1 FROM R GROUP BY A, B;") {
+		t.Fatalf("bad first-level SQL:\n%s", joined)
+	}
+	if !strings.Contains(joined, "SELECT A, SUM(cnt) AS cnt FROM tmp_gb_0_1 GROUP BY A;") {
+		t.Fatalf("bad rollup SQL:\n%s", joined)
+	}
+	// (A,C) is required AND materialized: its stored result is emitted.
+	if !strings.Contains(joined, "SELECT * FROM tmp_gb_0_2;") {
+		t.Fatalf("required intermediate not emitted:\n%s", joined)
+	}
+}
+
+func TestEmitSQLCubeAndRollup(t *testing.T) {
+	cube := NewNode(colset.Of(0, 1), false)
+	cube.Op = OpCube
+	cube.Children = []*Node{NewNode(colset.Of(0), true), NewNode(colset.Of(1), true)}
+	roll := NewNode(colset.Of(2, 3), false)
+	roll.Op = OpRollup
+	roll.RollupOrder = []int{2, 3}
+	roll.Children = []*Node{NewNode(colset.Of(2), true)}
+	p := &Plan{BaseName: "R", ColNames: []string{"A", "B", "C", "D"},
+		Roots: []*Node{cube, roll}}
+	stmts := EmitSQL(p, func(colset.Set) float64 { return 1 }, SQLOptions{})
+	joined := strings.Join(stmts, "\n")
+	if !strings.Contains(joined, "GROUP BY CUBE(A, B)") {
+		t.Fatalf("missing CUBE:\n%s", joined)
+	}
+	if !strings.Contains(joined, "GROUP BY ROLLUP(C, D)") {
+		t.Fatalf("missing ROLLUP:\n%s", joined)
+	}
+}
+
+func TestCubeCoversChildrenCostFree(t *testing.T) {
+	// CUBE(A,B) with required children (A) and (B): the children edges must
+	// not be charged, but the cube's covered sets are.
+	cube := NewNode(colset.Of(0, 1), false)
+	cube.Op = OpCube
+	cube.Children = []*Node{NewNode(colset.Of(0), true), NewNode(colset.Of(1), true)}
+	p := &Plan{BaseName: "R", Roots: []*Node{cube}}
+	m := &fakeModel{}
+	got := p.Cost(m, 1)
+	// Edge R→AB = 1000; covered subsets of AB excluding AB: (A), (B) each
+	// priced as computed from AB: 2 × fakeRows(AB) = 2 × 40.
+	if got != 1080 {
+		t.Fatalf("cube cost = %v, want 1080", got)
+	}
+}
+
+func TestRollupCoverage(t *testing.T) {
+	roll := NewNode(colset.Of(0, 1), false)
+	roll.Op = OpRollup
+	roll.RollupOrder = []int{0, 1}
+	if !Covered(roll, colset.Of(0)) {
+		t.Error("prefix (A) should be covered")
+	}
+	if Covered(roll, colset.Of(1)) {
+		t.Error("(B) is not a prefix of rollup (A, B)")
+	}
+	plain := NewNode(colset.Of(0, 1), false)
+	if Covered(plain, colset.Of(0)) {
+		t.Error("plain Group By covers nothing")
+	}
+}
+
+func TestTempName(t *testing.T) {
+	if got := TempName(colset.Of(0, 2, 5)); got != "tmp_gb_0_2_5" {
+		t.Fatalf("TempName = %q", got)
+	}
+}
+
+func TestTraversalString(t *testing.T) {
+	if BreadthFirst.String() != "BF" || DepthFirst.String() != "DF" {
+		t.Fatal("traversal names wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGroupBy.String() != "GROUP BY" || OpCube.String() != "CUBE" || OpRollup.String() != "ROLLUP" {
+		t.Fatal("op names wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"gbmqo/internal/colset"
+)
+
+// SQLOptions configures SQL emission.
+type SQLOptions struct {
+	// CountCol is the aggregate column name (default "cnt").
+	CountCol string
+}
+
+// EmitSQL renders the plan as the sequence of SQL statements a client-side
+// implementation would submit (§5.2): `SELECT … INTO tmp …` for intermediate
+// nodes, plain SELECTs for required leaves, COUNT(*) replaced by SUM(cnt)
+// when reading from an intermediate, and DROP TABLE once a temp table's
+// children are all computed. Statements follow the §4.4 storage-minimizing
+// schedule.
+func EmitSQL(p *Plan, size SizeFn, opts SQLOptions) []string {
+	if opts.CountCol == "" {
+		opts.CountCol = "cnt"
+	}
+	steps := Schedule(p, size)
+	var stmts []string
+	for _, s := range steps {
+		switch s.Kind {
+		case StepCompute:
+			stmts = append(stmts, computeSQL(p, s, opts))
+			if s.Node.Required && s.Node.IsIntermediate() {
+				// Materialized *and* required: emit the stored result too.
+				stmts = append(stmts, fmt.Sprintf("SELECT * FROM %s;", TempName(s.Node.Set)))
+			}
+		case StepDrop:
+			stmts = append(stmts, fmt.Sprintf("DROP TABLE %s;", TempName(s.Node.Set)))
+		}
+	}
+	return stmts
+}
+
+func computeSQL(p *Plan, s Step, opts SQLOptions) string {
+	cols := columnList(p, s.Node.Set)
+	fromBase := s.Parent == nil
+	src := p.BaseName
+	agg := "COUNT(*)"
+	if !fromBase {
+		src = TempName(s.Parent.Set)
+		agg = fmt.Sprintf("SUM(%s)", opts.CountCol)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(cols)
+	fmt.Fprintf(&b, ", %s AS %s", agg, opts.CountCol)
+	if s.Node.IsIntermediate() {
+		fmt.Fprintf(&b, " INTO %s", TempName(s.Node.Set))
+	}
+	fmt.Fprintf(&b, " FROM %s", src)
+	switch s.Node.Op {
+	case OpCube:
+		fmt.Fprintf(&b, " GROUP BY CUBE(%s);", cols)
+	case OpRollup:
+		names := make([]string, len(s.Node.RollupOrder))
+		for i, c := range s.Node.RollupOrder {
+			names[i] = colName(p, c)
+		}
+		fmt.Fprintf(&b, " GROUP BY ROLLUP(%s);", strings.Join(names, ", "))
+	default:
+		fmt.Fprintf(&b, " GROUP BY %s;", cols)
+	}
+	return b.String()
+}
+
+func columnList(p *Plan, set colset.Set) string {
+	cols := set.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = colName(p, c)
+	}
+	return strings.Join(names, ", ")
+}
+
+func colName(p *Plan, c int) string {
+	if c < len(p.ColNames) {
+		return p.ColNames[c]
+	}
+	return fmt.Sprintf("c%d", c)
+}

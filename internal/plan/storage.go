@@ -1,0 +1,275 @@
+package plan
+
+import (
+	"fmt"
+
+	"gbmqo/internal/colset"
+)
+
+// SizeFn estimates the materialized size in bytes (or any consistent unit) of
+// a Group By node's result.
+type SizeFn func(set colset.Set) float64
+
+// Traversal is the per-node execution strategy of §4.4.1: breadth-first
+// computes all of a node's children before dropping it; depth-first descends
+// into each child's subtree in turn and keeps the node alive throughout.
+type Traversal int
+
+// Traversal strategies.
+const (
+	BreadthFirst Traversal = iota
+	DepthFirst
+)
+
+// String renders the strategy.
+func (t Traversal) String() string {
+	if t == BreadthFirst {
+		return "BF"
+	}
+	return "DF"
+}
+
+// MinStorage evaluates the paper's recursive formula
+//
+//	Storage(u) = d(u) + min( Σ_i d(v_i),  max_i Storage(v_i) )
+//
+// bottom-up over a subtree and records the per-node BF/DF marking that
+// attains it. marks may be nil when only the value is needed.
+func MinStorage(n *Node, size SizeFn, marks map[*Node]Traversal) float64 {
+	d := size(n.Set)
+	if len(n.Children) == 0 {
+		return d
+	}
+	sumChildren := 0.0
+	maxChild := 0.0
+	for _, c := range n.Children {
+		sumChildren += size(c.Set)
+		if s := MinStorage(c, size, marks); s > maxChild {
+			maxChild = s
+		}
+	}
+	bf := d + sumChildren
+	df := d + maxChild
+	if marks != nil {
+		if bf <= df {
+			marks[n] = BreadthFirst
+		} else {
+			marks[n] = DepthFirst
+		}
+	}
+	if bf <= df {
+		return bf
+	}
+	return df
+}
+
+// PlanMinStorage evaluates the formula across all sub-plans; sub-plans run
+// sequentially, so the plan value is the max over them.
+func PlanMinStorage(p *Plan, size SizeFn, marks map[*Node]Traversal) float64 {
+	peak := 0.0
+	for _, r := range p.Roots {
+		if s := MinStorage(r, size, marks); s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// ExactMinStorage evaluates the *exact* peak intermediate storage of the
+// best per-node BF/DF execution, fixing a blind spot in the paper's §4.4.1
+// recursion: the paper's breadth-first term d(u) + Σ d(vᵢ) ignores that
+// while child i's subtree is being processed, its not-yet-processed siblings
+// are still materialized. The exact recursion is
+//
+//	P_DF(u) = d(u) + maxᵢ P(vᵢ)
+//	P_BF(u) = max( d(u) + maxᵢ (Σ_{j<i, int} d(vⱼ) + d(vᵢ)),     — build phase
+//	               maxᵢ (P(vᵢ) + Σ_{j>i, int} d(vⱼ)) )           — drain phase
+//	P(u)    = min(P_DF(u), P_BF(u))
+//
+// where "int" restricts to intermediate children (leaves are transient).
+// Schedule uses these markings, so the generated order's simulated peak
+// equals this value exactly. MinStorage remains available as the paper's
+// original estimate.
+func ExactMinStorage(n *Node, size SizeFn, marks map[*Node]Traversal) float64 {
+	d := size(n.Set)
+	if len(n.Children) == 0 {
+		return d
+	}
+	childPeaks := make([]float64, len(n.Children))
+	for i, c := range n.Children {
+		childPeaks[i] = ExactMinStorage(c, size, marks)
+	}
+	intSize := func(c *Node) float64 {
+		if c.IsIntermediate() {
+			return size(c.Set)
+		}
+		return 0
+	}
+	// Depth-first: children processed (and freed) one at a time under u.
+	df := 0.0
+	for _, p := range childPeaks {
+		if p > df {
+			df = p
+		}
+	}
+	df += d
+
+	// Breadth-first build phase: children materialize one by one under u.
+	build := 0.0
+	retained := 0.0
+	for _, c := range n.Children {
+		if cand := retained + size(c.Set); cand > build {
+			build = cand
+		}
+		retained += intSize(c)
+	}
+	build += d
+	// Drain phase: u dropped; intermediate child i processes its own subtree
+	// while later siblings remain materialized (leaf children have nothing to
+	// process and contribute only their retained size).
+	drain := 0.0
+	suffix := 0.0
+	for i := len(n.Children) - 1; i >= 0; i-- {
+		if n.Children[i].IsIntermediate() {
+			if cand := childPeaks[i] + suffix; cand > drain {
+				drain = cand
+			}
+		}
+		suffix += intSize(n.Children[i])
+	}
+	bf := build
+	if drain > bf {
+		bf = drain
+	}
+
+	if marks != nil {
+		if bf <= df {
+			marks[n] = BreadthFirst
+		} else {
+			marks[n] = DepthFirst
+		}
+	}
+	if bf <= df {
+		return bf
+	}
+	return df
+}
+
+// StepKind distinguishes schedule actions.
+type StepKind int
+
+// Schedule step kinds.
+const (
+	// StepCompute materializes (or, for leaves, emits) Node from Parent.
+	StepCompute StepKind = iota
+	// StepDrop frees an intermediate temp table.
+	StepDrop
+)
+
+// Step is one action in an execution schedule.
+type Step struct {
+	Kind StepKind
+	// Node is the plan node acted upon.
+	Node *Node
+	// Parent is the node Node is computed from; nil means the base relation.
+	// Only meaningful for StepCompute.
+	Parent *Node
+}
+
+// Schedule orders the plan's queries according to the BF/DF marking produced
+// by the exact storage recursion, dropping each temp table as soon as all of
+// its children have been computed (BF) or fully processed (DF).
+func Schedule(p *Plan, size SizeFn) []Step {
+	marks := map[*Node]Traversal{}
+	for _, r := range p.Roots {
+		ExactMinStorage(r, size, marks)
+	}
+	var steps []Step
+	var process func(n *Node)
+	process = func(n *Node) {
+		if len(n.Children) == 0 {
+			return
+		}
+		if marks[n] == BreadthFirst {
+			for _, c := range n.Children {
+				steps = append(steps, Step{Kind: StepCompute, Node: c, Parent: n})
+			}
+			steps = append(steps, Step{Kind: StepDrop, Node: n})
+			for _, c := range n.Children {
+				process(c)
+			}
+			return
+		}
+		for _, c := range n.Children {
+			steps = append(steps, Step{Kind: StepCompute, Node: c, Parent: n})
+			process(c)
+		}
+		steps = append(steps, Step{Kind: StepDrop, Node: n})
+	}
+	for _, r := range p.Roots {
+		steps = append(steps, Step{Kind: StepCompute, Node: r, Parent: nil})
+		process(r)
+	}
+	return steps
+}
+
+// SimulatePeak replays a schedule and returns the true maximum bytes held by
+// intermediate results at any instant. Leaf results are charged transiently
+// while being computed (they stream out to the client); intermediates stay
+// live until their StepDrop. It errors on malformed schedules (drop before
+// compute, double compute, missing drop).
+func SimulatePeak(steps []Step, size SizeFn) (float64, error) {
+	live := map[colset.Set]float64{}
+	cur, peak := 0.0, 0.0
+	computed := map[colset.Set]bool{}
+	for i, s := range steps {
+		switch s.Kind {
+		case StepCompute:
+			if computed[s.Node.Set] {
+				return 0, fmt.Errorf("plan: step %d computes %s twice", i, s.Node.Set)
+			}
+			computed[s.Node.Set] = true
+			if s.Parent != nil && !computed[s.Parent.Set] {
+				return 0, fmt.Errorf("plan: step %d computes %s before parent %s", i, s.Node.Set, s.Parent.Set)
+			}
+			if s.Parent != nil {
+				if _, ok := live[s.Parent.Set]; !ok {
+					return 0, fmt.Errorf("plan: step %d reads dropped parent %s", i, s.Parent.Set)
+				}
+			}
+			d := size(s.Node.Set)
+			if s.Node.IsIntermediate() {
+				live[s.Node.Set] = d
+				cur += d
+				if cur > peak {
+					peak = cur
+				}
+			} else {
+				// Transient: charged during production only.
+				if cur+d > peak {
+					peak = cur + d
+				}
+			}
+		case StepDrop:
+			d, ok := live[s.Node.Set]
+			if !ok {
+				return 0, fmt.Errorf("plan: step %d drops %s which is not live", i, s.Node.Set)
+			}
+			delete(live, s.Node.Set)
+			cur -= d
+		default:
+			return 0, fmt.Errorf("plan: step %d has unknown kind %d", i, s.Kind)
+		}
+	}
+	if len(live) != 0 {
+		return 0, fmt.Errorf("plan: %d intermediates never dropped", len(live))
+	}
+	return peak, nil
+}
+
+// FitsStorageBudget reports whether the plan's minimum intermediate storage
+// (per the §4.4.1 recursion) is within the user-specified budget — the §4.4.2
+// constrained variant keeps only such plans during search.
+func FitsStorageBudget(p *Plan, size SizeFn, budget float64) bool {
+	return PlanMinStorage(p, size, nil) <= budget
+}

@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"gbmqo/internal/colset"
+)
+
+// randomTree builds a random plan tree (each node's set is a superset of its
+// children's) with random materialized sizes, for storage-property checks.
+func randomTree(r *rand.Rand, depth int, set colset.Set, sizes map[colset.Set]float64, used map[colset.Set]bool) *Node {
+	n := NewNode(set, true)
+	used[set] = true
+	sizes[set] = float64(1 + r.Intn(20))
+	if depth == 0 || set.Len() <= 1 {
+		return n
+	}
+	kids := r.Intn(4)
+	for i := 0; i < kids; i++ {
+		// A random proper subset not used yet.
+		var sub colset.Set
+		for attempt := 0; attempt < 10; attempt++ {
+			var s colset.Set
+			set.ForEach(func(c int) {
+				if r.Intn(2) == 0 {
+					s = s.Add(c)
+				}
+			})
+			if !s.IsEmpty() && s != set && !used[s] {
+				sub = s
+				break
+			}
+		}
+		if sub.IsEmpty() {
+			continue
+		}
+		n.Children = append(n.Children, randomTree(r, depth-1, sub, sizes, used))
+	}
+	return n
+}
+
+// forcedDFValue evaluates the recursion with depth-first forced at every node
+// — which is exactly the peak of the naive depth-first schedule.
+func forcedDFValue(n *Node, size SizeFn) float64 {
+	d := size(n.Set)
+	m := 0.0
+	for _, c := range n.Children {
+		if v := forcedDFValue(c, size); v > m {
+			m = v
+		}
+	}
+	return d + m
+}
+
+func dfSchedule(p *Plan) []Step {
+	var steps []Step
+	var walk func(n, parent *Node)
+	walk = func(n, parent *Node) {
+		steps = append(steps, Step{Kind: StepCompute, Node: n, Parent: parent})
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+		if n.IsIntermediate() {
+			steps = append(steps, Step{Kind: StepDrop, Node: n})
+		}
+	}
+	for _, r := range p.Roots {
+		walk(r, nil)
+	}
+	return steps
+}
+
+func TestQuickStorageProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		sizes := map[colset.Set]float64{}
+		used := map[colset.Set]bool{}
+		root := randomTree(r, 3, colset.Range(8), sizes, used)
+		p := &Plan{BaseName: "R", Roots: []*Node{root}}
+		size := func(s colset.Set) float64 { return sizes[s] }
+
+		// Property 1: the forced-DF recursion value equals the simulated peak
+		// of the depth-first schedule exactly (the DF branch of the paper's
+		// formula is exact, not approximate).
+		dfVal := forcedDFValue(root, size)
+		dfPeak, err := SimulatePeak(dfSchedule(p), size)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if dfVal != dfPeak {
+			t.Fatalf("trial %d: DF recursion %v != DF simulation %v", trial, dfVal, dfPeak)
+		}
+
+		// Property 2: the marked schedule is structurally valid, its simulated
+		// peak never exceeds the depth-first baseline, and it equals the
+		// exact recursion's prediction precisely.
+		sched := Schedule(p, size)
+		peak, err := SimulatePeak(sched, size)
+		if err != nil {
+			t.Fatalf("trial %d: marked schedule invalid: %v", trial, err)
+		}
+		if peak > dfPeak {
+			t.Fatalf("trial %d: marked schedule peak %v exceeds DF baseline %v", trial, peak, dfPeak)
+		}
+		if exact := ExactMinStorage(root, size, nil); exact != peak {
+			t.Fatalf("trial %d: exact recursion %v != simulated peak %v", trial, exact, peak)
+		}
+
+		// Property 3: the formula's value is a lower bound for its own
+		// schedule only in the DF case; globally it must never exceed the DF
+		// value (it minimizes over a superset of choices).
+		if v := MinStorage(root, size, nil); v > dfVal {
+			t.Fatalf("trial %d: MinStorage %v exceeds forced-DF %v", trial, v, dfVal)
+		}
+	}
+}

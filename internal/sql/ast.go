@@ -1,0 +1,170 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"gbmqo/internal/stats"
+)
+
+// Query is the parsed form of a supported statement:
+//
+//	SELECT <items> FROM <table> [JOIN <table> ON a = b]
+//	[WHERE <conjuncts>] [GROUP BY <group spec>]
+type Query struct {
+	Select []SelectItem
+	From   FromClause
+	Where  []Condition
+	Group  GroupSpec
+}
+
+// SelectItem is one projection: a column reference or an aggregate.
+type SelectItem struct {
+	// Star marks `*` (legal only without GROUP BY; equivalent to selecting
+	// the grouping columns in grouped queries).
+	Star bool
+	// Agg names an aggregate function (COUNT, SUM, MIN, MAX); empty for a
+	// plain column reference.
+	Agg string
+	// AggStar marks COUNT(*).
+	AggStar bool
+	// Column is the referenced column (aggregate argument or group column).
+	Column string
+	// Alias is the output name (AS alias).
+	Alias string
+}
+
+// FromClause is a base table, optionally inner-joined to a second one.
+type FromClause struct {
+	Table string
+	// Join, when non-empty, is the right-side table of an inner equi-join.
+	Join string
+	// LeftCol/RightCol are the join columns (ON left = right).
+	LeftCol, RightCol string
+}
+
+// Condition is one WHERE conjunct: column op literal.
+type Condition struct {
+	Column string
+	Op     stats.CmpOp
+	// Lit is the literal as scanned; the binder types it against the column.
+	Lit litValue
+}
+
+type litValue struct {
+	isString bool
+	s        string
+	num      string
+}
+
+// GroupKind classifies the GROUP BY clause.
+type GroupKind int
+
+// Group specifications.
+const (
+	// GroupNone means no GROUP BY clause (plain or global-aggregate query).
+	GroupNone GroupKind = iota
+	// GroupPlain is GROUP BY col, col, …
+	GroupPlain
+	// GroupGroupingSets is GROUP BY GROUPING SETS ((..), (..), …).
+	GroupGroupingSets
+	// GroupCube is GROUP BY CUBE(col, …).
+	GroupCube
+	// GroupRollup is GROUP BY ROLLUP(col, …).
+	GroupRollup
+	// GroupCombi is the COMBI(k; col, …) extension: every subset of the
+	// columns up to size k (§2's syntactic extension for data-analysis
+	// workloads, after Hinneburg et al. [15]).
+	GroupCombi
+)
+
+// GroupSpec is the parsed GROUP BY clause.
+type GroupSpec struct {
+	Kind GroupKind
+	// Cols are the columns of plain/CUBE/ROLLUP/COMBI specs.
+	Cols []string
+	// Sets are the explicit GROUPING SETS lists.
+	Sets [][]string
+	// CombiK is the subset-size bound for COMBI.
+	CombiK int
+}
+
+// String re-renders the query (canonical form; used by round-trip tests).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	fmt.Fprintf(&b, " FROM %s", q.From.Table)
+	if q.From.Join != "" {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", q.From.Join, q.From.LeftCol, q.From.RightCol)
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if q.Group.Kind != GroupNone {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(q.Group.String())
+	}
+	return b.String()
+}
+
+// String renders a select item.
+func (it SelectItem) String() string {
+	var s string
+	switch {
+	case it.Star:
+		return "*"
+	case it.AggStar:
+		s = "COUNT(*)"
+	case it.Agg != "":
+		s = fmt.Sprintf("%s(%s)", it.Agg, it.Column)
+	default:
+		s = it.Column
+	}
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// String renders a condition.
+func (c Condition) String() string {
+	lit := c.Lit.num
+	if c.Lit.isString {
+		lit = "'" + strings.ReplaceAll(c.Lit.s, "'", "''") + "'"
+	}
+	return fmt.Sprintf("%s %s %s", c.Column, c.Op, lit)
+}
+
+// String renders a group spec.
+func (g GroupSpec) String() string {
+	switch g.Kind {
+	case GroupPlain:
+		return strings.Join(g.Cols, ", ")
+	case GroupCube:
+		return fmt.Sprintf("CUBE(%s)", strings.Join(g.Cols, ", "))
+	case GroupRollup:
+		return fmt.Sprintf("ROLLUP(%s)", strings.Join(g.Cols, ", "))
+	case GroupCombi:
+		return fmt.Sprintf("COMBI(%d; %s)", g.CombiK, strings.Join(g.Cols, ", "))
+	case GroupGroupingSets:
+		parts := make([]string, len(g.Sets))
+		for i, s := range g.Sets {
+			parts[i] = "(" + strings.Join(s, ", ") + ")"
+		}
+		return "GROUPING SETS (" + strings.Join(parts, ", ") + ")"
+	default:
+		return ""
+	}
+}

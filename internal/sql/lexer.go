@@ -1,0 +1,113 @@
+// Package sql implements the SQL surface of the engine: a small
+// lexer/parser/binder for single-block aggregation queries with GROUP BY,
+// GROUPING SETS, CUBE, ROLLUP and the COMBI extension of [15] (§2), WHERE
+// conjunctions, and two-table equi-joins with the §5.1.1 group-by pushdown.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; * = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers keep their original case; strings are decoded
+	pos  int
+}
+
+// lex tokenizes the input. Identifier case is preserved (keyword matching and
+// name resolution are case-insensitive downstream).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < len(input) && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '*':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokSymbol, text: "=", pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "<=", pos: i})
+				i += 2
+			} else if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokSymbol, text: "<>", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

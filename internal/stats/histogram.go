@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gbmqo/internal/table"
+)
+
+// Histogram is an equi-depth histogram over one column, used for selection
+// selectivity when a GROUPING SETS query carries a WHERE clause (§5.1.1
+// pushes selections below the grouping-set computation; the cost model needs
+// their selectivity). Small domains keep exact per-value counts; larger
+// domains are cut into equi-depth buckets.
+type Histogram struct {
+	col      table.ColumnDef
+	rows     int
+	nulls    int
+	distinct int
+	exact    []exactEntry // small-domain path, sorted by value
+	buckets  []bucket     // large-domain path
+}
+
+type exactEntry struct {
+	v    table.Value
+	rows int
+}
+
+type bucket struct {
+	lo, hi table.Value // inclusive bounds
+	rows   int
+	ndv    int
+}
+
+// maxExactDomain is the distinct-value count up to which the histogram keeps
+// exact per-value counts instead of buckets.
+const maxExactDomain = 512
+
+// BuildHistogram constructs an equi-depth histogram with the given number of
+// buckets over column ord of t. nbuckets <= 0 selects 32.
+func BuildHistogram(t *table.Table, ord, nbuckets int) *Histogram {
+	col := t.Col(ord)
+	h := &Histogram{col: col.Def(), rows: col.Len()}
+
+	counts := make(map[uint32]int)
+	for i := 0; i < col.Len(); i++ {
+		counts[col.Code(i)]++
+	}
+	h.nulls = counts[0]
+	delete(counts, 0)
+	h.distinct = len(counts)
+
+	codes := make([]uint32, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	ranks := col.Ranks()
+	sort.Slice(codes, func(a, b int) bool { return ranks[codes[a]] < ranks[codes[b]] })
+
+	if len(counts) <= maxExactDomain {
+		for _, code := range codes {
+			h.exact = append(h.exact, exactEntry{v: col.Decode(code), rows: counts[code]})
+		}
+		return h
+	}
+
+	nonNull := col.Len() - h.nulls
+	if nbuckets <= 0 {
+		nbuckets = 32
+	}
+	target := (nonNull + nbuckets - 1) / nbuckets
+	var cur bucket
+	flush := func() {
+		if cur.ndv > 0 {
+			h.buckets = append(h.buckets, cur)
+			cur = bucket{}
+		}
+	}
+	for _, code := range codes {
+		v := col.Decode(code)
+		if cur.ndv == 0 {
+			cur.lo = v
+		}
+		cur.hi = v
+		cur.ndv++
+		cur.rows += counts[code]
+		if cur.rows >= target {
+			flush()
+		}
+	}
+	flush()
+	return h
+}
+
+// Rows returns the total row count the histogram was built over.
+func (h *Histogram) Rows() int { return h.rows }
+
+// NullFraction returns the fraction of NULL rows.
+func (h *Histogram) NullFraction() float64 {
+	if h.rows == 0 {
+		return 0
+	}
+	return float64(h.nulls) / float64(h.rows)
+}
+
+// Distinct returns the exact distinct non-null value count.
+func (h *Histogram) Distinct() int { return h.distinct }
+
+// CmpOp is a comparison operator for selectivity estimation.
+type CmpOp int
+
+// Comparison operators understood by Selectivity.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Eval reports whether `a op b` holds for two non-null values.
+func (op CmpOp) Eval(a, b table.Value) bool { return cmpSatisfies(a.Compare(b), op) }
+
+func cmpSatisfies(c int, op CmpOp) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Selectivity estimates the fraction of rows satisfying `col op v`. NULL rows
+// never satisfy a comparison.
+func (h *Histogram) Selectivity(op CmpOp, v table.Value) float64 {
+	if h.rows == 0 {
+		return 0
+	}
+	matched := 0.0
+	if h.exact != nil {
+		for _, e := range h.exact {
+			if cmpSatisfies(e.v.Compare(v), op) {
+				matched += float64(e.rows)
+			}
+		}
+	} else {
+		for _, b := range h.buckets {
+			matched += b.matched(op, v)
+		}
+	}
+	sel := matched / float64(h.rows)
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func (b bucket) matched(op CmpOp, v table.Value) float64 {
+	loC := b.lo.Compare(v) // <0 when bucket lo < v
+	hiC := b.hi.Compare(v)
+	rows := float64(b.rows)
+	switch op {
+	case CmpEq:
+		if loC > 0 || hiC < 0 {
+			return 0
+		}
+		return rows / float64(b.ndv)
+	case CmpNe:
+		if loC > 0 || hiC < 0 {
+			return rows
+		}
+		return rows * (1 - 1/float64(b.ndv))
+	case CmpLt, CmpLe:
+		if hiC < 0 || (hiC == 0 && op == CmpLe) {
+			return rows // whole bucket below v
+		}
+		if loC > 0 || (loC == 0 && op == CmpLt) {
+			return 0 // whole bucket above v
+		}
+		return rows / 2 // partial overlap: assume half
+	case CmpGt, CmpGe:
+		if loC > 0 || (loC == 0 && op == CmpGe) {
+			return rows
+		}
+		if hiC < 0 || (hiC == 0 && op == CmpGt) {
+			return 0
+		}
+		return rows / 2
+	default:
+		return 0
+	}
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "histogram(%s): rows=%d nulls=%d ndv=%d", h.col.Name, h.rows, h.nulls, h.distinct)
+	if h.exact != nil {
+		fmt.Fprintf(&b, " exact-domain")
+	} else {
+		fmt.Fprintf(&b, " buckets=%d", len(h.buckets))
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the table with a header row. NULLs render as empty fields,
+// which ReadCSV maps back to NULL.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.nrows; i++ {
+		for j, c := range t.cols {
+			v := c.Value(i)
+			if v.Null {
+				rec[j] = ""
+			} else if v.Typ == TDate {
+				rec[j] = strconv.FormatInt(v.I, 10)
+			} else {
+				rec[j] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table with the given schema from CSV with a header row. The
+// header must match the schema's column names in order.
+func ReadCSV(name string, defs []ColumnDef, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	if len(header) != len(defs) {
+		return nil, fmt.Errorf("table: CSV has %d columns, schema has %d", len(header), len(defs))
+	}
+	for i, h := range header {
+		if h != defs[i].Name {
+			return nil, fmt.Errorf("table: CSV column %d is %q, schema says %q", i, h, defs[i].Name)
+		}
+	}
+	t := New(name, defs)
+	vals := make([]Value, len(defs))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		for i, field := range rec {
+			v, err := parseField(defs[i].Typ, field)
+			if err != nil {
+				return nil, fmt.Errorf("table: column %q: %w", defs[i].Name, err)
+			}
+			vals[i] = v
+		}
+		t.AppendRow(vals...)
+	}
+	return t, nil
+}
+
+func parseField(typ Type, field string) (Value, error) {
+	if field == "" {
+		return Null(typ), nil
+	}
+	switch typ {
+	case TInt64:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parsing %q as BIGINT: %w", field, err)
+		}
+		return Int(n), nil
+	case TDate:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parsing %q as DATE: %w", field, err)
+		}
+		return Date(n), nil
+	case TFloat64:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parsing %q as FLOAT: %w", field, err)
+		}
+		return Float(f), nil
+	default:
+		return Str(field), nil
+	}
+}
+
+// FormatRows renders up to limit rows as an aligned text grid for display in
+// examples and the CLI. A negative limit renders all rows.
+func (t *Table) FormatRows(limit int) string {
+	n := t.nrows
+	truncated := false
+	if limit >= 0 && n > limit {
+		n = limit
+		truncated = true
+	}
+	widths := make([]int, t.NumCols())
+	header := t.ColNames()
+	for j, h := range header {
+		widths[j] = len(h)
+	}
+	cells := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, t.NumCols())
+		for j, c := range t.cols {
+			v := c.Value(i)
+			s := v.String()
+			if v.Null {
+				s = "NULL"
+			}
+			row[j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+		cells[i] = row
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for j, s := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], s)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for j := range header {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if truncated {
+		fmt.Fprintf(&b, "... (%d more rows)\n", t.nrows-n)
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package table
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type identifies the logical type of a column.
+type Type uint8
+
+const (
+	// TInt64 is a 64-bit signed integer column.
+	TInt64 Type = iota
+	// TFloat64 is a 64-bit floating point column.
+	TFloat64
+	// TString is a variable-length string column.
+	TString
+	// TDate is a date column stored as days since an arbitrary epoch. Dates
+	// are kept distinct from TInt64 because they are narrower on disk (the
+	// cost model charges 4 bytes) and print as dates.
+	TDate
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt64:
+		return "BIGINT"
+	case TFloat64:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	case TDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// fixedWidth returns the storage width in bytes for fixed-width types and 0
+// for TString (whose width depends on the data).
+func (t Type) fixedWidth() float64 {
+	switch t {
+	case TInt64, TFloat64:
+		return 8
+	case TDate:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Value is one typed cell. The zero Value is a NULL of type TInt64.
+type Value struct {
+	Typ  Type
+	Null bool
+	I    int64 // TInt64, TDate
+	F    float64
+	S    string
+}
+
+// Int builds a non-null TInt64 value.
+func Int(v int64) Value { return Value{Typ: TInt64, I: v} }
+
+// Float builds a non-null TFloat64 value.
+func Float(v float64) Value { return Value{Typ: TFloat64, F: v} }
+
+// Str builds a non-null TString value.
+func Str(v string) Value { return Value{Typ: TString, S: v} }
+
+// Date builds a non-null TDate value from days since epoch.
+func Date(days int64) Value { return Value{Typ: TDate, I: days} }
+
+// Null builds a NULL value of the given type.
+func Null(t Type) Value { return Value{Typ: t, Null: true} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Null }
+
+// Compare orders two values of the same type: -1, 0, or +1. NULL sorts before
+// every non-null value and equal to NULL (SQL grouping semantics: NULLs form
+// one group). Comparing values of different types panics: the planner
+// guarantees homogeneous comparisons.
+func (v Value) Compare(o Value) int {
+	if v.Typ != o.Typ {
+		panic(fmt.Sprintf("table: comparing %s with %s", v.Typ, o.Typ))
+	}
+	switch {
+	case v.Null && o.Null:
+		return 0
+	case v.Null:
+		return -1
+	case o.Null:
+		return 1
+	}
+	switch v.Typ {
+	case TInt64, TDate:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	case TFloat64:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+		return 0
+	case TString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("table: unknown type %v", v.Typ))
+}
+
+// Equal reports whether two values are identical (NULL == NULL, matching
+// grouping semantics).
+func (v Value) Equal(o Value) bool { return v.Typ == o.Typ && v.Compare(o) == 0 }
+
+// String renders the value for display and CSV output. NULL renders as the
+// empty string.
+func (v Value) String() string {
+	if v.Null {
+		return ""
+	}
+	switch v.Typ {
+	case TInt64:
+		return strconv.FormatInt(v.I, 10)
+	case TDate:
+		return fmt.Sprintf("D%d", v.I)
+	case TFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return v.S
+	}
+	return fmt.Sprintf("?%d", v.Typ)
+}

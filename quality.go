@@ -1,0 +1,166 @@
+package gbmqo
+
+import (
+	"fmt"
+	"strings"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/stats"
+)
+
+// ColumnProfile summarizes one column's value distribution — the aggregates
+// the paper's data analysts compute to "evaluate whether the data satisfies
+// the expected norm" (§1).
+type ColumnProfile struct {
+	Name string
+	Type Type
+	// Distinct is the exact number of distinct non-null values.
+	Distinct int64
+	// NullFraction is the fraction of NULL rows.
+	NullFraction float64
+	// TopValue and TopCount describe the most frequent non-null value.
+	TopValue string
+	TopCount int64
+	// Min and Max are the extreme non-null values (rendered).
+	Min string
+	Max string
+}
+
+// QualityReport is a data-quality profile of a relation: one frequency
+// distribution per column, computed as a single multi-Group-By request so
+// GB-MQO shares work across columns.
+type QualityReport struct {
+	Table   string
+	Rows    int
+	Columns []ColumnProfile
+	// Plan is the logical plan used to compute the distributions.
+	Plan *Plan
+	// Report accounts the execution.
+	Report *ExecReport
+}
+
+// Profile computes single-column value distributions for the named columns
+// (all columns when none are given) using the GB-MQO strategy.
+func (db *DB) Profile(tableName string, cols ...string) (*QualityReport, error) {
+	t, ok := db.eng.Catalog().Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("gbmqo: unknown table %q", tableName)
+	}
+	if len(cols) == 0 {
+		cols = t.ColNames()
+	}
+	queries := make([][]string, len(cols))
+	for i, c := range cols {
+		queries[i] = []string{c}
+	}
+	p, report, err := db.Execute(tableName, queries, QueryOptions{Strategy: GBMQO})
+	if err != nil {
+		return nil, err
+	}
+	out := &QualityReport{Table: tableName, Rows: t.NumRows(), Plan: p, Report: report}
+	for _, c := range cols {
+		ords, err := db.resolveCols(t, []string{c})
+		if err != nil {
+			return nil, err
+		}
+		ord := ords[0]
+		res := report.Results[colset.Of(ord)]
+		if res == nil {
+			return nil, fmt.Errorf("gbmqo: missing distribution for column %q", c)
+		}
+		out.Columns = append(out.Columns, profileFrom(t.Col(ord).Name(), t.Col(ord).Type(), res, t.NumRows()))
+	}
+	return out, nil
+}
+
+// profileFrom derives a ColumnProfile from a (value, cnt) distribution table.
+func profileFrom(name string, typ Type, dist *Table, totalRows int) ColumnProfile {
+	p := ColumnProfile{Name: name, Type: typ}
+	valCol := dist.ColByName(name)
+	cntCol := dist.ColByName("cnt")
+	var nulls int64
+	var minV, maxV Value
+	seen := false
+	for i := 0; i < dist.NumRows(); i++ {
+		c := cntCol.Value(i).I
+		if valCol.IsNull(i) {
+			nulls += c
+			continue
+		}
+		v := valCol.Value(i)
+		p.Distinct++
+		if c > p.TopCount {
+			p.TopCount = c
+			p.TopValue = v.String()
+		}
+		if !seen {
+			minV, maxV, seen = v, v, true
+		} else {
+			if v.Compare(minV) < 0 {
+				minV = v
+			}
+			if v.Compare(maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+	if seen {
+		p.Min, p.Max = minV.String(), maxV.String()
+	}
+	if totalRows > 0 {
+		p.NullFraction = float64(nulls) / float64(totalRows)
+	}
+	return p
+}
+
+// Histogram is an equi-depth histogram (see internal/stats): exact per-value
+// counts for small domains, depth-balanced buckets otherwise.
+type Histogram = stats.Histogram
+
+// Histogram builds an equi-depth histogram over one column — the other data-
+// profiling primitive next to Profile. buckets <= 0 selects 32.
+func (db *DB) Histogram(tableName, col string, buckets int) (*Histogram, error) {
+	t, ok := db.eng.Catalog().Table(tableName)
+	if !ok {
+		return nil, fmt.Errorf("gbmqo: unknown table %q", tableName)
+	}
+	ords, err := db.resolveCols(t, []string{col})
+	if err != nil {
+		return nil, err
+	}
+	return stats.BuildHistogram(t, ords[0], buckets), nil
+}
+
+// String renders the report as an aligned table.
+func (r *QualityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %s: %d rows\n", r.Table, r.Rows)
+	fmt.Fprintf(&b, "%-16s %-8s %10s %8s  %-24s %8s\n", "column", "type", "distinct", "null%", "top value", "count")
+	for _, c := range r.Columns {
+		top := c.TopValue
+		if len(top) > 24 {
+			top = top[:21] + "..."
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %10d %7.2f%%  %-24s %8d\n",
+			c.Name, c.Type, c.Distinct, c.NullFraction*100, top, c.TopCount)
+	}
+	return b.String()
+}
+
+// AlmostKey reports how close a column combination is to being a key: the
+// number of distinct combinations, the row count, and the number of duplicate
+// rows (rows − combinations). The paper's example: "the analyst may expect
+// that (LastName, FirstName, M.I., Zip) is a key (or almost a key)".
+func (db *DB) AlmostKey(tableName string, cols []string) (distinct, rows int, err error) {
+	t, ok := db.eng.Catalog().Table(tableName)
+	if !ok {
+		return 0, 0, fmt.Errorf("gbmqo: unknown table %q", tableName)
+	}
+	ords, err := db.resolveCols(t, cols)
+	if err != nil {
+		return 0, 0, err
+	}
+	res := exec.GroupByHash(t, ords, []exec.Agg{exec.CountStar()}, "k")
+	return res.NumRows(), t.NumRows(), nil
+}
