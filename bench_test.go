@@ -13,9 +13,11 @@ package gbmqo
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"gbmqo/internal/exec"
 	"gbmqo/internal/experiments"
 )
 
@@ -194,20 +196,78 @@ func BenchmarkAblationSharedScan(b *testing.B) {
 		{"l_returnflag"}, {"l_linestatus"}, {"l_shipdate"}, {"l_commitdate"},
 		{"l_receiptdate"}, {"l_shipinstruct"}, {"l_shipmode"}, {"l_comment"},
 	}
-	for _, shared := range []bool{false, true} {
-		name := "individual"
-		if shared {
-			name = "shared"
-		}
-		b.Run(name, func(b *testing.B) {
+	variants := []struct {
+		name string
+		opts QueryOptions
+	}{
+		{"individual", QueryOptions{}},
+		{"shared", QueryOptions{SharedScan: true}},
+		{"shared-parallel", QueryOptions{SharedScan: true, Parallelism: -1}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, rep, err := db.Execute("lineitem", queries, QueryOptions{SharedScan: shared})
+				_, rep, err := db.Execute("lineitem", queries, v.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ReportMetric(float64(rep.RowsScanned), "rows-scanned")
 			}
+			b.Logf(`BENCH {"bench":"AblationSharedScan","variant":%q,"rows":%d,"queries":%d,"ns_per_op":%d}`,
+				v.name, li.NumRows(), len(queries), b.Elapsed().Nanoseconds()/int64(b.N))
 		})
+	}
+}
+
+// BenchmarkGroupByHashParallel measures the morsel-driven parallel hash
+// aggregate (the tentpole of the parallel-execution work) against its
+// sequential baseline: worker counts 1/2/4/GOMAXPROCS crossed with a low-NDV
+// key (l_shipmode, 7 groups — merge cost negligible, scan dominates) and a
+// high-NDV key (l_partkey — large local tables stress the merge phase).
+// workers=1 is the sequential operator (the parallel entry point falls back).
+// Each sub-benchmark emits a machine-readable BENCH JSON line; the speedup
+// acceptance check compares low-NDV rows_per_sec at 4 workers vs 1.
+func BenchmarkGroupByHashParallel(b *testing.B) {
+	rows := 1_000_000
+	if testing.Short() {
+		rows = 200_000
+	}
+	li, err := GenerateDataset("lineitem", rows, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	li.RowImage() // build the lazy scan image outside the timed region
+	cols := map[string]int{}
+	for j := 0; j < li.NumCols(); j++ {
+		cols[li.Col(j).Name()] = j
+	}
+	aggs := []exec.Agg{exec.CountStar(), {Kind: exec.AggSum, Col: cols["l_quantity"], Name: "sq"}}
+	workers := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workers = append(workers, p)
+	}
+	for _, ndv := range []struct{ name, col string }{
+		{"low", "l_shipmode"},
+		{"high", "l_partkey"},
+	} {
+		for _, w := range workers {
+			w := w
+			ndv := ndv
+			b.Run(fmt.Sprintf("ndv=%s/workers=%d", ndv.name, w), func(b *testing.B) {
+				gcols := []int{cols[ndv.col]}
+				var st exec.ParStats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st = exec.GroupByHashParallel(li, gcols, aggs, "g", w)
+				}
+				b.StopTimer()
+				rowsPerSec := float64(rows) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(rowsPerSec, "rows/s")
+				b.Logf(`BENCH {"bench":"GroupByHashParallel","workers":%d,"effective_workers":%d,"ndv":%q,"rows":%d,"ns_per_op":%d,"rows_per_sec":%.0f}`,
+					w, st.Workers, ndv.name, rows, b.Elapsed().Nanoseconds()/int64(b.N), rowsPerSec)
+			})
+		}
 	}
 }
 

@@ -210,6 +210,13 @@ type QueryOptions struct {
 	// Parallel executes independent sub-plans concurrently (one goroutine per
 	// sub-plan, bounded by GOMAXPROCS).
 	Parallel bool
+	// Parallelism caps the morsel workers used *inside* one Group By operator
+	// (intra-operator parallel hash aggregation; composes with Parallel's
+	// inter-sub-plan concurrency): 0 disables it, negative selects GOMAXPROCS,
+	// positive values are used as-is. Inputs below the engine's size cutoff
+	// stay sequential regardless, so small temp-table re-aggregations never
+	// pay morsel overhead.
+	Parallelism int
 }
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
@@ -304,14 +311,15 @@ func (db *DB) ExecuteQueries(tableName string, queries []GroupQuery, o QueryOpti
 	}
 	opts := db.sqlOptions(o)
 	run, err := db.eng.Run(engine.Request{
-		Table:      tableName,
-		Sets:       sets,
-		Strategy:   o.Strategy,
-		Model:      opts.Model,
-		Core:       opts.Core,
-		SharedScan: o.SharedScan,
-		Parallel:   o.Parallel,
-		PerSetAggs: perSet,
+		Table:       tableName,
+		Sets:        sets,
+		Strategy:    o.Strategy,
+		Model:       opts.Model,
+		Core:        opts.Core,
+		SharedScan:  o.SharedScan,
+		Parallel:    o.Parallel,
+		Parallelism: o.Parallelism,
+		PerSetAggs:  perSet,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -349,13 +357,14 @@ func (db *DB) buildRequest(tableName string, queries [][]string, o QueryOptions)
 	}
 	opts := db.sqlOptions(o)
 	return engine.Request{
-		Table:      tableName,
-		Sets:       sets,
-		Strategy:   o.Strategy,
-		Model:      opts.Model,
-		Core:       opts.Core,
-		SharedScan: o.SharedScan,
-		Parallel:   o.Parallel,
+		Table:       tableName,
+		Sets:        sets,
+		Strategy:    o.Strategy,
+		Model:       opts.Model,
+		Core:        opts.Core,
+		SharedScan:  o.SharedScan,
+		Parallel:    o.Parallel,
+		Parallelism: o.Parallelism,
 	}, nil
 }
 

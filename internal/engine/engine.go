@@ -33,6 +33,15 @@ type ExecReport struct {
 	TempTables int
 	// PeakTempBytes is the maximum bytes held by live temp tables.
 	PeakTempBytes float64
+	// ParallelOps counts Group By operators that ran on the morsel-parallel
+	// path (operators under the size cutoff fall back to sequential and are
+	// not counted).
+	ParallelOps int
+	// MaxWorkers is the largest morsel-worker count any operator used.
+	MaxWorkers int
+	// MergeTime totals the wall time parallel operators spent merging
+	// worker-local hash tables into final results.
+	MergeTime time.Duration
 	// Results holds the output table per required grouping set.
 	Results map[colset.Set]*table.Table
 }
@@ -63,6 +72,13 @@ type ExecOptions struct {
 	// synchronization is needed beyond merging the reports; PeakTempBytes
 	// becomes the (pessimistic) sum of concurrent per-sub-plan peaks.
 	Parallel bool
+	// Parallelism caps the morsel workers *inside* one Group By operator
+	// (intra-operator parallelism, orthogonal to Parallel's inter-sub-plan
+	// concurrency): 0 disables it, negative selects GOMAXPROCS, positive
+	// values are used as-is. Operators whose input is below the exec size
+	// cutoff stay sequential regardless, so tiny temp-table re-aggregations
+	// never pay morsel overhead. Index fast paths are always sequential.
+	Parallelism int
 }
 
 // ExecutePlan runs the plan against its base table. aggs are the aggregate
@@ -90,8 +106,14 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		ex:     ex,
 		base:   base,
 		aggs:   aggs,
+		par:    exec.ResolveWorkers(opts.Parallelism),
 		temps:  map[colset.Set]*table.Table{},
 		report: &ExecReport{Results: map[colset.Set]*table.Table{}},
+	}
+	if run.par > 1 {
+		// The scan image is built lazily and shared by all operators over the
+		// base table; force it before any morsel worker can race on it.
+		base.RowImage()
 	}
 	if len(opts.PerSetAggs) > 0 {
 		run.perSet = opts.PerSetAggs
@@ -160,6 +182,7 @@ type planRun struct {
 	ex        *Executor
 	base      *table.Table
 	aggs      []exec.Agg
+	par       int // intra-operator morsel worker budget (≤1 = sequential)
 	temps     map[colset.Set]*table.Table
 	liveBytes float64
 	report    *ExecReport
@@ -167,6 +190,29 @@ type planRun struct {
 	// §7.2 state: per-required-set aggregates and the per-node unions.
 	perSet   map[colset.Set][]exec.Agg
 	nodeAggs map[*plan.Node][]exec.Agg
+}
+
+// hashGroupBy dispatches one hash aggregation to the morsel-parallel operator
+// when the worker budget and input size allow, recording parallelism counters.
+func (r *planRun) hashGroupBy(src *table.Table, cols []int, aggs []exec.Agg, name string) *table.Table {
+	if r.par <= 1 {
+		return exec.GroupByHash(src, cols, aggs, name)
+	}
+	out, st := exec.GroupByHashParallel(src, cols, aggs, name, r.par)
+	r.notePar(st)
+	return out
+}
+
+// notePar folds one operator's parallel-execution stats into the report.
+func (r *planRun) notePar(st exec.ParStats) {
+	if st.Workers <= 1 {
+		return
+	}
+	r.report.ParallelOps++
+	if st.Workers > r.report.MaxWorkers {
+		r.report.MaxWorkers = st.Workers
+	}
+	r.report.MergeTime += st.Merge
 }
 
 // buildAggUnion computes, bottom-up, the union of aggregates each node must
@@ -290,7 +336,14 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 	// One scan of the parent feeds every sibling.
 	r.report.RowsScanned += int64(src.NumRows())
 	r.report.QueriesRun += len(nodes)
-	outs := exec.GroupByHashMulti(src, queries)
+	var outs []*table.Table
+	if r.par > 1 {
+		var st exec.ParStats
+		outs, st = exec.GroupByHashMultiParallel(src, queries, r.par)
+		r.notePar(st)
+	} else {
+		outs = exec.GroupByHashMulti(src, queries)
+	}
 	for i, n := range nodes {
 		if n.IsIntermediate() {
 			r.retain(n.Set, outs[i])
@@ -326,7 +379,7 @@ func (r *planRun) fromBase(n *plan.Node) (*table.Table, error) {
 		}
 		return exec.GroupByIndexStream(r.base, ix, cols, aggs, name), nil
 	}
-	return exec.GroupByHash(r.base, cols, aggs, name), nil
+	return r.hashGroupBy(r.base, cols, aggs, name), nil
 }
 
 // fromTemp computes a Group By over a materialized intermediate, rolling the
@@ -347,7 +400,7 @@ func (r *planRun) groupFromTable(parent *table.Table, set colset.Set, aggs []exe
 	}
 	r.report.QueriesRun++
 	r.report.RowsScanned += int64(parent.NumRows())
-	return exec.GroupByHash(parent, cols, rolled, plan.TempName(set)), nil
+	return r.hashGroupBy(parent, cols, rolled, plan.TempName(set)), nil
 }
 
 // mapToParent resolves base ordinals and aggregates against an intermediate
@@ -496,9 +549,7 @@ func renameAggs(t *table.Table, aggs []exec.Agg) *table.Table {
 	}
 	for _, a := range aggs {
 		out := cnt.EmptyLike(a.Name)
-		for i := 0; i < cnt.Len(); i++ {
-			out.AppendCode(cnt.Code(i))
-		}
+		out.AppendCodes(cnt.Codes())
 		cols = append(cols, out)
 	}
 	return table.FromColumns(t.Name(), cols)

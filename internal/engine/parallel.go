@@ -38,6 +38,7 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 				ex:       ex,
 				base:     template.base,
 				aggs:     template.aggs,
+				par:      template.par,
 				perSet:   template.perSet,
 				nodeAggs: template.nodeAggs,
 				temps:    map[colset.Set]*table.Table{},
@@ -57,6 +58,11 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 		merged.QueriesRun += res.report.QueriesRun
 		merged.TempTables += res.report.TempTables
 		merged.PeakTempBytes += res.report.PeakTempBytes
+		merged.ParallelOps += res.report.ParallelOps
+		if res.report.MaxWorkers > merged.MaxWorkers {
+			merged.MaxWorkers = res.report.MaxWorkers
+		}
+		merged.MergeTime += res.report.MergeTime
 		for set, t := range res.report.Results {
 			merged.Results[set] = t
 		}

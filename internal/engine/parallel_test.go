@@ -74,6 +74,64 @@ func TestParallelWithCubePlan(t *testing.T) {
 	assertResultsMatch(t, li, sets, res.Report.Results)
 }
 
+// TestIntraOperatorParallelMatchesSequential checks the morsel-parallel
+// aggregation path end to end: same results, same scan/query accounting as
+// the sequential engine, parallel counters populated, and the reported
+// parallel plan cost discounted below the sequential estimate (which still
+// governs plan choice).
+func TestIntraOperatorParallelMatchesSequential(t *testing.T) {
+	e, li := newTestEngine(t, 40_000) // > 2 morsels so base scans go parallel
+	sets := scSets()
+	seq, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := e.Run(Request{Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsMatch(t, li, sets, par.Report.Results)
+	if par.Report.RowsScanned != seq.Report.RowsScanned {
+		t.Fatalf("parallel scanned %d rows, sequential %d", par.Report.RowsScanned, seq.Report.RowsScanned)
+	}
+	if par.Report.QueriesRun != seq.Report.QueriesRun {
+		t.Fatalf("parallel ran %d queries, sequential %d", par.Report.QueriesRun, seq.Report.QueriesRun)
+	}
+	if par.Report.ParallelOps == 0 || par.Report.MaxWorkers < 2 {
+		t.Fatalf("no operator went parallel: ops=%d workers=%d", par.Report.ParallelOps, par.Report.MaxWorkers)
+	}
+	if seq.Report.ParallelOps != 0 || seq.Report.MaxWorkers != 0 {
+		t.Fatalf("sequential run reported parallel ops: %+v", seq.Report)
+	}
+	if par.PlanCostPar >= par.PlanCostSeq {
+		t.Fatalf("parallel cost %v not discounted below sequential %v", par.PlanCostPar, par.PlanCostSeq)
+	}
+	if seq.PlanCostPar != seq.PlanCostSeq {
+		t.Fatalf("sequential run should report equal costs: %v vs %v", seq.PlanCostPar, seq.PlanCostSeq)
+	}
+}
+
+// TestNestedParallelism exercises inter-sub-plan goroutines and
+// intra-operator morsel workers at the same time (plus shared scans) — the
+// nesting the race detector must bless in CI's `go test -race`.
+func TestNestedParallelism(t *testing.T) {
+	e, li := newTestEngine(t, 40_000)
+	sets := scSets()
+	for _, shared := range []bool{false, true} {
+		res, err := e.Run(Request{
+			Table: "lineitem", Sets: sets, Strategy: StrategyGBMQO,
+			Parallel: true, SharedScan: shared, Parallelism: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsMatch(t, li, sets, res.Report.Results)
+		if res.Report.ParallelOps == 0 {
+			t.Fatal("no operator went parallel under nested parallelism")
+		}
+	}
+}
+
 func TestParallelRepeatedRunsDeterministicResults(t *testing.T) {
 	e, li := newTestEngine(t, 3000)
 	sets := scSets()[:8]

@@ -83,6 +83,9 @@ type Request struct {
 	SharedScan bool
 	// Parallel executes independent sub-plans concurrently.
 	Parallel bool
+	// Parallelism caps the morsel workers inside one Group By operator
+	// (0 = off, negative = GOMAXPROCS; see ExecOptions.Parallelism).
+	Parallelism int
 }
 
 // RunResult bundles the chosen plan, its execution report, and search effort.
@@ -91,6 +94,14 @@ type RunResult struct {
 	Report   *ExecReport
 	Search   core.SearchStats
 	ModelUsd cost.Model
+	// PlanCostSeq and PlanCostPar price the chosen plan with the request's
+	// cost model sequentially and at the requested intra-operator degree of
+	// parallelism (equal when Parallelism is off). Plan *choice* always uses
+	// the sequential cost — the paper's model — so turning parallelism on
+	// never changes plan shape; both figures are reported so the discount is
+	// visible.
+	PlanCostSeq float64
+	PlanCostPar float64
 }
 
 // Engine ties the catalog, statistics and executor into the public runtime.
@@ -175,12 +186,22 @@ func (e *Engine) Run(req Request) (*RunResult, error) {
 	if nAggs == 0 {
 		nAggs = 1
 	}
-	report, err := e.exec.ExecutePlanWith(p, req.Aggs, e.sizeFn(env, nAggs),
-		ExecOptions{SharedScan: req.SharedScan, PerSetAggs: req.PerSetAggs, Parallel: req.Parallel})
+	report, err := e.exec.ExecutePlanWith(p, req.Aggs, e.sizeFn(env, nAggs), ExecOptions{
+		SharedScan:  req.SharedScan,
+		PerSetAggs:  req.PerSetAggs,
+		Parallel:    req.Parallel,
+		Parallelism: req.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{Plan: p, Report: report, Search: st, ModelUsd: model}, nil
+	res := &RunResult{Plan: p, Report: report, Search: st, ModelUsd: model}
+	res.PlanCostSeq = p.Cost(model, nAggs)
+	res.PlanCostPar = res.PlanCostSeq
+	if dop := exec.ResolveWorkers(req.Parallelism); dop > 1 {
+		res.PlanCostPar = p.Cost(cost.Parallel(model, dop), nAggs)
+	}
+	return res, nil
 }
 
 // sizeFn estimates materialized node bytes from statistics for the §4.4

@@ -22,6 +22,12 @@ const (
 	AggSum
 	AggMin
 	AggMax
+	// AggAvg carries a mergeable (sum, count) pair so the morsel-parallel
+	// path can combine partial states. It cannot roll up through a
+	// materialized intermediate (the average of averages is wrong), so the
+	// planner must compute it directly from its source relation; Rollup
+	// panics on it.
+	AggAvg
 )
 
 // String renders the kind as SQL.
@@ -37,6 +43,8 @@ func (k AggKind) String() string {
 		return "MIN"
 	case AggMax:
 		return "MAX"
+	case AggAvg:
+		return "AVG"
 	default:
 		return fmt.Sprintf("AggKind(%d)", int(k))
 	}
@@ -63,6 +71,8 @@ func (a Agg) Rollup(srcOrd int) Agg {
 	switch a.Kind {
 	case AggCountStar, AggCount:
 		out.Kind = AggSum
+	case AggAvg:
+		panic("exec: AVG does not roll up through an intermediate; compute it from the source relation")
 	default:
 		out.Kind = a.Kind // SUM/MIN/MAX roll up as themselves
 	}
@@ -77,6 +87,14 @@ type accumulator interface {
 	result(g int) table.Value
 	// outType is the result column type.
 	outType() table.Type
+	// mergePartial folds group src of a worker-local partial accumulator into
+	// group dst of this one, combining states instead of replaying rows: COUNT
+	// partials add, SUM partials add, MIN/MAX partials compare, AVG merges its
+	// (sum, count) pair. other must be the same concrete type built over the
+	// same input table; dst grows this accumulator's state as needed. This is
+	// what lets the morsel-driven parallel path merge thread-local hash tables
+	// into the final result.
+	mergePartial(dst int, other accumulator, src int)
 }
 
 // newAccumulator builds the accumulator for one agg over the input table.
@@ -100,6 +118,21 @@ func newAccumulator(a Agg, t *table.Table) accumulator {
 		return &extremeAcc{col: t.Col(a.Col), ranks: t.Col(a.Col).Ranks(), min: true}
 	case AggMax:
 		return &extremeAcc{col: t.Col(a.Col), ranks: t.Col(a.Col).Ranks(), min: false}
+	case AggAvg:
+		col := t.Col(a.Col)
+		switch col.Type() {
+		case table.TFloat64:
+			return &avgAcc{codes: col.Codes(), vals: col.Float64DecodeTable()}
+		case table.TInt64, table.TDate:
+			vals := col.Int64DecodeTable()
+			fvals := make([]float64, len(vals))
+			for i, v := range vals {
+				fvals[i] = float64(v)
+			}
+			return &avgAcc{codes: col.Codes(), vals: fvals}
+		default:
+			panic(fmt.Sprintf("exec: AVG over %s column %q", col.Type(), col.Name()))
+		}
 	default:
 		panic(fmt.Sprintf("exec: unknown aggregate kind %v", a.Kind))
 	}
@@ -115,6 +148,12 @@ func (a *countStarAcc) observe(g, _ int) {
 }
 func (a *countStarAcc) result(g int) table.Value { return table.Int(a.counts[g]) }
 func (a *countStarAcc) outType() table.Type      { return table.TInt64 }
+func (a *countStarAcc) mergePartial(dst int, other accumulator, src int) {
+	for len(a.counts) <= dst {
+		a.counts = append(a.counts, 0)
+	}
+	a.counts[dst] += other.(*countStarAcc).counts[src]
+}
 
 type countAcc struct {
 	col    *table.Column
@@ -131,6 +170,12 @@ func (a *countAcc) observe(g, row int) {
 }
 func (a *countAcc) result(g int) table.Value { return table.Int(a.counts[g]) }
 func (a *countAcc) outType() table.Type      { return table.TInt64 }
+func (a *countAcc) mergePartial(dst int, other accumulator, src int) {
+	for len(a.counts) <= dst {
+		a.counts = append(a.counts, 0)
+	}
+	a.counts[dst] += other.(*countAcc).counts[src]
+}
 
 type sumIntAcc struct {
 	codes []uint32
@@ -156,6 +201,17 @@ func (a *sumIntAcc) result(g int) table.Value {
 	return table.Int(a.sums[g])
 }
 func (a *sumIntAcc) outType() table.Type { return table.TInt64 }
+func (a *sumIntAcc) mergePartial(dst int, other accumulator, src int) {
+	for len(a.sums) <= dst {
+		a.sums = append(a.sums, 0)
+		a.seen = append(a.seen, false)
+	}
+	o := other.(*sumIntAcc)
+	if o.seen[src] {
+		a.sums[dst] += o.sums[src]
+		a.seen[dst] = true
+	}
+}
 
 type sumFloatAcc struct {
 	codes []uint32
@@ -181,6 +237,17 @@ func (a *sumFloatAcc) result(g int) table.Value {
 	return table.Float(a.sums[g])
 }
 func (a *sumFloatAcc) outType() table.Type { return table.TFloat64 }
+func (a *sumFloatAcc) mergePartial(dst int, other accumulator, src int) {
+	for len(a.sums) <= dst {
+		a.sums = append(a.sums, 0)
+		a.seen = append(a.seen, false)
+	}
+	o := other.(*sumFloatAcc)
+	if o.seen[src] {
+		a.sums[dst] += o.sums[src]
+		a.seen[dst] = true
+	}
+}
 
 // extremeAcc tracks MIN or MAX per group by dictionary code, comparing codes
 // through the column's rank table (rank order == value order), so no value
@@ -193,10 +260,14 @@ type extremeAcc struct {
 }
 
 func (a *extremeAcc) observe(g, row int) {
+	a.consider(g, a.col.Code(row))
+}
+
+// consider folds one candidate code into group g's best.
+func (a *extremeAcc) consider(g int, code uint32) {
 	for len(a.best) <= g {
 		a.best = append(a.best, 0)
 	}
-	code := a.col.Code(row)
 	if code == 0 {
 		return
 	}
@@ -211,3 +282,43 @@ func (a *extremeAcc) observe(g, row int) {
 }
 func (a *extremeAcc) result(g int) table.Value { return a.col.Decode(a.best[g]) }
 func (a *extremeAcc) outType() table.Type      { return a.col.Type() }
+func (a *extremeAcc) mergePartial(dst int, other accumulator, src int) {
+	a.consider(dst, other.(*extremeAcc).best[src])
+}
+
+// avgAcc computes AVG by carrying a mergeable (sum, count) pair per group.
+// Int and date sources are averaged in float64. NULLs are ignored per SQL; an
+// all-NULL group averages to NULL.
+type avgAcc struct {
+	codes  []uint32
+	vals   []float64 // code-indexed decode table
+	sums   []float64
+	counts []int64
+}
+
+func (a *avgAcc) observe(g, row int) {
+	for len(a.sums) <= g {
+		a.sums = append(a.sums, 0)
+		a.counts = append(a.counts, 0)
+	}
+	if code := a.codes[row]; code != 0 {
+		a.sums[g] += a.vals[code]
+		a.counts[g]++
+	}
+}
+func (a *avgAcc) result(g int) table.Value {
+	if a.counts[g] == 0 {
+		return table.Null(table.TFloat64)
+	}
+	return table.Float(a.sums[g] / float64(a.counts[g]))
+}
+func (a *avgAcc) outType() table.Type { return table.TFloat64 }
+func (a *avgAcc) mergePartial(dst int, other accumulator, src int) {
+	for len(a.sums) <= dst {
+		a.sums = append(a.sums, 0)
+		a.counts = append(a.counts, 0)
+	}
+	o := other.(*avgAcc)
+	a.sums[dst] += o.sums[src]
+	a.counts[dst] += o.counts[src]
+}

@@ -20,7 +20,7 @@ func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *t
 	for i, c := range groupCols {
 		rd.offs[i] = 4 * c
 	}
-	ht := newGroupHash(n, rd)
+	ht := newGroupHash(rd)
 	accs := make([]accumulator, len(aggs))
 	for i, a := range aggs {
 		accs[i] = newAccumulator(a, t)
@@ -35,7 +35,7 @@ func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *t
 			acc.observe(g, row)
 		}
 	}
-	return emitGroups(t, groupCols, aggs, accs, firstRows, outName)
+	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName)
 }
 
 // GroupBySort computes the same result by sorting row ids and streaming over
@@ -85,7 +85,7 @@ func GroupByIndexStream(t *table.Table, ix *index.Index, groupCols []int, aggs [
 			acc.observe(g, int(row))
 		}
 	}
-	return emitGroups(t, groupCols, aggs, accs, firstRows, outName)
+	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName)
 }
 
 // GroupByIndexCounts is the exact-match fast path: a COUNT(*) Group By on
@@ -169,20 +169,37 @@ func GroupByIndexPrefixCounts(t *table.Table, ix *index.Index, prefixCols []int,
 }
 
 // emitGroups assembles the output table: group key columns share the input's
-// dictionaries; aggregate columns are fresh.
-func emitGroups(t *table.Table, groupCols []int, aggs []Agg, accs []accumulator, firstRows []int32, outName string) *table.Table {
+// dictionaries; aggregate columns are fresh. order, when non-nil, is a
+// permutation of group ids giving the output row order (the parallel merge
+// uses it to restore global first-appearance order); nil emits groups in id
+// order.
+func emitGroups(t *table.Table, groupCols []int, aggs []Agg, accs []accumulator, firstRows []int32, order []int, outName string) *table.Table {
+	nGroups := len(firstRows)
 	cols := make([]*table.Column, 0, len(groupCols)+len(aggs))
 	for _, c := range groupCols {
 		src := t.Col(c)
+		srcCodes := src.Codes()
 		out := src.EmptyLike(src.Name())
-		for _, row := range firstRows {
-			out.AppendCode(src.Code(int(row)))
+		codes := make([]uint32, nGroups)
+		if order == nil {
+			for i, row := range firstRows {
+				codes[i] = srcCodes[row]
+			}
+		} else {
+			for i, g := range order {
+				codes[i] = srcCodes[firstRows[g]]
+			}
 		}
+		out.AppendCodes(codes)
 		cols = append(cols, out)
 	}
 	for i, a := range aggs {
 		out := table.NewColumn(table.ColumnDef{Name: a.Name, Typ: accs[i].outType()})
-		for g := range firstRows {
+		for k := 0; k < nGroups; k++ {
+			g := k
+			if order != nil {
+				g = order[k]
+			}
 			out.Append(accs[i].result(g))
 		}
 		cols = append(cols, out)
@@ -217,23 +234,29 @@ type groupHash struct {
 	groups    int
 }
 
-func newGroupHash(expectRows int, rd rowReader) *groupHash {
-	size := 1024
-	for size < expectRows*2 {
-		size <<= 1
-	}
+// groupHashInitSize is the starting slot count of a groupHash. Tables start
+// small — a low-NDV aggregation over millions of rows never allocates more
+// than a few KB — and grow by doubling when the load factor passes 3/4.
+// (Pre-sizing to 2×rows made a 6M-row scan with 10 groups allocate ~16M slots
+// per query; across a shared scan that was hundreds of MB of dead memory.)
+const groupHashInitSize = 1024
+
+func newGroupHash(rd rowReader) *groupHash {
 	return &groupHash{
 		rd:        rd,
-		mask:      uint64(size - 1),
-		slotHash:  make([]uint64, size),
-		slotGroup: make([]int32, size),
-		slotRow:   make([]int32, size),
+		mask:      uint64(groupHashInitSize - 1),
+		slotHash:  make([]uint64, groupHashInitSize),
+		slotGroup: make([]int32, groupHashInitSize),
+		slotRow:   make([]int32, groupHashInitSize),
 	}
 }
 
 // groupOf returns the dense group id for the key tuple at row, allocating a
 // new group on first sight.
 func (h *groupHash) groupOf(row int) (g int, isNew bool) {
+	if uint64(h.groups+1)*4 > (h.mask+1)*3 {
+		h.grow()
+	}
 	hash := hashRow(h.rd, row)
 	slot := hash & h.mask
 	for {
@@ -249,6 +272,29 @@ func (h *groupHash) groupOf(row int) (g int, isNew bool) {
 			return int(sg - 1), false
 		}
 		slot = (slot + 1) & h.mask
+	}
+}
+
+// grow doubles the slot arrays and redistributes occupied slots using their
+// stored hashes (keys are never re-read from the table).
+func (h *groupHash) grow() {
+	oldHash, oldGroup, oldRow := h.slotHash, h.slotGroup, h.slotRow
+	size := (int(h.mask) + 1) << 1
+	h.mask = uint64(size - 1)
+	h.slotHash = make([]uint64, size)
+	h.slotGroup = make([]int32, size)
+	h.slotRow = make([]int32, size)
+	for i, sg := range oldGroup {
+		if sg == 0 {
+			continue
+		}
+		slot := oldHash[i] & h.mask
+		for h.slotGroup[slot] != 0 {
+			slot = (slot + 1) & h.mask
+		}
+		h.slotHash[slot] = oldHash[i]
+		h.slotGroup[slot] = sg
+		h.slotRow[slot] = oldRow[i]
 	}
 }
 

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gbmqo/internal/table"
+)
+
+// morselRows is the number of rows in one parallel work unit. Morsels are
+// handed to workers through an atomic counter (morsel-driven scheduling), so
+// the unit must be large enough to amortize the counter bump and small enough
+// to load-balance skewed group distributions across workers.
+const morselRows = 16384
+
+// ParStats reports how one parallel aggregation ran.
+type ParStats struct {
+	// Workers is the number of morsel workers actually used (1 = the operator
+	// fell back to the sequential path).
+	Workers int
+	// Morsels is the number of work units the row range was split into.
+	Morsels int
+	// Merge is the wall time spent merging worker-local hash tables into the
+	// final result.
+	Merge time.Duration
+}
+
+// ResolveWorkers turns a parallelism knob into a concrete worker budget:
+// 0 disables intra-operator parallelism, negative selects GOMAXPROCS, and
+// positive values are used as-is.
+func ResolveWorkers(parallelism int) int {
+	if parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// effectiveWorkers applies the size cutoff to a requested worker count. Going
+// parallel costs one goroutine plus a merge phase that re-touches every
+// output group once per worker, so it only pays when each worker aggregates
+// at least one full morsel of rows (at the calibrated cost coefficients —
+// ~40 units to hash a row vs ~200 to build a group — one morsel of hashing
+// amortizes a merge of several thousand groups). Anything smaller, i.e. the
+// typical temp-table re-aggregation, stays sequential.
+func effectiveWorkers(rows, requested int) int {
+	if requested < 1 {
+		return 1
+	}
+	if max := rows / morselRows; requested > max {
+		requested = max
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// GroupByHashParallel is GroupByHash with morsel-driven parallelism: the row
+// range is split into fixed-size morsels pulled from an atomic counter by
+// `workers` goroutines, each aggregating into a thread-local hash table, and
+// the local tables are merged by combining partial aggregate states (see
+// accumulator.mergePartial). Group order matches the sequential operator
+// exactly (global first-appearance order), so results are byte-identical —
+// up to float summation order for SUM/AVG over TFloat64, where parallel
+// partials may round differently. Inputs below the size cutoff run the
+// sequential operator; the returned ParStats says what happened.
+func GroupByHashParallel(t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, ParStats) {
+	w := effectiveWorkers(t.NumRows(), workers)
+	if w <= 1 {
+		return GroupByHash(t, groupCols, aggs, outName), ParStats{Workers: 1}
+	}
+	queries := []MultiQuery{{GroupCols: groupCols, Aggs: aggs, OutName: outName}}
+	outs, st := groupByMultiMorsel(t, queries, w, morselRows)
+	return outs[0], st
+}
+
+// GroupByHashMultiParallel is GroupByHashMulti with morsel-driven
+// parallelism: each worker reads a morsel once and feeds every query of the
+// shared scan from that single read, preserving the §5.1 read-once property
+// while splitting the scan across cores. Small inputs fall back to the
+// sequential shared scan.
+func GroupByHashMultiParallel(t *table.Table, queries []MultiQuery, workers int) ([]*table.Table, ParStats) {
+	if len(queries) == 0 {
+		return nil, ParStats{Workers: 1}
+	}
+	w := effectiveWorkers(t.NumRows(), workers)
+	if w <= 1 {
+		return GroupByHashMulti(t, queries), ParStats{Workers: 1}
+	}
+	return groupByMultiMorsel(t, queries, w, morselRows)
+}
+
+// groupByMultiMorsel is the two-phase parallel core shared by the single and
+// multi-query entry points. morsel is the work-unit size in rows (always
+// morselRows in production; tests shrink it to exercise multi-worker merges
+// on small tables).
+//
+// Phase 1 (local): w workers pull morsel indices from an atomic counter and
+// aggregate their rows into per-worker, per-query hash tables. Because the
+// counter increases monotonically, each worker processes its morsels in
+// ascending row order, so a worker-local group's firstRow is the minimum row
+// of that group within the worker's share.
+//
+// Phase 2 (merge): for each query, worker-local groups are folded into a
+// final hash table by representative row; aggregate states merge via
+// mergePartial (counts add, sums add, extremes compare) — partial states, not
+// rows. The final group order is the minimum firstRow across workers, which
+// equals the global first-appearance order of the sequential scan, making the
+// output deterministic and identical to GroupByHash/GroupByHashMulti.
+func groupByMultiMorsel(t *table.Table, queries []MultiQuery, w, morsel int) ([]*table.Table, ParStats) {
+	validateMulti(t, queries)
+	n := t.NumRows()
+	// Force lazily-built shared state (the scan image and the dictionary rank
+	// tables the accumulators read) before fan-out, so workers only read.
+	image, stride := t.RowImage()
+	finals := make([]*queryState, len(queries))
+	for qi, q := range queries {
+		finals[qi] = newQueryState(t, image, stride, q)
+	}
+	morsels := (n + morsel - 1) / morsel
+
+	locals := make([][]*queryState, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			states := make([]*queryState, len(queries))
+			for qi, q := range queries {
+				states[qi] = newQueryState(t, image, stride, q)
+			}
+			locals[wi] = states
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				hi := (m + 1) * morsel
+				if hi > n {
+					hi = n
+				}
+				for row := m * morsel; row < hi; row++ {
+					for _, st := range states {
+						st.observe(row)
+					}
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	mergeStart := time.Now()
+	out := make([]*table.Table, len(queries))
+	for qi, q := range queries {
+		final := finals[qi]
+		for _, states := range locals {
+			st := states[qi]
+			for lg, row := range st.firstRows {
+				g, isNew := final.ht.groupOf(int(row))
+				if isNew {
+					final.firstRows = append(final.firstRows, row)
+				} else if row < final.firstRows[g] {
+					final.firstRows[g] = row
+				}
+				for ai, acc := range final.accs {
+					acc.mergePartial(g, st.accs[ai], lg)
+				}
+			}
+		}
+		// Emit in global first-appearance order to match the sequential path.
+		order := make([]int, len(final.firstRows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return final.firstRows[order[a]] < final.firstRows[order[b]]
+		})
+		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, final.accs, final.firstRows, order, q.OutName)
+	}
+	return out, ParStats{Workers: w, Morsels: morsels, Merge: time.Since(mergeStart)}
+}

@@ -14,6 +14,39 @@ type MultiQuery struct {
 	OutName   string
 }
 
+// queryState is one query's aggregation state during a (shared) scan: its
+// hash table, accumulators, and the first row of each group in the order the
+// scan discovered them.
+type queryState struct {
+	ht        *groupHash
+	accs      []accumulator
+	firstRows []int32
+}
+
+// newQueryState builds the aggregation state for one query of a scan over t.
+func newQueryState(t *table.Table, image []byte, stride int, q MultiQuery) *queryState {
+	rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols))}
+	for i, c := range q.GroupCols {
+		rd.offs[i] = 4 * c
+	}
+	st := &queryState{ht: newGroupHash(rd), accs: make([]accumulator, len(q.Aggs))}
+	for i, a := range q.Aggs {
+		st.accs[i] = newAccumulator(a, t)
+	}
+	return st
+}
+
+// observe feeds one row into the query's aggregation state.
+func (st *queryState) observe(row int) {
+	g, isNew := st.ht.groupOf(row)
+	if isNew {
+		st.firstRows = append(st.firstRows, int32(row))
+	}
+	for _, acc := range st.accs {
+		acc.observe(g, row)
+	}
+}
+
 // GroupByHashMulti computes several Group By queries in ONE pass over t —
 // the shared-scan technique of §5.1 ("the basic ideas is to take advantage
 // of commonality across Group By queries using techniques such as shared
@@ -28,37 +61,18 @@ func GroupByHashMulti(t *table.Table, queries []MultiQuery) []*table.Table {
 	n := t.NumRows()
 	image, stride := t.RowImage()
 
-	type state struct {
-		ht        *groupHash
-		accs      []accumulator
-		firstRows []int32
-	}
-	states := make([]*state, len(queries))
+	states := make([]*queryState, len(queries))
 	for qi, q := range queries {
-		rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols))}
-		for i, c := range q.GroupCols {
-			rd.offs[i] = 4 * c
-		}
-		st := &state{ht: newGroupHash(n, rd), accs: make([]accumulator, len(q.Aggs))}
-		for i, a := range q.Aggs {
-			st.accs[i] = newAccumulator(a, t)
-		}
-		states[qi] = st
+		states[qi] = newQueryState(t, image, stride, q)
 	}
 	for row := 0; row < n; row++ {
 		for _, st := range states {
-			g, isNew := st.ht.groupOf(row)
-			if isNew {
-				st.firstRows = append(st.firstRows, int32(row))
-			}
-			for _, acc := range st.accs {
-				acc.observe(g, row)
-			}
+			st.observe(row)
 		}
 	}
 	out := make([]*table.Table, len(queries))
 	for qi, q := range queries {
-		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, states[qi].accs, states[qi].firstRows, q.OutName)
+		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, states[qi].accs, states[qi].firstRows, nil, q.OutName)
 	}
 	return out
 }

@@ -73,6 +73,11 @@ func (c *Column) Append(v Value) {
 // dictionary (used by operators that copy rows between tables sharing a dict).
 func (c *Column) AppendCode(code uint32) { c.codes = append(c.codes, code) }
 
+// AppendCodes bulk-appends raw codes that must already belong to this
+// column's dictionary. Output assembly for high-NDV Group By results uses it
+// instead of per-row AppendCode calls.
+func (c *Column) AppendCodes(codes []uint32) { c.codes = append(c.codes, codes...) }
+
 // Ranks returns the code→rank table for order-by-value sorting (NULL ranks
 // first).
 func (c *Column) Ranks() []uint32 { return c.dict.ranks() }
