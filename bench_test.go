@@ -271,6 +271,64 @@ func BenchmarkGroupByHashParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkBudgetSweep measures the cost of graceful degradation: the same
+// multi-group-by workload executed unbounded and then under a MemBudget of
+// one quarter of the unbounded run's measured working set (PeakMem), which
+// forces sort fallbacks and temp-table re-derivation. The gap between the
+// two variants is the price of running memory-constrained; results are
+// byte-identical either way (enforced by the engine's Budget tests). Each
+// variant emits a machine-readable BENCH JSON line.
+func BenchmarkBudgetSweep(b *testing.B) {
+	rows := 200_000
+	if testing.Short() {
+		rows = 50_000
+	}
+	db := Open(nil)
+	li, err := GenerateDataset("lineitem", rows, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.Register(li)
+	queries := [][]string{
+		{"l_returnflag", "l_linestatus", "l_shipmode", "l_shipdate"},
+		{"l_returnflag", "l_linestatus"},
+		{"l_linestatus", "l_shipmode"},
+		{"l_shipmode", "l_shipdate"},
+		{"l_returnflag"}, {"l_linestatus"}, {"l_shipmode"}, {"l_shipdate"},
+	}
+	// Calibrate: one unbounded run measures the working set the budgeted
+	// variant is constrained to a quarter of.
+	_, calib, err := db.Execute("lineitem", queries, QueryOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workingSet := calib.PeakMem
+	variants := []struct {
+		name   string
+		budget int64
+	}{
+		{"unbounded", 0},
+		{"quarter-working-set", workingSet / 4},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var rep *ExecReport
+			for i := 0; i < b.N; i++ {
+				_, rep, err = db.Execute("lineitem", queries, QueryOptions{MemBudget: v.budget})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.PeakMem), "peak-mem-bytes")
+			b.ReportMetric(float64(rep.SpillFallbacks), "spill-fallbacks")
+			b.Logf(`BENCH {"bench":"BudgetSweep","variant":%q,"rows":%d,"queries":%d,"budget_bytes":%d,"peak_mem":%d,"spill_fallbacks":%d,"degradations":%d,"ns_per_op":%d}`,
+				v.name, rows, len(queries), v.budget, rep.PeakMem, rep.SpillFallbacks,
+				len(rep.Degradations), b.Elapsed().Nanoseconds()/int64(b.N))
+		})
+	}
+}
+
 // BenchmarkGroupByHash isolates the engine's hash aggregate over the base
 // table (the substrate operation every plan is built from).
 func BenchmarkGroupByHash(b *testing.B) {

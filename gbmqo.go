@@ -19,6 +19,7 @@
 package gbmqo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -56,6 +57,26 @@ type (
 	ExecReport = engine.ExecReport
 	// Strategy selects a multi-group-by planning strategy.
 	Strategy = engine.Strategy
+	// ExecError is the typed error an isolated operator failure (including a
+	// panic inside a parallel worker) surfaces as, naming the failing step and
+	// plan node. Unwrap with errors.As.
+	ExecError = exec.ExecError
+	// Degradation records one graceful-degradation decision taken under a
+	// MemBudget (see ExecReport.Degradations).
+	Degradation = engine.Degradation
+	// DegradeKind classifies a Degradation.
+	DegradeKind = engine.DegradeKind
+)
+
+// Degradation kinds a budget-constrained execution can record.
+const (
+	// DegradeSortAgg: hash aggregation replaced by sort-based aggregation.
+	DegradeSortAgg = engine.DegradeSortAgg
+	// DegradeUnshare: shared scan split into individual passes.
+	DegradeUnshare = engine.DegradeUnshare
+	// DegradeRederive: temp-table materialization skipped; children re-derive
+	// from the base relation.
+	DegradeRederive = engine.DegradeRederive
 )
 
 // Column types.
@@ -217,10 +238,22 @@ type QueryOptions struct {
 	// stay sequential regardless, so small temp-table re-aggregations never
 	// pay morsel overhead.
 	Parallelism int
+	// Context cancels or deadlines execution: operator loops poll it at every
+	// morsel and row-batch boundary, so cancellation takes effect within one
+	// morsel's worth of work, drops every temp table, and leaves the catalog
+	// unchanged. Nil means context.Background().
+	Context context.Context
+	// MemBudget bounds, in bytes, the execution working state held at once
+	// (hash tables, accumulator state, materialized temps). Exceeding it
+	// triggers graceful degradation — sort-based aggregation, un-shared
+	// scans, re-deriving subtrees from the base relation — rather than
+	// failure; decisions taken are recorded in ExecReport.Degradations.
+	// 0 means unlimited (peak memory is still measured in ExecReport.PeakMem).
+	MemBudget int64
 }
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
-	opts := sql.Options{Strategy: o.Strategy}
+	opts := sql.Options{Strategy: o.Strategy, Context: o.Context, MemBudget: o.MemBudget}
 	if o.UseCardinalityModel {
 		opts.Model = engine.ModelCardinality
 	}
@@ -319,6 +352,8 @@ func (db *DB) ExecuteQueries(tableName string, queries []GroupQuery, o QueryOpti
 		SharedScan:  o.SharedScan,
 		Parallel:    o.Parallel,
 		Parallelism: o.Parallelism,
+		Context:     o.Context,
+		MemBudget:   o.MemBudget,
 		PerSetAggs:  perSet,
 	})
 	if err != nil {
@@ -365,6 +400,8 @@ func (db *DB) buildRequest(tableName string, queries [][]string, o QueryOptions)
 		SharedScan:  o.SharedScan,
 		Parallel:    o.Parallel,
 		Parallelism: o.Parallelism,
+		Context:     o.Context,
+		MemBudget:   o.MemBudget,
 	}, nil
 }
 

@@ -6,9 +6,19 @@
 // intermediate storage. It also packages the end-to-end strategies the
 // experiments compare: naive, commercial GROUPING SETS emulation, GB-MQO and
 // exhaustive.
+//
+// Execution is resource-governed: a context.Context threaded through
+// ExecOptions cancels running plans at morsel/row-batch boundaries, a
+// MemBudget bounds the bytes held by hash tables and materialized temps with
+// graceful degradation (hash → sort aggregation; temp retention → re-derive
+// from base) instead of failure, and operator panics are isolated into typed
+// *exec.ExecError values at the ExecutePlan boundary so a bad plan never
+// crashes the process.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,6 +29,55 @@ import (
 	"gbmqo/internal/plan"
 	"gbmqo/internal/table"
 )
+
+// DegradeKind classifies a graceful-degradation decision taken under a
+// memory budget.
+type DegradeKind int
+
+// Degradation kinds, in ladder order.
+const (
+	// DegradeSortAgg replaced a hash aggregation whose estimated state would
+	// exceed the budget with sort-based aggregation (O(rows) working state
+	// instead of O(NDV) hash state).
+	DegradeSortAgg DegradeKind = iota
+	// DegradeUnshare split a shared scan into individual per-query passes
+	// because holding every sibling's hash table at once would exceed the
+	// budget.
+	DegradeUnshare
+	// DegradeRederive skipped materializing an intermediate temp table; its
+	// children are computed from the base relation instead.
+	DegradeRederive
+)
+
+// String names the degradation kind.
+func (k DegradeKind) String() string {
+	switch k {
+	case DegradeSortAgg:
+		return "sort-fallback"
+	case DegradeUnshare:
+		return "unshared-scan"
+	case DegradeRederive:
+		return "rederive-from-base"
+	default:
+		return fmt.Sprintf("DegradeKind(%d)", int(k))
+	}
+}
+
+// Degradation records one graceful-degradation decision taken during plan
+// execution under a constrained MemBudget.
+type Degradation struct {
+	// Kind is the ladder rung applied.
+	Kind DegradeKind
+	// Node is the grouping set affected.
+	Node string
+	// Detail explains the decision (estimated bytes vs budget headroom).
+	Detail string
+}
+
+// String renders the decision.
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s at %s: %s", d.Kind, d.Node, d.Detail)
+}
 
 // ExecReport describes one plan execution.
 type ExecReport struct {
@@ -42,6 +101,19 @@ type ExecReport struct {
 	// MergeTime totals the wall time parallel operators spent merging
 	// worker-local hash tables into final results.
 	MergeTime time.Duration
+	// PeakMem is the high-water mark, in bytes, of governed execution memory:
+	// hash-table slots, accumulator state, sort permutations, and materialized
+	// temp tables, as charged against the run's MemBudget.
+	PeakMem int64
+	// SpillFallbacks counts hash aggregations degraded to the sort-based
+	// operator because their estimated state would have exceeded the budget.
+	SpillFallbacks int
+	// Cancelled reports that execution stopped on context cancellation or
+	// deadline; the report then accompanies a context error and all temp
+	// tables have been dropped.
+	Cancelled bool
+	// Degradations lists the graceful-degradation decisions taken, in order.
+	Degradations []Degradation
 	// Results holds the output table per required grouping set.
 	Results map[colset.Set]*table.Table
 }
@@ -79,6 +151,19 @@ type ExecOptions struct {
 	// cutoff stay sequential regardless, so tiny temp-table re-aggregations
 	// never pay morsel overhead. Index fast paths are always sequential.
 	Parallelism int
+	// Context cancels or deadlines the execution. Operator loops poll it at
+	// every morsel and row-batch boundary, so cancellation takes effect
+	// within one morsel's worth of work, drops every temp table, and leaves
+	// the catalog unchanged. Nil means context.Background().
+	Context context.Context
+	// MemBudget bounds, in bytes, the execution working state held at once:
+	// hash-table slots, accumulator arrays, sort permutations, and
+	// materialized temp tables. Exceeding the budget triggers graceful
+	// degradation (sort-based aggregation, un-shared scans, re-deriving
+	// subtrees from the base relation) rather than failure; the decisions
+	// taken are recorded in ExecReport.Degradations. 0 means unlimited —
+	// PeakMem is still measured.
+	MemBudget int64
 }
 
 // ExecutePlan runs the plan against its base table. aggs are the aggregate
@@ -91,7 +176,13 @@ func (ex *Executor) ExecutePlan(p *plan.Plan, aggs []exec.Agg, size plan.SizeFn)
 }
 
 // ExecutePlanWith is ExecutePlan with execution options.
-func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.SizeFn, opts ExecOptions) (*ExecReport, error) {
+//
+// On failure the partial report is returned alongside the error so callers
+// can observe Cancelled, PeakMem and the degradations taken before the
+// failure. An operator panic — including one inside a morsel worker — is
+// recovered and returned as a typed *exec.ExecError naming the failing step;
+// the process survives and every temp table is released.
+func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.SizeFn, opts ExecOptions) (report *ExecReport, err error) {
 	base, ok := ex.cat.Table(p.BaseName)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown base table %q", p.BaseName)
@@ -102,14 +193,28 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 	if size == nil {
 		size = func(colset.Set) float64 { return 1 }
 	}
+	budget := exec.NewMemBudget(opts.MemBudget)
 	run := &planRun{
-		ex:     ex,
-		base:   base,
-		aggs:   aggs,
-		par:    exec.ResolveWorkers(opts.Parallelism),
-		temps:  map[colset.Set]*table.Table{},
-		report: &ExecReport{Results: map[colset.Set]*table.Table{}},
+		ex:        ex,
+		base:      base,
+		aggs:      aggs,
+		par:       exec.ResolveWorkers(opts.Parallelism),
+		gov:       exec.NewGov(opts.Context, budget),
+		budget:    budget,
+		size:      size,
+		temps:     map[colset.Set]*table.Table{},
+		tempBytes: map[colset.Set]int64{},
+		skipped:   map[colset.Set]bool{},
+		report:    &ExecReport{Results: map[colset.Set]*table.Table{}},
 	}
+	defer func() {
+		if pnc := recover(); pnc != nil {
+			run.releaseAll()
+			run.finish()
+			report = run.report
+			err = &exec.ExecError{Step: run.curStep, Err: recoveredPanic(pnc)}
+		}
+	}()
 	if run.par > 1 {
 		// The scan image is built lazily and shared by all operators over the
 		// base table; force it before any morsel worker can race on it.
@@ -127,8 +232,23 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		return ex.executeParallel(run, p, steps, opts)
 	}
 	start := time.Now()
+	if err := runSteps(run, steps, opts); err != nil {
+		return run.fail(err)
+	}
+	run.report.Wall = time.Since(start)
+	run.finish()
+	return run.report, nil
+}
+
+// runSteps walks one contiguous schedule (the whole plan sequentially, or
+// one sub-plan segment under Parallel), polling the governing context and
+// firing the engine.step fault-injection site before every step.
+func runSteps(run *planRun, steps []plan.Step, opts ExecOptions) error {
 	for i := 0; i < len(steps); {
 		step := steps[i]
+		if err := run.checkStep(step); err != nil {
+			return err
+		}
 		if step.Kind == plan.StepDrop {
 			run.drop(step.Node.Set)
 			i++
@@ -137,19 +257,27 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		if opts.SharedScan {
 			if batch := shareableRun(steps[i:], run); len(batch) > 1 {
 				if err := run.computeShared(batch, step.Parent); err != nil {
-					return nil, err
+					return err
 				}
 				i += len(batch)
 				continue
 			}
 		}
 		if err := run.compute(step.Node, step.Parent); err != nil {
-			return nil, err
+			return err
 		}
 		i++
 	}
-	run.report.Wall = time.Since(start)
-	return run.report, nil
+	return nil
+}
+
+// recoveredPanic converts a recovered panic value into an error, preserving
+// error panics for errors.Is/As chains.
+func recoveredPanic(p any) error {
+	if e, ok := p.(error); ok {
+		return fmt.Errorf("panic: %w", e)
+	}
+	return fmt.Errorf("panic: %v", p)
 }
 
 // shareableRun returns the maximal prefix of steps that can execute as one
@@ -183,8 +311,16 @@ type planRun struct {
 	base      *table.Table
 	aggs      []exec.Agg
 	par       int // intra-operator morsel worker budget (≤1 = sequential)
+	gov       *exec.Gov
+	budget    *exec.MemBudget
+	size      plan.SizeFn
 	temps     map[colset.Set]*table.Table
+	tempBytes map[colset.Set]int64
+	// skipped marks intermediates whose materialization was skipped under the
+	// memory budget; children re-derive from the base relation instead.
+	skipped   map[colset.Set]bool
 	liveBytes float64
+	curStep   string // description of the step in flight, for panic context
 	report    *ExecReport
 
 	// §7.2 state: per-required-set aggregates and the per-node unions.
@@ -192,15 +328,91 @@ type planRun struct {
 	nodeAggs map[*plan.Node][]exec.Agg
 }
 
-// hashGroupBy dispatches one hash aggregation to the morsel-parallel operator
-// when the worker budget and input size allow, recording parallelism counters.
-func (r *planRun) hashGroupBy(src *table.Table, cols []int, aggs []exec.Agg, name string) *table.Table {
-	if r.par <= 1 {
-		return exec.GroupByHash(src, cols, aggs, name)
+// checkStep records the step about to run (panic context), fires the
+// engine.step fault-injection site, and polls the governing context.
+func (r *planRun) checkStep(step plan.Step) error {
+	r.curStep = stepDesc(step)
+	exec.Testing.Fire("engine.step")
+	return r.gov.Err()
+}
+
+// stepDesc renders a schedule step for error context.
+func stepDesc(step plan.Step) string {
+	if step.Kind == plan.StepDrop {
+		return fmt.Sprintf("drop %s", step.Node.Set)
 	}
-	out, st := exec.GroupByHashParallel(src, cols, aggs, name, r.par)
+	if step.Parent == nil {
+		return fmt.Sprintf("compute %s from base", step.Node.Set)
+	}
+	return fmt.Sprintf("compute %s from %s", step.Node.Set, step.Parent.Set)
+}
+
+// fail releases every live temp table, marks cancellation when the error is
+// context-derived, and returns the partial report with the error.
+func (r *planRun) fail(err error) (*ExecReport, error) {
+	r.releaseAll()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		r.report.Cancelled = true
+	}
+	r.finish()
+	return r.report, err
+}
+
+// finish folds the budget's high-water mark into the report.
+func (r *planRun) finish() {
+	if pk := r.budget.Peak(); pk > r.report.PeakMem {
+		r.report.PeakMem = pk
+	}
+}
+
+// releaseAll drops every live temp table and returns its budget charge.
+func (r *planRun) releaseAll() {
+	for set := range r.temps {
+		r.drop(set)
+	}
+}
+
+// degrade records one graceful-degradation decision.
+func (r *planRun) degrade(kind DegradeKind, set colset.Set, detail string) {
+	r.report.Degradations = append(r.report.Degradations, Degradation{
+		Kind:   kind,
+		Node:   set.String(),
+		Detail: detail,
+	})
+}
+
+// hashEstimate approximates the working state of a hash aggregation
+// producing set: the materialized result (the SizeFn estimate) plus
+// comparable hash-table and accumulator state — about twice the result
+// bytes. It is the admission gate for the hash → sort degradation.
+func (r *planRun) hashEstimate(set colset.Set) int64 {
+	return 2 * int64(r.size(set))
+}
+
+// hashGroupBy dispatches one hash aggregation: under a constrained budget an
+// aggregation whose estimated state does not fit degrades to the sort-based
+// operator (O(rows) working state, first-appearance output order — results
+// are interchangeable); otherwise the morsel-parallel operator runs when the
+// worker budget and input size allow, recording parallelism counters.
+func (r *planRun) hashGroupBy(src *table.Table, cols []int, aggs []exec.Agg, set colset.Set, name string) (*table.Table, error) {
+	if len(cols) > 0 && r.budget.Limit() > 0 {
+		if est := r.hashEstimate(set); r.budget.WouldExceed(est) {
+			r.degrade(DegradeSortAgg, set, fmt.Sprintf(
+				"estimated hash state %dB over budget (used %d of %dB); sort-based aggregation",
+				est, r.budget.Used(), r.budget.Limit()))
+			r.report.SpillFallbacks++
+			return exec.GroupBySortGov(r.gov, src, cols, aggs, name)
+		}
+	}
+	if r.par <= 1 {
+		return exec.GroupByHashGov(r.gov, src, cols, aggs, name)
+	}
+	out, st, err := exec.GroupByHashParallelGov(r.gov, src, cols, aggs, name, r.par)
+	if err != nil {
+		return nil, err
+	}
 	r.notePar(st)
-	return out
+	return out, nil
 }
 
 // notePar folds one operator's parallel-execution stats into the report.
@@ -283,6 +495,17 @@ func (r *planRun) projectResult(n *plan.Node, t *table.Table) *table.Table {
 	return t.Project(t.Name(), ords)
 }
 
+// nodeErr attaches the plan-node context to a typed execution error bubbling
+// out of an operator (e.g. a recovered morsel-worker panic); other errors —
+// including context cancellation — pass through unchanged.
+func nodeErr(n *plan.Node, err error) error {
+	var ee *exec.ExecError
+	if errors.As(err, &ee) && ee.Node == "" {
+		ee.Node = n.Set.String()
+	}
+	return err
+}
+
 // compute evaluates one node from its parent (nil parent = base relation).
 func (r *planRun) compute(n *plan.Node, parent *plan.Node) error {
 	var out *table.Table
@@ -293,12 +516,12 @@ func (r *planRun) compute(n *plan.Node, parent *plan.Node) error {
 		out, err = r.fromTemp(n, parent.Set)
 	}
 	if err != nil {
-		return err
+		return nodeErr(n, err)
 	}
 	switch n.Op {
 	case plan.OpCube, plan.OpRollup:
 		if err := r.expandCovered(n, out); err != nil {
-			return err
+			return nodeErr(n, err)
 		}
 	}
 	if n.IsIntermediate() {
@@ -311,14 +534,32 @@ func (r *planRun) compute(n *plan.Node, parent *plan.Node) error {
 }
 
 // computeShared evaluates several sibling nodes in one pass over their
-// common parent (nil = base relation).
+// common parent (nil = base relation). Under a constrained budget, a batch
+// whose combined hash state would not fit — or whose parent was never
+// materialized — falls back to individual computation, where each query gets
+// its own admission decision (hash, sort, or re-derive from base).
 func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 	src := r.base
 	if parent != nil {
 		var ok bool
 		src, ok = r.temps[parent.Set]
 		if !ok {
+			if r.skipped[parent.Set] {
+				return r.computeIndividually(nodes, parent)
+			}
 			return fmt.Errorf("engine: intermediate %s not materialized", parent.Set)
+		}
+	}
+	if r.budget.Limit() > 0 {
+		var est int64
+		for _, n := range nodes {
+			est += r.hashEstimate(n.Set)
+		}
+		if r.budget.WouldExceed(est) {
+			r.degrade(DegradeUnshare, nodes[0].Set, fmt.Sprintf(
+				"%d-query shared scan needs ~%dB of concurrent hash state (used %d of %dB); splitting into individual passes",
+				len(nodes), est, r.budget.Used(), r.budget.Limit()))
+			return r.computeIndividually(nodes, parent)
 		}
 	}
 	queries := make([]exec.MultiQuery, len(nodes))
@@ -337,12 +578,18 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 	r.report.RowsScanned += int64(src.NumRows())
 	r.report.QueriesRun += len(nodes)
 	var outs []*table.Table
+	var err error
 	if r.par > 1 {
 		var st exec.ParStats
-		outs, st = exec.GroupByHashMultiParallel(src, queries, r.par)
-		r.notePar(st)
+		outs, st, err = exec.GroupByHashMultiParallelGov(r.gov, src, queries, r.par)
+		if err == nil {
+			r.notePar(st)
+		}
 	} else {
-		outs = exec.GroupByHashMulti(src, queries)
+		outs, err = exec.GroupByHashMultiGov(r.gov, src, queries)
+	}
+	if err != nil {
+		return nodeErr(nodes[0], err)
 	}
 	for i, n := range nodes {
 		if n.IsIntermediate() {
@@ -350,6 +597,17 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 		}
 		if n.Required {
 			r.report.Results[n.Set] = r.projectResult(n, outs[i])
+		}
+	}
+	return nil
+}
+
+// computeIndividually evaluates shared-scan candidates one at a time — the
+// degraded form of computeShared that holds a single query's state at once.
+func (r *planRun) computeIndividually(nodes []*plan.Node, parent *plan.Node) error {
+	for _, n := range nodes {
+		if err := r.compute(n, parent); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -377,16 +635,21 @@ func (r *planRun) fromBase(n *plan.Node) (*table.Table, error) {
 			}
 			return renameAggs(out, aggs), nil
 		}
-		return exec.GroupByIndexStream(r.base, ix, cols, aggs, name), nil
+		return exec.GroupByIndexStreamGov(r.gov, r.base, ix, cols, aggs, name)
 	}
-	return r.hashGroupBy(r.base, cols, aggs, name), nil
+	return r.hashGroupBy(r.base, cols, aggs, n.Set, name)
 }
 
 // fromTemp computes a Group By over a materialized intermediate, rolling the
-// aggregates up (COUNT(*) → SUM(cnt) etc., §5.2).
+// aggregates up (COUNT(*) → SUM(cnt) etc., §5.2). When the intermediate was
+// skipped under the memory budget, the node re-derives from the base
+// relation with its original (un-rolled) aggregates instead of failing.
 func (r *planRun) fromTemp(n *plan.Node, parentSet colset.Set) (*table.Table, error) {
 	parent, ok := r.temps[parentSet]
 	if !ok {
+		if r.skipped[parentSet] {
+			return r.fromBase(n)
+		}
 		return nil, fmt.Errorf("engine: intermediate %s not materialized", parentSet)
 	}
 	return r.groupFromTable(parent, n.Set, r.aggsFor(n))
@@ -400,7 +663,7 @@ func (r *planRun) groupFromTable(parent *table.Table, set colset.Set, aggs []exe
 	}
 	r.report.QueriesRun++
 	r.report.RowsScanned += int64(parent.NumRows())
-	return r.hashGroupBy(parent, cols, rolled, plan.TempName(set)), nil
+	return r.hashGroupBy(parent, cols, rolled, set, plan.TempName(set))
 }
 
 // mapToParent resolves base ordinals and aggregates against an intermediate
@@ -499,11 +762,25 @@ func coveredSets(n *plan.Node) []colset.Set {
 	return out
 }
 
-// retain registers a materialized intermediate and updates storage accounting.
+// retain registers a materialized intermediate and updates storage and
+// budget accounting. When keeping the table would exceed the memory budget,
+// it is skipped instead: children re-derive from the base relation (the
+// materialization trades memory for time; the budget reverses the trade).
 func (r *planRun) retain(set colset.Set, t *table.Table) {
 	if _, dup := r.temps[set]; dup {
 		return
 	}
+	exec.Testing.Fire("engine.retain")
+	mem := t.MemSize()
+	if r.budget.Limit() > 0 && r.budget.WouldExceed(mem) {
+		r.skipped[set] = true
+		r.degrade(DegradeRederive, set, fmt.Sprintf(
+			"materializing %dB temp over budget (used %d of %dB); children re-derive from base",
+			mem, r.budget.Used(), r.budget.Limit()))
+		return
+	}
+	r.budget.Add(mem)
+	r.tempBytes[set] = mem
 	r.temps[set] = t
 	r.report.TempTables++
 	r.liveBytes += t.SizeBytes()
@@ -512,7 +789,7 @@ func (r *planRun) retain(set colset.Set, t *table.Table) {
 	}
 }
 
-// drop frees an intermediate.
+// drop frees an intermediate and returns its budget charge.
 func (r *planRun) drop(set colset.Set) {
 	t, ok := r.temps[set]
 	if !ok {
@@ -520,6 +797,8 @@ func (r *planRun) drop(set colset.Set) {
 	}
 	r.liveBytes -= t.SizeBytes()
 	delete(r.temps, set)
+	r.budget.Release(r.tempBytes[set])
+	delete(r.tempBytes, set)
 }
 
 // countStarOnly reports whether every aggregate is COUNT(*) — the condition

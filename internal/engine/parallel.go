@@ -1,12 +1,15 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"gbmqo/internal/colset"
+	"gbmqo/internal/exec"
 	"gbmqo/internal/plan"
 	"gbmqo/internal/table"
 )
@@ -14,11 +17,16 @@ import (
 // executeParallel runs the schedule's per-sub-plan segments concurrently.
 // Schedule emits each sub-plan's steps contiguously, and sub-plans share no
 // intermediates (grouping sets are unique across the plan), so each segment
-// runs in an isolated planRun. The base table's scan image is forced before
-// fan-out because its lazy construction is the only shared mutable state.
+// runs in an isolated planRun — except the governor and memory budget, which
+// are shared so cancellation stops every segment and PeakMem reflects true
+// concurrent usage. The base table's scan image is forced before fan-out
+// because its lazy construction is the only shared mutable state.
 func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []plan.Step, opts ExecOptions) (*ExecReport, error) {
 	template.base.RowImage()
-	segments := splitByRoot(steps)
+	segments, err := splitByRoot(steps)
+	if err != nil {
+		return template.fail(err)
+	}
 
 	type result struct {
 		report *ExecReport
@@ -35,24 +43,48 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			run := &planRun{
-				ex:       ex,
-				base:     template.base,
-				aggs:     template.aggs,
-				par:      template.par,
-				perSet:   template.perSet,
-				nodeAggs: template.nodeAggs,
-				temps:    map[colset.Set]*table.Table{},
-				report:   &ExecReport{Results: map[colset.Set]*table.Table{}},
+				ex:        ex,
+				base:      template.base,
+				aggs:      template.aggs,
+				par:       template.par,
+				gov:       template.gov,
+				budget:    template.budget,
+				size:      template.size,
+				perSet:    template.perSet,
+				nodeAggs:  template.nodeAggs,
+				temps:     map[colset.Set]*table.Table{},
+				tempBytes: map[colset.Set]int64{},
+				skipped:   map[colset.Set]bool{},
+				report:    &ExecReport{Results: map[colset.Set]*table.Table{}},
 			}
-			results[i] = result{report: run.report, err: runSegment(run, seg, opts)}
+			// A panic inside this segment must not kill the process: recover
+			// it here (the sequential path's boundary recover lives in
+			// ExecutePlanWith, which this goroutine escapes) and convert it to
+			// the same typed error, releasing the segment's temps either way.
+			defer func() {
+				if pnc := recover(); pnc != nil {
+					run.releaseAll()
+					results[i] = result{report: run.report, err: &exec.ExecError{
+						Step: run.curStep, Err: recoveredPanic(pnc)}}
+				}
+			}()
+			err := runSteps(run, seg, opts)
+			if err != nil {
+				run.releaseAll()
+			}
+			results[i] = result{report: run.report, err: err}
 		}(i, seg)
 	}
 	wg.Wait()
 
 	merged := template.report
+	var firstErr error
 	for _, res := range results {
-		if res.err != nil {
-			return nil, res.err
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		if res.report == nil {
+			continue
 		}
 		merged.RowsScanned += res.report.RowsScanned
 		merged.QueriesRun += res.report.QueriesRun
@@ -63,44 +95,27 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 			merged.MaxWorkers = res.report.MaxWorkers
 		}
 		merged.MergeTime += res.report.MergeTime
+		merged.SpillFallbacks += res.report.SpillFallbacks
+		merged.Degradations = append(merged.Degradations, res.report.Degradations...)
 		for set, t := range res.report.Results {
 			merged.Results[set] = t
 		}
 	}
 	merged.Wall = time.Since(start)
+	template.finish()
+	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			merged.Cancelled = true
+		}
+		return merged, firstErr
+	}
 	return merged, nil
 }
 
-// runSegment executes one sub-plan's steps (same loop as the sequential
-// path, minus the parallel re-entry).
-func runSegment(run *planRun, steps []plan.Step, opts ExecOptions) error {
-	for i := 0; i < len(steps); {
-		step := steps[i]
-		if step.Kind == plan.StepDrop {
-			run.drop(step.Node.Set)
-			i++
-			continue
-		}
-		if opts.SharedScan {
-			if batch := shareableRun(steps[i:], run); len(batch) > 1 {
-				if err := run.computeShared(batch, step.Parent); err != nil {
-					return err
-				}
-				i += len(batch)
-				continue
-			}
-		}
-		if err := run.compute(step.Node, step.Parent); err != nil {
-			return err
-		}
-		i++
-	}
-	return nil
-}
-
 // splitByRoot cuts the schedule at every base-level computation (Parent ==
-// nil), yielding one contiguous segment per sub-plan.
-func splitByRoot(steps []plan.Step) [][]plan.Step {
+// nil), yielding one contiguous segment per sub-plan. A schedule that does
+// not start at a sub-plan root is malformed and reported as an error.
+func splitByRoot(steps []plan.Step) ([][]plan.Step, error) {
 	var segments [][]plan.Step
 	startIdx := -1
 	for i, s := range steps {
@@ -114,8 +129,7 @@ func splitByRoot(steps []plan.Step) [][]plan.Step {
 	if startIdx >= 0 {
 		segments = append(segments, steps[startIdx:])
 	} else if len(steps) > 0 {
-		// Defensive: a schedule that doesn't start at a root is malformed.
-		panic(fmt.Sprintf("engine: schedule does not start at a sub-plan root (%d steps)", len(steps)))
+		return nil, fmt.Errorf("engine: malformed schedule: none of the %d steps computes from the base relation, so no sub-plan root exists", len(steps))
 	}
-	return segments
+	return segments, nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"gbmqo/internal/baseline"
@@ -86,6 +87,12 @@ type Request struct {
 	// Parallelism caps the morsel workers inside one Group By operator
 	// (0 = off, negative = GOMAXPROCS; see ExecOptions.Parallelism).
 	Parallelism int
+	// Context cancels or deadlines execution (see ExecOptions.Context). Nil
+	// means context.Background().
+	Context context.Context
+	// MemBudget bounds execution working memory in bytes with graceful
+	// degradation (see ExecOptions.MemBudget). 0 means unlimited.
+	MemBudget int64
 }
 
 // RunResult bundles the chosen plan, its execution report, and search effort.
@@ -102,6 +109,10 @@ type RunResult struct {
 	// visible.
 	PlanCostSeq float64
 	PlanCostPar float64
+	// Degradations lists the graceful-degradation decisions execution took
+	// under the request's MemBudget (also available via Report.Degradations;
+	// surfaced here so budget-sensitive callers see them without digging).
+	Degradations []Degradation
 }
 
 // Engine ties the catalog, statistics and executor into the public runtime.
@@ -191,11 +202,13 @@ func (e *Engine) Run(req Request) (*RunResult, error) {
 		PerSetAggs:  req.PerSetAggs,
 		Parallel:    req.Parallel,
 		Parallelism: req.Parallelism,
+		Context:     req.Context,
+		MemBudget:   req.MemBudget,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{Plan: p, Report: report, Search: st, ModelUsd: model}
+	res := &RunResult{Plan: p, Report: report, Search: st, ModelUsd: model, Degradations: report.Degradations}
 	res.PlanCostSeq = p.Cost(model, nAggs)
 	res.PlanCostPar = res.PlanCostSeq
 	if dop := exec.ResolveWorkers(req.Parallelism); dop > 1 {

@@ -377,11 +377,14 @@ func TestUnionAllTagged(t *testing.T) {
 	a.AppendRow(table.Int(1), table.Int(10))
 	b := table.New("b", []table.ColumnDef{{Name: "y", Typ: table.TString}, {Name: "cnt", Typ: table.TInt64}})
 	b.AppendRow(table.Str("k"), table.Int(20))
-	out := UnionAllTagged("u", []table.ColumnDef{
+	out, err := UnionAllTagged("u", []table.ColumnDef{
 		{Name: "x", Typ: table.TInt64},
 		{Name: "y", Typ: table.TString},
 		{Name: "cnt", Typ: table.TInt64},
 	}, []*table.Table{a, b}, []string{"(x)", "(y)"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.NumRows() != 2 {
 		t.Fatalf("union rows = %d", out.NumRows())
 	}
@@ -397,13 +400,11 @@ func TestUnionAllTagged(t *testing.T) {
 	}
 }
 
-func TestUnionAllTaggedArityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on tag arity mismatch")
-		}
-	}()
-	UnionAllTagged("u", nil, []*table.Table{table.New("a", nil)}, nil)
+func TestUnionAllTaggedArityError(t *testing.T) {
+	_, err := UnionAllTagged("u", nil, []*table.Table{table.New("a", nil)}, nil)
+	if err == nil {
+		t.Fatal("no error on tag arity mismatch")
+	}
 }
 
 func TestHashJoin(t *testing.T) {

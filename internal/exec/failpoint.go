@@ -1,0 +1,45 @@
+package exec
+
+import "sync/atomic"
+
+// TestingHooks holds fault-injection hooks for deterministic robustness
+// tests. Production code never installs a hook, so the per-site cost is one
+// atomic pointer load on an already-amortized path (once per morsel /
+// cancellation checkpoint / engine step).
+type TestingHooks struct {
+	failPoint atomic.Pointer[func(site string)]
+}
+
+// Testing is the process-wide hook registry. Tests install a FailPoint to
+// force worker panics, budget exhaustion or mid-plan cancellation at named
+// execution sites; the hook may panic (simulating an operator bug), cancel a
+// context, or mutate test state. Sites currently fired:
+//
+//	exec.morsel.worker   — before each morsel in a parallel worker
+//	exec.hash.batch      — at each sequential-scan cancellation checkpoint
+//	exec.sort.stream     — at each index-stream cancellation checkpoint
+//	engine.step          — before each schedule step
+//	engine.retain        — before a temp table is retained
+var Testing TestingHooks
+
+// SetFailPoint installs fn as the process-wide fault-injection hook. The
+// installation itself must not race with running plans (install before, clear
+// after); firing is safe from any goroutine.
+func (h *TestingHooks) SetFailPoint(fn func(site string)) {
+	if fn == nil {
+		h.failPoint.Store(nil)
+		return
+	}
+	h.failPoint.Store(&fn)
+}
+
+// ClearFailPoint removes the hook.
+func (h *TestingHooks) ClearFailPoint() { h.failPoint.Store(nil) }
+
+// Fire invokes the hook, if any, with the site name. Exported so the engine
+// layer can share the registry for its own sites.
+func (h *TestingHooks) Fire(site string) {
+	if fn := h.failPoint.Load(); fn != nil {
+		(*fn)(site)
+	}
+}

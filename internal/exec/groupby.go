@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"gbmqo/internal/colset"
 	"gbmqo/internal/index"
@@ -12,21 +13,46 @@ import (
 // an open-addressing hash aggregate over dictionary-code tuples. Key codes
 // are read through the table's row-major scan image, so the scan pays for the
 // table's full width like the row store the paper ran on (see
-// table.RowImage).
+// table.RowImage). It is the ungoverned convenience form of GroupByHashGov
+// (background context, no budget); a malformed request panics, preserving
+// the historical contract for tests and tools.
 func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *table.Table {
+	out, err := GroupByHashGov(nil, t, groupCols, aggs, outName)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// GroupByHashGov is the governed hash aggregate: it validates the request,
+// polls gov's context every cancelCheckRows rows, and charges its hash-table
+// slots plus accumulator state against gov's memory budget for the duration
+// of the operator. A nil gov means ungoverned and adds no overhead.
+func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string) (*table.Table, error) {
+	if err := validateRequest(t, groupCols, aggs); err != nil {
+		return nil, err
+	}
 	n := t.NumRows()
 	image, stride := t.RowImage()
 	rd := rowReader{image: image, stride: stride, offs: make([]int, len(groupCols))}
 	for i, c := range groupCols {
 		rd.offs[i] = 4 * c
 	}
-	ht := newGroupHash(rd)
+	budget := gov.Budget()
+	ht := newGroupHash(rd, budget)
+	defer func() { budget.Release(ht.charged) }()
 	accs := make([]accumulator, len(aggs))
 	for i, a := range aggs {
 		accs[i] = newAccumulator(a, t)
 	}
 	firstRows := make([]int32, 0, 1024)
 	for row := 0; row < n; row++ {
+		if row&(cancelCheckRows-1) == 0 {
+			Testing.Fire("exec.hash.batch")
+			if err := gov.Err(); err != nil {
+				return nil, err
+			}
+		}
 		g, isNew := ht.groupOf(row)
 		if isNew {
 			firstRows = append(firstRows, int32(row))
@@ -35,15 +61,81 @@ func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *t
 			acc.observe(g, row)
 		}
 	}
-	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName)
+	accBytes := accStateBytes(len(firstRows), len(accs))
+	budget.Add(accBytes)
+	defer budget.Release(accBytes)
+	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName), nil
 }
 
 // GroupBySort computes the same result by sorting row ids and streaming over
 // runs. It exists for the shared-sort emulation of the commercial GROUPING
-// SETS baseline and for operator cross-checking in tests.
+// SETS baseline and for operator cross-checking in tests. Output rows are in
+// key-sorted order (contrast GroupBySortGov, which restores first-appearance
+// order for hash-path interchangeability).
 func GroupBySort(t *table.Table, groupCols []int, aggs []Agg, outName string) *table.Table {
 	ix := index.Build(t, "tmp_sort", groupCols, false)
 	return GroupByIndexStream(t, ix, groupCols, aggs, outName)
+}
+
+// GroupBySortGov is the governed sort-based aggregate and the engine's
+// low-memory fallback when a hash aggregate would exceed the memory budget
+// (sort-based group-by degrades gracefully: its working state is the
+// O(rows) permutation, independent of how many groups the key produces,
+// where a hash table grows with NDV). Rows are sorted by the full grouping
+// key and streamed run by run, then groups are emitted in global
+// first-appearance order — the index sort breaks key ties by row id, so each
+// run's first row is the group's first occurrence — making the output
+// byte-identical to GroupByHashGov for order-insensitive aggregates
+// (SUM/AVG over TFloat64 may round differently because the observation
+// order changes, exactly like the morsel-parallel path).
+func GroupBySortGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string) (*table.Table, error) {
+	if err := validateRequest(t, groupCols, aggs); err != nil {
+		return nil, err
+	}
+	if len(groupCols) == 0 {
+		// A single global group carries O(1) hash state; nothing to spill.
+		return GroupByHashGov(gov, t, nil, aggs, outName)
+	}
+	budget := gov.Budget()
+	sortBytes := int64(t.NumRows()) * 8 // permutation + group bounds
+	budget.Add(sortBytes)
+	defer budget.Release(sortBytes)
+	if err := gov.Err(); err != nil { // poll before the O(n log n) sort
+		return nil, err
+	}
+	ix := index.Build(t, "tmp_sort", groupCols, false)
+	perm, bounds := ix.Perm(), ix.Bounds()
+	nGroups := ix.NumGroups()
+	accs := make([]accumulator, len(aggs))
+	for i, a := range aggs {
+		accs[i] = newAccumulator(a, t)
+	}
+	firstRows := make([]int32, nGroups)
+	rowsDone := 0
+	for g := 0; g < nGroups; g++ {
+		firstRows[g] = perm[bounds[g]] // stable sort: min row of the group
+		for p := bounds[g]; p < bounds[g+1]; p++ {
+			if rowsDone&(cancelCheckRows-1) == 0 {
+				Testing.Fire("exec.sort.stream")
+				if err := gov.Err(); err != nil {
+					return nil, err
+				}
+			}
+			rowsDone++
+			for _, acc := range accs {
+				acc.observe(g, int(perm[p]))
+			}
+		}
+	}
+	accBytes := accStateBytes(nGroups, len(accs))
+	budget.Add(accBytes)
+	defer budget.Release(accBytes)
+	order := make([]int, nGroups)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return firstRows[order[a]] < firstRows[order[b]] })
+	return emitGroups(t, groupCols, aggs, accs, firstRows, order, outName), nil
 }
 
 // GroupByIndexStream computes the group-by by walking an index whose key has
@@ -51,9 +143,24 @@ func GroupBySort(t *table.Table, groupCols []int, aggs []Agg, outName string) *t
 // boundary scan replaces the hash table. Panics when the index does not cover
 // groupCols as a prefix — the planner must not choose this path otherwise.
 func GroupByIndexStream(t *table.Table, ix *index.Index, groupCols []int, aggs []Agg, outName string) *table.Table {
+	out, err := GroupByIndexStreamGov(nil, t, ix, groupCols, aggs, outName)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// GroupByIndexStreamGov is the governed index-stream aggregate; it polls
+// gov's context every cancelCheckRows rows. A non-prefix index remains a
+// panic: the planner choosing this path for an incompatible index is a
+// genuine invariant violation, caught at the ExecutePlan recovery boundary.
+func GroupByIndexStreamGov(gov *Gov, t *table.Table, ix *index.Index, groupCols []int, aggs []Agg, outName string) (*table.Table, error) {
 	set := setOf(groupCols)
 	if ix.PrefixLen(set) == 0 {
 		panic(fmt.Sprintf("exec: index %s does not prefix-cover %v", ix.Name(), groupCols))
+	}
+	if err := validateRequest(t, groupCols, aggs); err != nil {
+		return nil, err
 	}
 	codes := make([][]uint32, len(groupCols))
 	for i, c := range groupCols {
@@ -67,6 +174,12 @@ func GroupByIndexStream(t *table.Table, ix *index.Index, groupCols []int, aggs [
 	var firstRows []int32
 	g := -1
 	for pi, row := range perm {
+		if pi&(cancelCheckRows-1) == 0 {
+			Testing.Fire("exec.sort.stream")
+			if err := gov.Err(); err != nil {
+				return nil, err
+			}
+		}
 		newGroup := pi == 0
 		if !newGroup {
 			prev := perm[pi-1]
@@ -85,7 +198,32 @@ func GroupByIndexStream(t *table.Table, ix *index.Index, groupCols []int, aggs [
 			acc.observe(g, int(row))
 		}
 	}
-	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName)
+	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName), nil
+}
+
+// validateRequest rejects malformed group-by requests — out-of-range group
+// or aggregate source columns — with a returned error instead of a panic, so
+// a bad plan degrades into a failed query rather than a crashed process.
+func validateRequest(t *table.Table, groupCols []int, aggs []Agg) error {
+	for _, c := range groupCols {
+		if c < 0 || c >= t.NumCols() {
+			return fmt.Errorf("exec: group column %d out of range for table %q (%d cols)", c, t.Name(), t.NumCols())
+		}
+	}
+	for _, a := range aggs {
+		if a.Kind != AggCountStar && (a.Col < 0 || a.Col >= t.NumCols()) {
+			return fmt.Errorf("exec: aggregate %q source column %d out of range for table %q (%d cols)", a.Name, a.Col, t.Name(), t.NumCols())
+		}
+	}
+	return nil
+}
+
+// accStateBytes approximates the accumulator memory of a finished
+// aggregation (counts, sums, seen flags — roughly 16 bytes per group per
+// aggregate), charged transiently against the budget so PeakMem reflects
+// aggregation state, not just hash-table slots.
+func accStateBytes(groups, naccs int) int64 {
+	return int64(groups) * 16 * int64(naccs)
 }
 
 // GroupByIndexCounts is the exact-match fast path: a COUNT(*) Group By on
@@ -232,7 +370,16 @@ type groupHash struct {
 	slotGroup []int32 // group+1; 0 = empty
 	slotRow   []int32
 	groups    int
+
+	// budget, when non-nil, is charged for slot memory as the table grows;
+	// charged is the running total the owner releases when the operator
+	// finishes.
+	budget  *MemBudget
+	charged int64
 }
+
+// slotBytes is the per-slot memory of a groupHash (hash 8 + group 4 + row 4).
+const slotBytes = 16
 
 // groupHashInitSize is the starting slot count of a groupHash. Tables start
 // small — a low-NDV aggregation over millions of rows never allocates more
@@ -241,14 +388,26 @@ type groupHash struct {
 // per query; across a shared scan that was hundreds of MB of dead memory.)
 const groupHashInitSize = 1024
 
-func newGroupHash(rd rowReader) *groupHash {
-	return &groupHash{
+func newGroupHash(rd rowReader, budget *MemBudget) *groupHash {
+	h := &groupHash{
 		rd:        rd,
 		mask:      uint64(groupHashInitSize - 1),
 		slotHash:  make([]uint64, groupHashInitSize),
 		slotGroup: make([]int32, groupHashInitSize),
 		slotRow:   make([]int32, groupHashInitSize),
+		budget:    budget,
 	}
+	h.charge(groupHashInitSize * slotBytes)
+	return h
+}
+
+// charge accounts n bytes of slot memory against the budget.
+func (h *groupHash) charge(n int64) {
+	if h.budget == nil {
+		return
+	}
+	h.budget.Add(n)
+	h.charged += n
 }
 
 // groupOf returns the dense group id for the key tuple at row, allocating a
@@ -280,6 +439,7 @@ func (h *groupHash) groupOf(row int) (g int, isNew bool) {
 func (h *groupHash) grow() {
 	oldHash, oldGroup, oldRow := h.slotHash, h.slotGroup, h.slotRow
 	size := (int(h.mask) + 1) << 1
+	h.charge(int64(size-len(oldGroup)) * slotBytes)
 	h.mask = uint64(size - 1)
 	h.slotHash = make([]uint64, size)
 	h.slotGroup = make([]int32, size)

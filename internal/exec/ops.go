@@ -40,10 +40,11 @@ const GrpTagCol = "grp_tag"
 // UnionAllTagged assembles the result set of a GROUPING SETS query: the
 // output schema is outCols (the union of all grouping columns plus aggregate
 // columns); each part contributes its own columns with NULL for grouping
-// columns absent from its set, plus a Grp-Tag naming the part.
-func UnionAllTagged(outName string, outCols []table.ColumnDef, parts []*table.Table, tags []string) *table.Table {
+// columns absent from its set, plus a Grp-Tag naming the part. A parts/tags
+// arity mismatch is a malformed request and returns an error.
+func UnionAllTagged(outName string, outCols []table.ColumnDef, parts []*table.Table, tags []string) (*table.Table, error) {
 	if len(parts) != len(tags) {
-		panic(fmt.Sprintf("exec: %d parts but %d tags", len(parts), len(tags)))
+		return nil, fmt.Errorf("exec: union of %d parts with %d tags", len(parts), len(tags))
 	}
 	defs := append(append([]table.ColumnDef(nil), outCols...), table.ColumnDef{Name: GrpTagCol, Typ: table.TString})
 	out := table.New(outName, defs)
@@ -68,7 +69,7 @@ func UnionAllTagged(outName string, outCols []table.ColumnDef, parts []*table.Ta
 			out.AppendRow(row...)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // HashJoin computes the inner equi-join of l and r on l.lKey = r.rKey. The

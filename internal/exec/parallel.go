@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,7 +14,9 @@ import (
 // morselRows is the number of rows in one parallel work unit. Morsels are
 // handed to workers through an atomic counter (morsel-driven scheduling), so
 // the unit must be large enough to amortize the counter bump and small enough
-// to load-balance skewed group distributions across workers.
+// to load-balance skewed group distributions across workers. It also bounds
+// cancellation latency: workers poll the governing context between morsels,
+// so a cancelled plan stops within one morsel's worth of work per worker.
 const morselRows = 16384
 
 // ParStats reports how one parallel aggregation ran.
@@ -66,31 +69,57 @@ func effectiveWorkers(rows, requested int) int {
 // exactly (global first-appearance order), so results are byte-identical —
 // up to float summation order for SUM/AVG over TFloat64, where parallel
 // partials may round differently. Inputs below the size cutoff run the
-// sequential operator; the returned ParStats says what happened.
+// sequential operator; the returned ParStats says what happened. It is the
+// ungoverned convenience form of GroupByHashParallelGov; a malformed request
+// panics.
 func GroupByHashParallel(t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, ParStats) {
+	out, st, err := GroupByHashParallelGov(nil, t, groupCols, aggs, outName, workers)
+	if err != nil {
+		panic(err)
+	}
+	return out, st
+}
+
+// GroupByHashParallelGov is the governed parallel hash aggregate: workers
+// poll gov's context between morsels, charge their thread-local hash state
+// against gov's budget, and recover their own panics — an operator bug in
+// one worker surfaces as a *ExecError from this call instead of crashing
+// the process.
+func GroupByHashParallelGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, ParStats, error) {
 	w := effectiveWorkers(t.NumRows(), workers)
 	if w <= 1 {
-		return GroupByHash(t, groupCols, aggs, outName), ParStats{Workers: 1}
+		out, err := GroupByHashGov(gov, t, groupCols, aggs, outName)
+		return out, ParStats{Workers: 1}, err
 	}
 	queries := []MultiQuery{{GroupCols: groupCols, Aggs: aggs, OutName: outName}}
-	outs, st := groupByMultiMorsel(t, queries, w, morselRows)
-	return outs[0], st
+	outs, st, err := groupByMultiMorsel(gov, t, queries, w, morselRows)
+	if err != nil {
+		return nil, st, err
+	}
+	return outs[0], st, nil
 }
 
 // GroupByHashMultiParallel is GroupByHashMulti with morsel-driven
 // parallelism: each worker reads a morsel once and feeds every query of the
 // shared scan from that single read, preserving the §5.1 read-once property
 // while splitting the scan across cores. Small inputs fall back to the
-// sequential shared scan.
-func GroupByHashMultiParallel(t *table.Table, queries []MultiQuery, workers int) ([]*table.Table, ParStats) {
+// sequential shared scan. A malformed request returns an error.
+func GroupByHashMultiParallel(t *table.Table, queries []MultiQuery, workers int) ([]*table.Table, ParStats, error) {
+	return GroupByHashMultiParallelGov(nil, t, queries, workers)
+}
+
+// GroupByHashMultiParallelGov is the governed parallel shared scan (see
+// GroupByHashParallelGov for the governance contract).
+func GroupByHashMultiParallelGov(gov *Gov, t *table.Table, queries []MultiQuery, workers int) ([]*table.Table, ParStats, error) {
 	if len(queries) == 0 {
-		return nil, ParStats{Workers: 1}
+		return nil, ParStats{Workers: 1}, nil
 	}
 	w := effectiveWorkers(t.NumRows(), workers)
 	if w <= 1 {
-		return GroupByHashMulti(t, queries), ParStats{Workers: 1}
+		outs, err := GroupByHashMultiGov(gov, t, queries)
+		return outs, ParStats{Workers: 1}, err
 	}
-	return groupByMultiMorsel(t, queries, w, morselRows)
+	return groupByMultiMorsel(gov, t, queries, w, morselRows)
 }
 
 // groupByMultiMorsel is the two-phase parallel core shared by the single and
@@ -110,31 +139,70 @@ func GroupByHashMultiParallel(t *table.Table, queries []MultiQuery, workers int)
 // rows. The final group order is the minimum firstRow across workers, which
 // equals the global first-appearance order of the sequential scan, making the
 // output deterministic and identical to GroupByHash/GroupByHashMulti.
-func groupByMultiMorsel(t *table.Table, queries []MultiQuery, w, morsel int) ([]*table.Table, ParStats) {
-	validateMulti(t, queries)
+//
+// Failure semantics: a panicking worker is recovered in its own goroutine
+// and reported as a *ExecError naming the worker; the remaining workers
+// drain (they stop at the next morsel boundary via the shared failed flag),
+// all budget charges are released, and no partial result escapes. A
+// cancelled context stops every worker at its next morsel boundary and
+// returns the context's error.
+func groupByMultiMorsel(gov *Gov, t *table.Table, queries []MultiQuery, w, morsel int) ([]*table.Table, ParStats, error) {
+	if err := validateMulti(t, queries); err != nil {
+		return nil, ParStats{}, err
+	}
 	n := t.NumRows()
 	// Force lazily-built shared state (the scan image and the dictionary rank
 	// tables the accumulators read) before fan-out, so workers only read.
 	image, stride := t.RowImage()
+	budget := gov.Budget()
 	finals := make([]*queryState, len(queries))
+	locals := make([][]*queryState, w)
+	defer func() {
+		var freed int64
+		for _, st := range finals {
+			freed += st.chargedBytes()
+		}
+		for _, states := range locals {
+			for _, st := range states {
+				freed += st.chargedBytes()
+			}
+		}
+		budget.Release(freed)
+	}()
 	for qi, q := range queries {
-		finals[qi] = newQueryState(t, image, stride, q)
+		finals[qi] = newQueryState(t, image, stride, q, budget)
 	}
 	morsels := (n + morsel - 1) / morsel
 
-	locals := make([][]*queryState, w)
 	var next atomic.Int64
+	var failed atomic.Bool
+	var workerErr atomic.Pointer[ExecError]
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					failed.Store(true)
+					workerErr.CompareAndSwap(nil, &ExecError{
+						Step: fmt.Sprintf("morsel worker %d", wi),
+						Err:  recoveredError(p),
+					})
+				}
+			}()
+			// Publish the slice before filling it so the release path sees
+			// every charged state even if a constructor panics mid-build.
 			states := make([]*queryState, len(queries))
-			for qi, q := range queries {
-				states[qi] = newQueryState(t, image, stride, q)
-			}
 			locals[wi] = states
+			for qi, q := range queries {
+				states[qi] = newQueryState(t, image, stride, q, budget)
+			}
 			for {
+				if failed.Load() || gov.Err() != nil {
+					return
+				}
+				Testing.Fire("exec.morsel.worker")
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
 					return
@@ -152,6 +220,13 @@ func groupByMultiMorsel(t *table.Table, queries []MultiQuery, w, morsel int) ([]
 		}(wi)
 	}
 	wg.Wait()
+
+	if e := workerErr.Load(); e != nil {
+		return nil, ParStats{Workers: w, Morsels: morsels}, e
+	}
+	if err := gov.Err(); err != nil {
+		return nil, ParStats{Workers: w, Morsels: morsels}, err
+	}
 
 	mergeStart := time.Now()
 	out := make([]*table.Table, len(queries))
@@ -181,5 +256,5 @@ func groupByMultiMorsel(t *table.Table, queries []MultiQuery, w, morsel int) ([]
 		})
 		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, final.accs, final.firstRows, order, q.OutName)
 	}
-	return out, ParStats{Workers: w, Morsels: morsels, Merge: time.Since(mergeStart)}
+	return out, ParStats{Workers: w, Morsels: morsels, Merge: time.Since(mergeStart)}, nil
 }

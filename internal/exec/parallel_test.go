@@ -125,7 +125,10 @@ func TestParallelGroupByDifferential(t *testing.T) {
 					// Drive the morsel core directly with a small morsel size:
 					// the public entry points would fall back to sequential
 					// below the size cutoff.
-					outs, st := groupByMultiMorsel(tb, []MultiQuery{{GroupCols: cols, Aggs: aggs, OutName: "par"}}, w, 317)
+					outs, st, err := groupByMultiMorsel(nil, tb, []MultiQuery{{GroupCols: cols, Aggs: aggs, OutName: "par"}}, w, 317)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
 					if st.Workers != w {
 						t.Fatalf("%s: ran with %d workers", name, st.Workers)
 					}
@@ -157,8 +160,14 @@ func TestParallelMultiQueryDifferential(t *testing.T) {
 			{GroupCols: nil, Aggs: []Agg{{Kind: AggSum, Col: 3, Name: "sx"}}, OutName: "q2"},
 			{GroupCols: []int{2}, Aggs: []Agg{{Kind: AggMin, Col: 1, Name: "mnb"}, {Kind: AggMax, Col: 3, Name: "mx"}}, OutName: "q3"},
 		}
-		seq := GroupByHashMulti(tb, queries)
-		outs, _ := groupByMultiMorsel(tb, queries, 4, 233)
+		seq, err := GroupByHashMulti(tb, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, _, err := groupByMultiMorsel(nil, tb, queries, 4, 233)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for qi := range queries {
 			assertTablesIdentical(t, outs[qi], seq[qi])
 		}
@@ -186,7 +195,10 @@ func TestParallelEntryPointsCutoff(t *testing.T) {
 	}
 	assertTablesIdentical(t, out, GroupByHash(big, []int{0}, []Agg{CountStar(), {Kind: AggAvg, Col: 3, Name: "ax"}}, "g"))
 
-	outs, st := GroupByHashMultiParallel(big, []MultiQuery{{GroupCols: []int{1}, Aggs: []Agg{CountStar()}, OutName: "q"}}, 8)
+	outs, st, err := GroupByHashMultiParallel(big, []MultiQuery{{GroupCols: []int{1}, Aggs: []Agg{CountStar()}, OutName: "q"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Workers < 2 {
 		t.Fatalf("multi large input stayed sequential")
 	}

@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"fmt"
-
 	"gbmqo/internal/table"
 )
 
@@ -24,12 +22,14 @@ type queryState struct {
 }
 
 // newQueryState builds the aggregation state for one query of a scan over t.
-func newQueryState(t *table.Table, image []byte, stride int, q MultiQuery) *queryState {
+// budget, when non-nil, is charged for the state's hash-table slots as they
+// grow.
+func newQueryState(t *table.Table, image []byte, stride int, q MultiQuery, budget *MemBudget) *queryState {
 	rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols))}
 	for i, c := range q.GroupCols {
 		rd.offs[i] = 4 * c
 	}
-	st := &queryState{ht: newGroupHash(rd), accs: make([]accumulator, len(q.Aggs))}
+	st := &queryState{ht: newGroupHash(rd, budget), accs: make([]accumulator, len(q.Aggs))}
 	for i, a := range q.Aggs {
 		st.accs[i] = newAccumulator(a, t)
 	}
@@ -47,44 +47,78 @@ func (st *queryState) observe(row int) {
 	}
 }
 
+// chargedBytes is the budget charge this state currently holds.
+func (st *queryState) chargedBytes() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.ht.charged
+}
+
 // GroupByHashMulti computes several Group By queries in ONE pass over t —
 // the shared-scan technique of §5.1 ("the basic ideas is to take advantage
 // of commonality across Group By queries using techniques such as shared
 // scans…", PipeHash-style): every row is read once and fed to each query's
 // hash aggregate, so the table's row width is paid once instead of once per
-// query. Results are returned in query order.
-func GroupByHashMulti(t *table.Table, queries []MultiQuery) []*table.Table {
+// query. Results are returned in query order. A malformed request (group or
+// aggregate column out of range) returns an error.
+func GroupByHashMulti(t *table.Table, queries []MultiQuery) ([]*table.Table, error) {
+	return GroupByHashMultiGov(nil, t, queries)
+}
+
+// GroupByHashMultiGov is the governed shared scan: context polled every
+// cancelCheckRows rows, per-query hash state charged against the budget.
+func GroupByHashMultiGov(gov *Gov, t *table.Table, queries []MultiQuery) ([]*table.Table, error) {
 	if len(queries) == 0 {
-		return nil
+		return nil, nil
 	}
-	validateMulti(t, queries)
+	if err := validateMulti(t, queries); err != nil {
+		return nil, err
+	}
 	n := t.NumRows()
 	image, stride := t.RowImage()
+	budget := gov.Budget()
 
 	states := make([]*queryState, len(queries))
+	defer func() {
+		for _, st := range states {
+			budget.Release(st.chargedBytes())
+		}
+	}()
 	for qi, q := range queries {
-		states[qi] = newQueryState(t, image, stride, q)
+		states[qi] = newQueryState(t, image, stride, q, budget)
 	}
 	for row := 0; row < n; row++ {
+		if row&(cancelCheckRows-1) == 0 {
+			Testing.Fire("exec.hash.batch")
+			if err := gov.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, st := range states {
 			st.observe(row)
 		}
 	}
+	var accBytes int64
+	for _, st := range states {
+		accBytes += accStateBytes(len(st.firstRows), len(st.accs))
+	}
+	budget.Add(accBytes)
+	defer budget.Release(accBytes)
 	out := make([]*table.Table, len(queries))
 	for qi, q := range queries {
 		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, states[qi].accs, states[qi].firstRows, nil, q.OutName)
 	}
-	return out
+	return out, nil
 }
 
-// validateMulti panics on malformed shared-scan requests; callers are
-// internal and a bad request is always a planner bug.
-func validateMulti(t *table.Table, queries []MultiQuery) {
+// validateMulti rejects malformed shared-scan requests with an error the
+// engine propagates to the caller; only genuine operator invariants panic.
+func validateMulti(t *table.Table, queries []MultiQuery) error {
 	for _, q := range queries {
-		for _, c := range q.GroupCols {
-			if c < 0 || c >= t.NumCols() {
-				panic(fmt.Sprintf("exec: shared scan group column %d out of range", c))
-			}
+		if err := validateRequest(t, q.GroupCols, q.Aggs); err != nil {
+			return err
 		}
 	}
+	return nil
 }

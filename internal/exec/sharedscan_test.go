@@ -11,7 +11,10 @@ func TestGroupByHashMultiMatchesIndividual(t *testing.T) {
 		{GroupCols: []int{1}, Aggs: []Agg{CountStar(), {Kind: AggSum, Col: 2, Name: "sx"}}, OutName: "q1"},
 		{GroupCols: []int{0, 1}, Aggs: []Agg{CountStar()}, OutName: "q2"},
 	}
-	outs := GroupByHashMulti(tb, queries)
+	outs, err := GroupByHashMulti(tb, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(outs) != 3 {
 		t.Fatalf("outputs = %d", len(outs))
 	}
@@ -37,26 +40,32 @@ func TestGroupByHashMultiMatchesIndividual(t *testing.T) {
 }
 
 func TestGroupByHashMultiEmpty(t *testing.T) {
-	if got := GroupByHashMulti(mkTable(10, 1), nil); got != nil {
+	got, err := GroupByHashMulti(mkTable(10, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
 		t.Fatal("empty query list should return nil")
 	}
 }
 
-func TestGroupByHashMultiBadColumnPanics(t *testing.T) {
+func TestGroupByHashMultiBadColumnError(t *testing.T) {
 	tb := mkTable(10, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on out-of-range column")
-		}
-	}()
-	GroupByHashMulti(tb, []MultiQuery{{GroupCols: []int{99}, Aggs: []Agg{CountStar()}}})
+	_, err := GroupByHashMulti(tb, []MultiQuery{{GroupCols: []int{99}, Aggs: []Agg{CountStar()}}})
+	if err == nil {
+		t.Fatal("no error on out-of-range column")
+	}
 }
 
 func TestGroupByHashMultiSingleQueryEquivalence(t *testing.T) {
 	tb := mkTable(500, 33)
-	out := GroupByHashMulti(tb, []MultiQuery{
+	outs, err := GroupByHashMulti(tb, []MultiQuery{
 		{GroupCols: []int{1}, Aggs: []Agg{CountStar()}, OutName: "q"},
-	})[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outs[0]
 	ref := refGroupBy(tb, []int{1}, -1)
 	checkAgainstRef(t, out, ref, 1, 1, -1)
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 
 	"strconv"
@@ -23,6 +24,12 @@ type Options struct {
 	Model engine.ModelKind
 	// Core forwards search options to the optimizer.
 	Core core.Options
+	// Context cancels or deadlines execution (see engine.ExecOptions.Context).
+	// Nil means context.Background().
+	Context context.Context
+	// MemBudget bounds execution working memory in bytes with graceful
+	// degradation (see engine.ExecOptions.MemBudget). 0 means unlimited.
+	MemBudget int64
 }
 
 // Result is the outcome of executing a query.
@@ -183,12 +190,14 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 		aggs = []exec.Agg{exec.CountStar()}
 	}
 	req := engine.Request{
-		Table:    src.Name(),
-		Sets:     sets,
-		Aggs:     aggs,
-		Strategy: opts.Strategy,
-		Model:    opts.Model,
-		Core:     opts.Core,
+		Table:     src.Name(),
+		Sets:      sets,
+		Aggs:      aggs,
+		Strategy:  opts.Strategy,
+		Model:     opts.Model,
+		Core:      opts.Core,
+		Context:   opts.Context,
+		MemBudget: opts.MemBudget,
 	}
 	run, err := eng.Run(req)
 	if err != nil {
@@ -372,7 +381,7 @@ func assembleUnion(src *table.Table, sets []colset.Set, aggs []exec.Agg, results
 		}
 		tags = append(tags, "()")
 	}
-	return exec.UnionAllTagged("result", outCols, parts, tags), nil
+	return exec.UnionAllTagged("result", outCols, parts, tags)
 }
 
 // aggOutType mirrors the accumulator output types.

@@ -137,12 +137,14 @@ func pushdownJoin(eng *engine.Engine, q *Query, opts Options, left, right *table
 		defer eng.Catalog().Drop(left.Name())
 	}
 	run, err := eng.Run(engine.Request{
-		Table:    registered.Name(),
-		Sets:     augmented,
-		Aggs:     []exec.Agg{{Kind: exec.AggCountStar, Name: cntName}},
-		Strategy: opts.Strategy,
-		Model:    opts.Model,
-		Core:     opts.Core,
+		Table:     registered.Name(),
+		Sets:      augmented,
+		Aggs:      []exec.Agg{{Kind: exec.AggCountStar, Name: cntName}},
+		Strategy:  opts.Strategy,
+		Model:     opts.Model,
+		Core:      opts.Core,
+		Context:   opts.Context,
+		MemBudget: opts.MemBudget,
 	})
 	if err != nil {
 		return nil, err

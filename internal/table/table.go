@@ -341,6 +341,16 @@ func (t *Table) SizeBytes() float64 {
 	return float64(t.nrows) * t.WidthBytes(colset.Set(0))
 }
 
+// MemSize returns the actual resident bytes of the table's columnar state —
+// 4 bytes of dictionary code per cell, plus the row-major scan image when it
+// has been built — the quantity a MemBudget is charged when the engine
+// materializes this table as a temp. Dictionaries are deliberately excluded:
+// gathered and aggregated tables share them with their parent, so
+// materializing an intermediate costs no extra dictionary memory.
+func (t *Table) MemSize() int64 {
+	return int64(t.nrows)*int64(len(t.cols))*4 + int64(len(t.rowImage))
+}
+
 // String summarizes the table.
 func (t *Table) String() string {
 	return fmt.Sprintf("%s(%d cols, %d rows)", t.name, len(t.cols), t.nrows)
