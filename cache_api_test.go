@@ -1,0 +1,106 @@
+package gbmqo
+
+import "testing"
+
+func openCachedLineitem(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := Open(&Config{CacheBytes: 32 << 20})
+	li, err := GenerateDataset("lineitem", rows, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(li)
+	return db
+}
+
+var cacheAPIQueries = [][]string{
+	{"l_returnflag"}, {"l_linestatus"}, {"l_returnflag", "l_linestatus"},
+}
+
+func TestCacheAPIExecuteHits(t *testing.T) {
+	db := openCachedLineitem(t, 4000)
+	_, cold, err := db.Execute("lineitem", cacheAPIQueries, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Hits != 0 || cold.Cache.Admissions == 0 {
+		t.Fatalf("cold run counters: %+v", cold.Cache)
+	}
+	_, warm, err := db.Execute("lineitem", cacheAPIQueries, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != len(cacheAPIQueries) {
+		t.Fatalf("warm run hit %d of %d queries: %+v", warm.Cache.Hits, len(cacheAPIQueries), warm.Cache)
+	}
+	if warm.RowsScanned != 0 {
+		t.Fatalf("warm run scanned %d rows", warm.RowsScanned)
+	}
+	st, ok := db.CacheStats()
+	if !ok || st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("CacheStats = %+v, %v", st, ok)
+	}
+}
+
+func TestCacheAPINoCacheBypass(t *testing.T) {
+	db := openCachedLineitem(t, 2000)
+	for i := 0; i < 2; i++ {
+		_, rep, err := db.Execute("lineitem", cacheAPIQueries, QueryOptions{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (rep.Cache != CacheCounters{}) {
+			t.Fatalf("NoCache run touched the cache: %+v", rep.Cache)
+		}
+	}
+	if st, ok := db.CacheStats(); !ok || st.Entries != 0 {
+		t.Fatalf("NoCache runs populated the cache: %+v, %v", st, ok)
+	}
+}
+
+func TestCacheStatsWithoutCache(t *testing.T) {
+	db := openWithLineitem(t, 100)
+	if st, ok := db.CacheStats(); ok {
+		t.Fatalf("CacheStats ok without a cache: %+v", st)
+	}
+	// And queries still work with caching requested but absent.
+	if _, _, err := db.Execute("lineitem", cacheAPIQueries, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheAPISQLPath: repeated SQL statements hit the cache, and the answers
+// stay identical; WHERE-filtered sources (ephemeral tables) bypass it safely.
+func TestCacheAPISQLPath(t *testing.T) {
+	db := openCachedLineitem(t, 4000)
+	q := `SELECT l_returnflag, l_linestatus, COUNT(*) FROM lineitem
+		GROUP BY GROUPING SETS ((l_returnflag), (l_linestatus), (l_returnflag, l_linestatus))`
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FormatRows(0) != again.FormatRows(0) {
+		t.Fatal("cached SQL answer differs from cold answer")
+	}
+	st, ok := db.CacheStats()
+	if !ok || st.Hits == 0 {
+		t.Fatalf("SQL path recorded no hits: %+v", st)
+	}
+
+	filtered := `SELECT l_shipmode, COUNT(*) FROM lineitem WHERE l_quantity > 25 GROUP BY l_shipmode`
+	f1, err := db.Query(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := db.Query(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.FormatRows(0) != f2.FormatRows(0) {
+		t.Fatal("filtered query answers differ across runs")
+	}
+}

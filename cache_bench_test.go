@@ -1,0 +1,83 @@
+package gbmqo
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkCacheReplay measures the cross-query result cache on a replayed
+// workload: "cold" executes the same multi-Group-By batch with the cache
+// bypassed (every run plans and scans), "warm" replays it against a primed
+// cache (every set is an exact hit). The parent benchmark writes the measured
+// ratio to BENCH_cache.json, the artifact checked in with the repo.
+func BenchmarkCacheReplay(b *testing.B) {
+	const rows = 50_000
+	queries := [][]string{
+		{"l_returnflag"}, {"l_linestatus"}, {"l_shipmode"},
+		{"l_returnflag", "l_linestatus"}, {"l_shipmode", "l_returnflag"},
+		{"l_shipdate"},
+	}
+	li, err := GenerateDataset("lineitem", rows, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var coldNs, warmNs int64
+	var warmHits int
+
+	b.Run("cold", func(b *testing.B) {
+		db := Open(&Config{CacheBytes: 64 << 20})
+		db.Register(li)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Execute("lineitem", queries, QueryOptions{NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		db := Open(&Config{CacheBytes: 64 << 20})
+		db.Register(li)
+		if _, _, err := db.Execute("lineitem", queries, QueryOptions{}); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, rep, err := db.Execute("lineitem", queries, QueryOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmHits = rep.Cache.Hits
+		}
+		warmNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	if coldNs == 0 || warmNs == 0 {
+		return // sub-benchmark filtered out; nothing to report
+	}
+	if warmHits != len(queries) {
+		b.Fatalf("warm replay hit %d of %d queries", warmHits, len(queries))
+	}
+	speedup := float64(coldNs) / float64(warmNs)
+	art := map[string]any{
+		"bench":          "CacheReplay",
+		"rows":           rows,
+		"queries":        len(queries),
+		"cold_ns_per_op": coldNs,
+		"warm_ns_per_op": warmNs,
+		"speedup":        speedup,
+		"warm_hits":      warmHits,
+		"command":        "go test -bench BenchmarkCacheReplay -benchtime 5x",
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cache.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH cache replay: cold %d ns/op, warm %d ns/op, %.1fx", coldNs, warmNs, speedup)
+}

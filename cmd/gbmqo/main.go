@@ -33,10 +33,19 @@ func main() {
 		profileT = flag.String("profile", "", "table to run the data-quality profile on")
 		strategy = flag.String("strategy", "gbmqo", "planning strategy: gbmqo, naive, groupingsets, exhaustive")
 		limit    = flag.Int("limit", 20, "max result rows to print")
+		cacheMB  = flag.Int("cache-mb", 0, "cross-query result cache budget in MiB (0 = off)")
+		repeat   = flag.Int("repeat", 1, "run -sql this many times (with -cache-mb, repeats hit the cache)")
 	)
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
-	db := gbmqo.Open(nil)
+	var cfg *gbmqo.Config
+	if *cacheMB > 0 {
+		cfg = &gbmqo.Config{CacheBytes: int64(*cacheMB) << 20}
+	}
+	db := gbmqo.Open(cfg)
 	if *gen != "" {
 		t, err := gbmqo.GenerateDataset(*gen, *rows, *seed, *zipf)
 		fail(err)
@@ -71,13 +80,21 @@ func main() {
 	ran := false
 	if *sqlStmt != "" {
 		ran = true
-		res, err := db.QueryWith(*sqlStmt, opts)
-		fail(err)
+		var res *gbmqo.QueryResult
+		for i := 0; i < *repeat; i++ {
+			var err error
+			res, err = db.QueryWith(*sqlStmt, opts)
+			fail(err)
+		}
 		if res.Plan != nil {
 			fmt.Println("plan:")
 			fmt.Println(res.Plan)
 		}
 		fmt.Println(res.Table.FormatRows(*limit))
+		if st, ok := db.CacheStats(); ok {
+			fmt.Printf("cache: hits=%d ancestor-hits=%d misses=%d admitted=%d evicted=%d entries=%d bytes=%d\n",
+				st.Hits, st.AncestorHits, st.Misses, st.Admissions, st.Evictions, st.Entries, st.Bytes)
+		}
 	}
 	if *explain != "" {
 		ran = true

@@ -24,6 +24,7 @@ import (
 	"io"
 	"strings"
 
+	"gbmqo/internal/cache"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/core"
 	"gbmqo/internal/datagen"
@@ -66,6 +67,12 @@ type (
 	Degradation = engine.Degradation
 	// DegradeKind classifies a Degradation.
 	DegradeKind = engine.DegradeKind
+	// CacheStats is a point-in-time snapshot of the cross-query result cache
+	// (see DB.CacheStats).
+	CacheStats = cache.Stats
+	// CacheCounters reports how the result cache served one request (see
+	// ExecReport.Cache).
+	CacheCounters = engine.CacheCounters
 )
 
 // Degradation kinds a budget-constrained execution can record.
@@ -157,6 +164,12 @@ type Config struct {
 	SampleSize int
 	// Seed makes sampling deterministic.
 	Seed int64
+	// CacheBytes, when positive, enables the cross-query result cache with
+	// this byte budget: Group By results survive across Query calls and
+	// answer later queries exactly or by re-aggregation from a cached
+	// superset grouping (see DESIGN.md "Cross-query result cache"). 0
+	// disables caching.
+	CacheBytes int64
 }
 
 // DB is the top-level handle: a catalog of tables plus the optimizer and
@@ -172,7 +185,21 @@ func Open(cfg *Config) *DB {
 	if cfg != nil {
 		c = *cfg
 	}
-	return &DB{eng: engine.New(stats.NewService(c.Estimator, c.SampleSize, c.Seed))}
+	db := &DB{eng: engine.New(stats.NewService(c.Estimator, c.SampleSize, c.Seed))}
+	if c.CacheBytes > 0 {
+		db.eng.SetCache(cache.New(cache.Config{MaxBytes: c.CacheBytes}))
+	}
+	return db
+}
+
+// CacheStats snapshots the cross-query result cache's counters and residency.
+// ok is false when no cache is configured (Config.CacheBytes == 0).
+func (db *DB) CacheStats() (st CacheStats, ok bool) {
+	c := db.eng.ResultCache()
+	if c == nil {
+		return CacheStats{}, false
+	}
+	return c.Snapshot(), true
 }
 
 // Register adds (or replaces) a table in the catalog.
@@ -250,10 +277,13 @@ type QueryOptions struct {
 	// failure; decisions taken are recorded in ExecReport.Degradations.
 	// 0 means unlimited (peak memory is still measured in ExecReport.PeakMem).
 	MemBudget int64
+	// NoCache bypasses the cross-query result cache for this query (no
+	// lookup, no admission). Irrelevant when the DB has no cache configured.
+	NoCache bool
 }
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
-	opts := sql.Options{Strategy: o.Strategy, Context: o.Context, MemBudget: o.MemBudget}
+	opts := sql.Options{Strategy: o.Strategy, Context: o.Context, MemBudget: o.MemBudget, UseCache: !o.NoCache}
 	if o.UseCardinalityModel {
 		opts.Model = engine.ModelCardinality
 	}
@@ -354,6 +384,7 @@ func (db *DB) ExecuteQueries(tableName string, queries []GroupQuery, o QueryOpti
 		Parallelism: o.Parallelism,
 		Context:     o.Context,
 		MemBudget:   o.MemBudget,
+		UseCache:    !o.NoCache,
 		PerSetAggs:  perSet,
 	})
 	if err != nil {
@@ -402,6 +433,7 @@ func (db *DB) buildRequest(tableName string, queries [][]string, o QueryOptions)
 		Parallelism: o.Parallelism,
 		Context:     o.Context,
 		MemBudget:   o.MemBudget,
+		UseCache:    !o.NoCache,
 	}, nil
 }
 

@@ -1,0 +1,496 @@
+// Package cache implements the cross-query Group By result cache: a
+// concurrency-safe store of materialized Group By results, keyed by
+// (base-table name, base-table version, grouping column set, aggregate list),
+// that survives across queries. It is the repeated-workload extension of the
+// paper's per-batch temp tables — instead of dying at the end of one
+// multi-query optimization, small intermediates are retained and answer
+// later queries, either exactly or by re-aggregation from a cached lattice
+// ancestor (any entry whose grouping columns are a superset of the query's).
+//
+// Admission is cost-based: an entry is admitted with an estimated benefit —
+// the plan cost a future hit saves versus recomputing from the base relation
+// — amortized over the observed demand for its key. Eviction is LRU-W by
+// benefit-per-byte: when the byte budget is exceeded, the entries with the
+// lowest benefit·uses/bytes score go first, ties broken toward the least
+// recently used. Base-table mutation bumps the version held in the catalog;
+// entries keyed to older versions can never match again and are swept by
+// InvalidateBelow.
+//
+// Concurrency: an RWMutex guards the entry map (lookups take the read lock;
+// per-entry usage counters are atomics), and an embedded singleflight group
+// lets callers collapse concurrent identical computations so each key is
+// computed once per stampede.
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// Key identifies one cacheable Group By result.
+type Key struct {
+	// Table is the base relation's catalog name.
+	Table string
+	// Version is the base relation's catalog version when the result was
+	// computed; a mutated (re-registered) table gets a new version, so stale
+	// entries can never be returned.
+	Version uint64
+	// Set is the grouping column set (base-table ordinals).
+	Set colset.Set
+	// AggSig is the canonical signature of the aggregate list the cached
+	// table carries (see AggSignature).
+	AggSig string
+}
+
+// String renders the key (also the singleflight key for this result).
+func (k Key) String() string {
+	return fmt.Sprintf("%s@v%d|%s|%s", k.Table, k.Version, k.Set, k.AggSig)
+}
+
+// KeyOf builds the key for a query's grouping set and aggregate list.
+func KeyOf(tableName string, version uint64, set colset.Set, aggs []exec.Agg) Key {
+	return Key{Table: tableName, Version: version, Set: set, AggSig: AggSignature(aggs)}
+}
+
+// AggSignature canonicalizes an aggregate list: kind, source ordinal and
+// output name per aggregate, order-sensitive. COUNT(*) ignores its source
+// column, so it is normalized out of the signature.
+func AggSignature(aggs []exec.Agg) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		col := a.Col
+		if a.Kind == exec.AggCountStar {
+			col = -1
+		}
+		parts[i] = fmt.Sprintf("%d:%d:%s", a.Kind, col, a.Name)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rollupable reports whether every aggregate in the list can be re-aggregated
+// through a materialized intermediate (AVG cannot: the average of averages is
+// wrong, and exec.Agg.Rollup panics on it).
+func Rollupable(aggs []exec.Agg) bool {
+	for _, a := range aggs {
+		if a.Kind == exec.AggAvg {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	// Hits counts exact-key lookups answered from the cache.
+	Hits int64
+	// AncestorHits counts queries answered by re-aggregating a cached
+	// superset entry (recorded by the engine via TouchAncestor).
+	AncestorHits int64
+	// Misses counts lookups that found nothing usable (recorded by the
+	// engine via NoteMiss, after the ancestor search also failed).
+	Misses int64
+	// Admissions and Rejections count Offer outcomes.
+	Admissions int64
+	Rejections int64
+	// Evictions counts entries displaced by admission pressure or ShrinkTo.
+	Evictions int64
+	// Invalidations counts entries swept because their table version went
+	// stale.
+	Invalidations int64
+	// FlightLeads counts singleflight computations executed; FlightShared
+	// counts callers that piggybacked on another caller's computation.
+	FlightLeads  int64
+	FlightShared int64
+	// Bytes and Entries describe current residency.
+	Bytes   int64
+	Entries int
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxBytes is the byte budget for resident entries (required, > 0).
+	MaxBytes int64
+	// MinBenefitPerByte rejects candidates whose amortized benefit density
+	// falls below this floor (0 admits everything that fits).
+	MinBenefitPerByte float64
+}
+
+// entry is one cached result.
+type entry struct {
+	key     Key
+	aggs    []exec.Agg
+	tbl     *table.Table
+	bytes   int64
+	benefit float64 // estimated plan cost one exact hit saves vs base
+
+	uses     atomic.Int64  // demanded-or-hit count, the W in LRU-W
+	lastUsed atomic.Uint64 // logical clock of the last touch
+}
+
+// score is the eviction priority: benefit per byte, amortized over observed
+// demand. Higher scores survive longer.
+func (e *entry) score() float64 {
+	uses := e.uses.Load()
+	if uses < 1 {
+		uses = 1
+	}
+	b := e.bytes
+	if b < 1 {
+		b = 1
+	}
+	return e.benefit * float64(uses) / float64(b)
+}
+
+// demandCap bounds the miss-frequency map; past it the counts reset, making
+// observed frequency approximate instead of unbounded state.
+const demandCap = 1 << 16
+
+// Cache is the concurrency-safe cross-query result cache.
+type Cache struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries map[Key]*entry
+	bytes   int64
+
+	dmu    sync.Mutex
+	demand map[Key]int64 // requests seen for not-yet-cached keys
+
+	clock atomic.Uint64
+
+	hits, ancHits, misses           atomic.Int64
+	admissions, rejections          atomic.Int64
+	evictions, invalidations        atomic.Int64
+	flightLeads, flightSharedCalls  atomic.Int64
+
+	flight flightGroup
+}
+
+// New creates a cache with the given configuration.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[Key]*entry),
+		demand:  make(map[Key]int64),
+	}
+}
+
+// MaxBytes returns the configured byte budget.
+func (c *Cache) MaxBytes() int64 { return c.cfg.MaxBytes }
+
+// Get returns the cached table for an exact key, recording demand either way.
+func (c *Cache) Get(key Key) (*table.Table, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil {
+		c.bumpDemand(key)
+		return nil, false
+	}
+	e.uses.Add(1)
+	e.lastUsed.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return e.tbl, true
+}
+
+// Ancestor is one lattice-lookup candidate: a cached entry whose grouping
+// columns are a superset of the query's and whose aggregate list covers the
+// query's, so the query can be answered by re-aggregating its table.
+type Ancestor struct {
+	Key   Key
+	Set   colset.Set
+	Table *table.Table
+	Aggs  []exec.Agg
+}
+
+// Ancestors returns every cached entry that can answer a query over set with
+// the given aggregates by re-aggregation: same table and version, a superset
+// grouping, and aggregate coverage. The caller (the engine) picks the
+// cheapest candidate with its cost model — the paper's compute-from-the-
+// smallest-parent rule applied to the cache.
+func (c *Cache) Ancestors(tableName string, version uint64, set colset.Set, queryAggs []exec.Agg) []Ancestor {
+	if c == nil || !Rollupable(queryAggs) {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Ancestor
+	for k, e := range c.entries {
+		if k.Table != tableName || k.Version != version {
+			continue
+		}
+		if !set.SubsetOf(k.Set) {
+			continue
+		}
+		if !coversAggs(e.aggs, queryAggs) {
+			continue
+		}
+		out = append(out, Ancestor{Key: k, Set: k.Set, Table: e.tbl, Aggs: e.aggs})
+	}
+	return out
+}
+
+// coversAggs reports whether the entry's aggregate list contains every query
+// aggregate (same kind, output name, and — except COUNT(*) — source column).
+func coversAggs(have, want []exec.Agg) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h.Kind == w.Kind && h.Name == w.Name && (w.Kind == exec.AggCountStar || h.Col == w.Col) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TouchAncestor records that an entry answered a query as a lattice ancestor:
+// its usage weight and recency bump exactly like an exact hit.
+func (c *Cache) TouchAncestor(key Key) {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil {
+		return
+	}
+	e.uses.Add(1)
+	e.lastUsed.Store(c.clock.Add(1))
+	c.ancHits.Add(1)
+}
+
+// NoteMiss records that a query found neither an exact entry nor a usable
+// ancestor.
+func (c *Cache) NoteMiss() {
+	if c == nil {
+		return
+	}
+	c.misses.Add(1)
+}
+
+// Offer submits a computed result for admission. The decision is cost-based:
+// the candidate's score is its benefit (estimated plan cost one future exact
+// hit saves) amortized over the demand observed for its key, per byte. It is
+// admitted when it fits the byte budget after evicting only strictly
+// lower-scored entries; a candidate that would require evicting
+// better-than-itself entries is rejected. Returns whether it was admitted.
+//
+// The table's lazy row-major scan image is forced here, outside the lock:
+// cached tables are shared by concurrent queries, and the image must never be
+// built by two readers at once.
+func (c *Cache) Offer(key Key, aggs []exec.Agg, t *table.Table, benefit float64) bool {
+	if c == nil || t == nil {
+		return false
+	}
+	t.RowImage()
+	bytes := t.MemSize()
+	if bytes < 1 {
+		bytes = 1
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return false
+	}
+	if bytes > c.cfg.MaxBytes {
+		c.rejections.Add(1)
+		return false
+	}
+	uses := c.takeDemand(key)
+	if uses < 1 {
+		uses = 1
+	}
+	score := benefit * float64(uses) / float64(bytes)
+	if score < c.cfg.MinBenefitPerByte {
+		c.rejections.Add(1)
+		return false
+	}
+	for c.bytes+bytes > c.cfg.MaxBytes {
+		victim := c.victimLocked()
+		if victim == nil || victim.score() >= score {
+			c.rejections.Add(1)
+			return false
+		}
+		c.evictLocked(victim)
+		c.evictions.Add(1)
+	}
+	e := &entry{key: key, aggs: append([]exec.Agg(nil), aggs...), tbl: t, bytes: bytes, benefit: benefit}
+	e.uses.Store(uses)
+	e.lastUsed.Store(c.clock.Add(1))
+	c.entries[key] = e
+	c.bytes += bytes
+	c.admissions.Add(1)
+	return true
+}
+
+// victimLocked returns the entry with the lowest score, ties broken toward
+// the least recently used (the LRU-W order). Callers hold c.mu.
+func (c *Cache) victimLocked() *entry {
+	var victim *entry
+	var vScore float64
+	for _, e := range c.entries {
+		s := e.score()
+		if victim == nil || s < vScore ||
+			(s == vScore && e.lastUsed.Load() < victim.lastUsed.Load()) {
+			victim, vScore = e, s
+		}
+	}
+	return victim
+}
+
+// evictLocked removes one entry. Callers hold c.mu and count the eviction.
+func (c *Cache) evictLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// ShrinkTo evicts lowest-scored entries until residency is at most maxBytes,
+// returning the bytes freed. The engine calls it before running under a
+// memory budget so the cache yields memory before operators must degrade.
+func (c *Cache) ShrinkTo(maxBytes int64) int64 {
+	if c == nil {
+		return 0
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freed := int64(0)
+	for c.bytes > maxBytes {
+		victim := c.victimLocked()
+		if victim == nil {
+			break
+		}
+		c.evictLocked(victim)
+		c.evictions.Add(1)
+		freed += victim.bytes
+	}
+	return freed
+}
+
+// InvalidateBelow sweeps every entry of the table whose version differs from
+// current — a mutated base relation invalidates all dependent results.
+// Returns the number of entries removed.
+func (c *Cache) InvalidateBelow(tableName string, current uint64) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.entries {
+		if k.Table == tableName && k.Version != current {
+			c.evictLocked(e)
+			c.invalidations.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// DropTable removes every entry of the named table regardless of version.
+func (c *Cache) DropTable(tableName string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if k.Table == tableName {
+			c.evictLocked(e)
+			c.invalidations.Add(1)
+		}
+	}
+}
+
+// Bytes returns current residency.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bytes
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Snapshot returns a point-in-time view of the counters and residency.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.RLock()
+	bytes, entries := c.bytes, len(c.entries)
+	c.mu.RUnlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		AncestorHits:  c.ancHits.Load(),
+		Misses:        c.misses.Load(),
+		Admissions:    c.admissions.Load(),
+		Rejections:    c.rejections.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		FlightLeads:   c.flightLeads.Load(),
+		FlightShared:  c.flightSharedCalls.Load(),
+		Bytes:         bytes,
+		Entries:       entries,
+	}
+}
+
+// Do collapses concurrent identical computations: the first caller for key
+// runs fn, concurrent callers for the same key wait and share the outcome.
+func (c *Cache) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	val, err, shared = c.flight.do(key, fn)
+	if shared {
+		c.flightSharedCalls.Add(1)
+	} else {
+		c.flightLeads.Add(1)
+	}
+	return val, err, shared
+}
+
+// bumpDemand records a request for a not-yet-cached key; the count weights
+// the key's admission score when its result is later offered.
+func (c *Cache) bumpDemand(key Key) {
+	c.dmu.Lock()
+	if len(c.demand) >= demandCap {
+		c.demand = make(map[Key]int64) // approximate: reset rather than grow unbounded
+	}
+	c.demand[key]++
+	c.dmu.Unlock()
+}
+
+// takeDemand consumes the demand count observed for a key.
+func (c *Cache) takeDemand(key Key) int64 {
+	c.dmu.Lock()
+	n := c.demand[key]
+	delete(c.demand, key)
+	c.dmu.Unlock()
+	return n
+}

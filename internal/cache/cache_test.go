@@ -1,0 +1,361 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// testTable builds a tiny two-column table; same rows → same MemSize, so
+// admission arithmetic in the tests is deterministic.
+func testTable(name string, rows int) *table.Table {
+	tb := table.New(name, []table.ColumnDef{
+		{Name: "a", Typ: table.TInt64},
+		{Name: "cnt", Typ: table.TInt64},
+	})
+	for i := 0; i < rows; i++ {
+		tb.AppendRow(table.Int(int64(i%7)), table.Int(1))
+	}
+	return tb
+}
+
+func countStar() []exec.Agg { return []exec.Agg{exec.CountStar()} }
+
+// entrySize is the resident size of a testTable entry: Offer forces the
+// row-major scan image, which MemSize then includes.
+func entrySize(rows int) int64 {
+	tb := testTable("x", rows)
+	tb.RowImage()
+	return tb.MemSize()
+}
+
+func TestAggSignature(t *testing.T) {
+	star := exec.Agg{Kind: exec.AggCountStar, Col: 3, Name: "cnt"}
+	star2 := exec.Agg{Kind: exec.AggCountStar, Col: 9, Name: "cnt"}
+	if AggSignature([]exec.Agg{star}) != AggSignature([]exec.Agg{star2}) {
+		t.Fatal("COUNT(*) signature must ignore the source column")
+	}
+	sum := exec.Agg{Kind: exec.AggSum, Col: 3, Name: "s"}
+	sumOther := exec.Agg{Kind: exec.AggSum, Col: 4, Name: "s"}
+	if AggSignature([]exec.Agg{sum}) == AggSignature([]exec.Agg{sumOther}) {
+		t.Fatal("SUM signature must distinguish source columns")
+	}
+	if AggSignature([]exec.Agg{star, sum}) == AggSignature([]exec.Agg{sum, star}) {
+		t.Fatal("signature must be order-sensitive")
+	}
+}
+
+func TestRollupable(t *testing.T) {
+	if !Rollupable([]exec.Agg{exec.CountStar(), {Kind: exec.AggSum, Col: 1, Name: "s"}}) {
+		t.Fatal("COUNT(*)+SUM should be rollupable")
+	}
+	if Rollupable([]exec.Agg{{Kind: exec.AggAvg, Col: 1, Name: "a"}}) {
+		t.Fatal("AVG must not be rollupable")
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	tbl := testTable("t1", 10)
+	key := KeyOf("base", 1, colset.Of(0), countStar())
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Offer(key, countStar(), tbl, 100) {
+		t.Fatal("offer rejected with ample budget")
+	}
+	got, ok := c.Get(key)
+	if !ok || got != tbl {
+		t.Fatalf("Get = %v, %v; want the offered table", got, ok)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 0 || st.Admissions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != tbl.MemSize() {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, tbl.MemSize())
+	}
+	// A different version is a different key.
+	if _, ok := c.Get(KeyOf("base", 2, colset.Of(0), countStar())); ok {
+		t.Fatal("hit across table versions")
+	}
+}
+
+func TestOfferRejectsOversizeAndDuplicates(t *testing.T) {
+	tbl := testTable("t1", 100)
+	tbl.RowImage()
+	c := New(Config{MaxBytes: tbl.MemSize() - 1})
+	key := KeyOf("base", 1, colset.Of(0), countStar())
+	if c.Offer(key, countStar(), tbl, 100) {
+		t.Fatal("admitted a table larger than the whole budget")
+	}
+	c = New(Config{MaxBytes: 1 << 20})
+	if !c.Offer(key, countStar(), tbl, 100) {
+		t.Fatal("first offer rejected")
+	}
+	if c.Offer(key, countStar(), testTable("t2", 100), 100) {
+		t.Fatal("duplicate key admitted twice")
+	}
+}
+
+func TestEvictionIsBenefitPerByteOrdered(t *testing.T) {
+	size := entrySize(50)
+	c := New(Config{MaxBytes: 2 * size})
+	keyOf := func(i int) Key { return KeyOf("base", 1, colset.Of(i), countStar()) }
+	if !c.Offer(keyOf(0), countStar(), testTable("a", 50), 10) {
+		t.Fatal("offer a")
+	}
+	if !c.Offer(keyOf(1), countStar(), testTable("b", 50), 20) {
+		t.Fatal("offer b")
+	}
+	// Higher-benefit candidate evicts the lowest-scored entry (a).
+	if !c.Offer(keyOf(2), countStar(), testTable("c", 50), 30) {
+		t.Fatal("offer c rejected; should evict a")
+	}
+	if _, ok := c.Get(keyOf(0)); ok {
+		t.Fatal("lowest-score entry survived eviction")
+	}
+	if _, ok := c.Get(keyOf(1)); !ok {
+		t.Fatal("higher-score entry was evicted")
+	}
+	// A candidate scoring below every resident entry is rejected, not admitted
+	// by evicting better entries.
+	if c.Offer(keyOf(3), countStar(), testTable("d", 50), 1) {
+		t.Fatal("low-benefit candidate displaced better entries")
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 || st.Rejections == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDemandWeightsAdmission(t *testing.T) {
+	size := entrySize(50)
+	c := New(Config{MaxBytes: 2 * size})
+	hot := KeyOf("base", 1, colset.Of(0), countStar())
+	cold1 := KeyOf("base", 1, colset.Of(1), countStar())
+	cold2 := KeyOf("base", 1, colset.Of(2), countStar())
+	c.Offer(cold1, countStar(), testTable("c1", 50), 10)
+	c.Offer(cold2, countStar(), testTable("c2", 50), 10)
+	// Three unanswered requests for hot: its demand weight amortizes the same
+	// benefit over observed frequency, beating the cold entries.
+	for i := 0; i < 3; i++ {
+		c.Get(hot)
+	}
+	if !c.Offer(hot, countStar(), testTable("h", 50), 10) {
+		t.Fatal("demanded key lost admission to equal-benefit cold entries")
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("hot entry missing after admission")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	aggs := []exec.Agg{exec.CountStar(), {Kind: exec.AggSum, Col: 1, Name: "s"}}
+	super := colset.Of(0, 1, 2)
+	key := KeyOf("base", 1, super, aggs)
+	tb := table.New("anc", []table.ColumnDef{
+		{Name: "a", Typ: table.TInt64}, {Name: "b", Typ: table.TInt64},
+		{Name: "c", Typ: table.TInt64}, {Name: "cnt", Typ: table.TInt64},
+		{Name: "s", Typ: table.TInt64},
+	})
+	tb.AppendRow(table.Int(1), table.Int(2), table.Int(3), table.Int(4), table.Int(5))
+	if !c.Offer(key, aggs, tb, 100) {
+		t.Fatal("offer")
+	}
+
+	got := c.Ancestors("base", 1, colset.Of(0, 2), countStar())
+	if len(got) != 1 || got[0].Set != super || got[0].Table != tb {
+		t.Fatalf("Ancestors = %+v", got)
+	}
+	if len(c.Ancestors("base", 1, colset.Of(0, 3), countStar())) != 0 {
+		t.Fatal("non-subset query matched an ancestor")
+	}
+	if len(c.Ancestors("base", 2, colset.Of(0), countStar())) != 0 {
+		t.Fatal("stale version matched an ancestor")
+	}
+	if len(c.Ancestors("other", 1, colset.Of(0), countStar())) != 0 {
+		t.Fatal("wrong table matched an ancestor")
+	}
+	if len(c.Ancestors("base", 1, colset.Of(0), []exec.Agg{{Kind: exec.AggMin, Col: 2, Name: "m"}})) != 0 {
+		t.Fatal("uncovered aggregate matched an ancestor")
+	}
+	if len(c.Ancestors("base", 1, colset.Of(0), []exec.Agg{{Kind: exec.AggAvg, Col: 1, Name: "v"}})) != 0 {
+		t.Fatal("AVG query must never take the ancestor path")
+	}
+	c.TouchAncestor(got[0].Key)
+	if st := c.Snapshot(); st.AncestorHits != 1 {
+		t.Fatalf("AncestorHits = %d", st.AncestorHits)
+	}
+}
+
+func TestInvalidateBelow(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	c.Offer(KeyOf("base", 1, colset.Of(0), countStar()), countStar(), testTable("a", 10), 10)
+	c.Offer(KeyOf("base", 2, colset.Of(1), countStar()), countStar(), testTable("b", 10), 10)
+	c.Offer(KeyOf("other", 1, colset.Of(0), countStar()), countStar(), testTable("c", 10), 10)
+	if n := c.InvalidateBelow("base", 2); n != 1 {
+		t.Fatalf("invalidated %d entries, want 1", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after invalidation", c.Len())
+	}
+	c.DropTable("base")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after DropTable", c.Len())
+	}
+	if st := c.Snapshot(); st.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d", st.Invalidations)
+	}
+}
+
+func TestShrinkTo(t *testing.T) {
+	size := entrySize(50)
+	c := New(Config{MaxBytes: 4 * size})
+	for i := 0; i < 4; i++ {
+		c.Offer(KeyOf("base", 1, colset.Of(i), countStar()), countStar(),
+			testTable(fmt.Sprintf("t%d", i), 50), float64(10*(i+1)))
+	}
+	freed := c.ShrinkTo(2 * size)
+	if freed != 2*size {
+		t.Fatalf("freed %d bytes, want %d", freed, 2*size)
+	}
+	if c.Bytes() > 2*size {
+		t.Fatalf("Bytes = %d over shrink target", c.Bytes())
+	}
+	// The two lowest-benefit entries went first.
+	for i, wantLive := range []bool{false, false, true, true} {
+		_, ok := c.Get(KeyOf("base", 1, colset.Of(i), countStar()))
+		if ok != wantLive {
+			t.Fatalf("entry %d live = %v, want %v", i, ok, wantLive)
+		}
+	}
+	if c.ShrinkTo(0); c.Len() != 0 {
+		t.Fatal("ShrinkTo(0) left entries")
+	}
+}
+
+func TestDoCollapsesStampede(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	var computes atomic.Int64
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	shareds := make([]bool, n)
+	run := func(i int) {
+		defer wg.Done()
+		v, err, shared := c.Do("k", func() (any, error) {
+			if computes.Add(1) == 1 {
+				close(computing)
+			}
+			<-release // hold the flight open so the other goroutines join it
+			return "value", nil
+		})
+		if err != nil {
+			t.Errorf("Do error: %v", err)
+		}
+		results[i], shareds[i] = v, shared
+	}
+	wg.Add(1)
+	go run(0)
+	<-computing // the flight is registered; everyone below must share it
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Let the followers reach the in-flight call before the leader finishes
+	// (the flight stays registered until release closes, so a follower only
+	// needs to have called Do by then).
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := range results {
+		if results[i] != "value" {
+			t.Fatalf("result %d = %v", i, results[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+	st := c.Snapshot()
+	if st.FlightLeads != 1 || st.FlightShared != n-1 {
+		t.Fatalf("flight stats = %+v", st)
+	}
+}
+
+func TestDoPanicUnblocksWaiters(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	entered := make(chan struct{})
+	finish := make(chan struct{})
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic was swallowed")
+			}
+		}()
+		c.Do("k", func() (any, error) {
+			close(entered)
+			<-finish
+			panic("boom")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-entered
+		_, followerErr, _ = c.Do("k", func() (any, error) { return "late", nil })
+	}()
+	// Give the follower a moment to join the in-flight call, then let the
+	// leader panic.
+	<-entered
+	close(finish)
+	wg.Wait()
+	// The follower either joined the panicking flight (and must get an error,
+	// not a hang) or arrived after cleanup and computed fresh.
+	if followerErr != nil && followerErr.Error() == "" {
+		t.Fatalf("follower error = %v", followerErr)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Offer(Key{}, countStar(), testTable("t", 1), 1) {
+		t.Fatal("nil cache admitted")
+	}
+	if c.Ancestors("x", 1, colset.Of(0), countStar()) != nil {
+		t.Fatal("nil cache ancestors")
+	}
+	c.NoteMiss()
+	c.TouchAncestor(Key{})
+	c.ShrinkTo(0)
+	c.InvalidateBelow("x", 1)
+	c.DropTable("x")
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache residency")
+	}
+	if (c.Snapshot() != Stats{}) {
+		t.Fatal("nil cache stats")
+	}
+}

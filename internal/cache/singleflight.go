@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightCall is one in-flight computation shared by every caller that asked
+// for the same key while it ran.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// flightGroup deduplicates concurrent computations by key: the first caller
+// (the leader) runs fn, later callers block until the leader finishes and
+// share its outcome. Once the call completes the key is forgotten, so a later
+// request computes afresh — the cache in front of the group is what makes
+// repeated requests cheap, the group only collapses *stampedes*.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// do runs fn once per concurrently-requested key. shared reports whether this
+// caller received another caller's result. A panic inside fn is converted to
+// an error for the waiters (so none of them blocks forever) and then
+// re-raised in the leader, preserving the process's panic semantics.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	normal := false
+	defer func() {
+		if !normal {
+			c.err = fmt.Errorf("cache: in-flight computation for %q panicked", key)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	normal = true
+	return c.val, c.err, false
+}

@@ -40,15 +40,20 @@ type Catalog struct {
 	indexes map[string][]*index.Index
 	hypos   map[string]*HypoTable
 	stats   *stats.Service
+	// versions counts mutations per table name: every Register (create or
+	// replace) and Drop bumps the counter, so any cached derivation keyed by
+	// (name, version) goes stale the moment the table's contents may differ.
+	versions map[string]uint64
 }
 
 // New creates an empty catalog backed by the given statistics service.
 func New(svc *stats.Service) *Catalog {
 	return &Catalog{
-		tables:  make(map[string]*table.Table),
-		indexes: make(map[string][]*index.Index),
-		hypos:   make(map[string]*HypoTable),
-		stats:   svc,
+		tables:   make(map[string]*table.Table),
+		indexes:  make(map[string][]*index.Index),
+		hypos:    make(map[string]*HypoTable),
+		stats:    svc,
+		versions: make(map[string]uint64),
 	}
 }
 
@@ -64,8 +69,15 @@ func (c *Catalog) Register(t *table.Table) {
 			c.stats.Invalidate(t.Name())
 		}
 	}
+	c.versions[t.Name()]++
 	c.tables[t.Name()] = t
 }
+
+// Version returns the table's mutation counter. It changes whenever the
+// table is registered (created or replaced) or dropped, so results derived
+// from one version can be recognized as stale after any mutation. Unknown
+// tables report 0.
+func (c *Catalog) Version(name string) uint64 { return c.versions[name] }
 
 // Table resolves a table by name.
 func (c *Catalog) Table(name string) (*table.Table, bool) {
@@ -85,6 +97,9 @@ func (c *Catalog) MustTable(name string) *table.Table {
 // Drop removes a table, its indexes, and its statistics. Dropping an unknown
 // table is a no-op (temp-table cleanup paths may race with earlier drops).
 func (c *Catalog) Drop(name string) {
+	if _, existed := c.tables[name]; existed {
+		c.versions[name]++
+	}
 	delete(c.tables, name)
 	delete(c.indexes, name)
 	if c.stats != nil {

@@ -1,0 +1,41 @@
+package catalog
+
+import (
+	"testing"
+
+	"gbmqo/internal/stats"
+)
+
+// TestVersionBumps: every Register of a name advances its version (the result
+// cache keys on it, so a replaced table can never serve stale entries), and
+// Drop advances it too so a later re-register of the same name cannot collide
+// with entries cached before the drop.
+func TestVersionBumps(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	if v := c.Version("t"); v != 0 {
+		t.Fatalf("unregistered version = %d", v)
+	}
+	c.Register(newTable("t"))
+	v1 := c.Version("t")
+	if v1 == 0 {
+		t.Fatal("version not bumped on first register")
+	}
+	c.Register(newTable("t"))
+	v2 := c.Version("t")
+	if v2 <= v1 {
+		t.Fatalf("re-register version %d, want > %d", v2, v1)
+	}
+	c.Drop("t")
+	v3 := c.Version("t")
+	if v3 <= v2 {
+		t.Fatalf("drop version %d, want > %d", v3, v2)
+	}
+	c.Drop("t") // dropping a missing table must not bump
+	if v := c.Version("t"); v != v3 {
+		t.Fatalf("idempotent drop bumped version %d -> %d", v3, v)
+	}
+	c.Register(newTable("u"))
+	if v := c.Version("t"); v != v3 {
+		t.Fatal("registering another table changed t's version")
+	}
+}

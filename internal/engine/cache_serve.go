@@ -1,0 +1,324 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gbmqo/internal/cache"
+	"gbmqo/internal/colset"
+	"gbmqo/internal/cost"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/plan"
+	"gbmqo/internal/table"
+)
+
+// CacheCounters reports how the cross-query result cache served one request.
+type CacheCounters struct {
+	// Hits counts grouping sets answered from an exact cached entry.
+	Hits int
+	// AncestorHits counts sets answered by re-aggregating a cached lattice
+	// ancestor (a superset grouping) instead of recomputing from base.
+	AncestorHits int
+	// Misses counts sets that had to be computed by the planner.
+	Misses int
+	// Admissions counts entries this request added to the cache (results,
+	// promoted temp tables, and derived ancestor re-aggregations).
+	Admissions int
+	// FlightShared reports that this request's residual computation was
+	// deduplicated onto a concurrent identical request — the work counters of
+	// the report are then zero, because another run did the work.
+	FlightShared bool
+	// Evictions is the cache's cumulative eviction count after the request;
+	// Bytes and Entries are its residency after the request.
+	Evictions int64
+	Bytes     int64
+	Entries   int
+}
+
+// runCached serves a request through the result cache: every requested
+// grouping set is answered from an exact cached entry when one exists, else
+// re-aggregated from the cheapest cached lattice ancestor (a superset
+// grouping, priced with the request's cost model exactly like the paper
+// prices parent edges — the smallest-parent rule applied to the cache), and
+// only the remaining sets are planned and executed. The residual execution is
+// deduplicated through singleflight so concurrent identical requests compute
+// once, and on success its results and dropped temp tables are offered to the
+// cache. Nothing is admitted on a cancelled or failed run.
+func (e *Engine) runCached(req Request) (*RunResult, error) {
+	base, ok := e.cat.Table(req.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", req.Table)
+	}
+	start := time.Now()
+	ver := e.cat.Version(req.Table)
+	e.cache.InvalidateBelow(req.Table, ver)
+
+	env := cost.NewEnv(base, e.cat.Stats(), e.cat.Indexes(req.Table))
+	var model cost.Model
+	if req.Model == ModelCardinality {
+		model = cost.NewCardinality(env)
+	} else {
+		model = cost.NewOptimizer(env, cost.Coefficients{})
+	}
+
+	// MemBudget participation: the cache yields memory before operators
+	// degrade. It is shrunk to at most half the budget up front, and whatever
+	// it still holds is subtracted from what execution may use.
+	execBudget := req.MemBudget
+	if req.MemBudget > 0 {
+		e.cache.ShrinkTo(req.MemBudget / 2)
+		execBudget = req.MemBudget - e.cache.Bytes()
+	}
+
+	var counters CacheCounters
+	served := map[colset.Set]*table.Table{}
+	var missed []colset.Set
+	for _, s := range req.Sets {
+		aggs := requestAggs(req, s)
+		key := cache.KeyOf(req.Table, ver, s, aggs)
+		if t, ok := e.cache.Get(key); ok {
+			served[s] = t
+			counters.Hits++
+			continue
+		}
+		t, admissions, err := e.deriveFromAncestor(req, base, ver, s, aggs, model)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			served[s] = t
+			counters.AncestorHits++
+			counters.Admissions += admissions
+			continue
+		}
+		e.cache.NoteMiss()
+		counters.Misses++
+		missed = append(missed, s)
+	}
+
+	var lead *residualOutcome
+	if len(missed) > 0 {
+		rkey := residualKey(req, ver, missed)
+		sub := req
+		sub.Sets = missed
+		sub.UseCache = false
+		sub.MemBudget = execBudget
+		val, err, shared := e.cache.Do(rkey, func() (any, error) {
+			return e.runResidual(sub, ver, model)
+		})
+		if err != nil {
+			return nil, err
+		}
+		lead = val.(*residualOutcome)
+		counters.FlightShared = shared
+		if !shared {
+			counters.Admissions += lead.admissions
+		}
+	}
+
+	// Assemble a fresh report: the residual outcome is shared with concurrent
+	// followers, so its maps are never mutated — results are copied out. A
+	// follower's report carries only Results (the leader's report owns the
+	// work counters, so totals across a stampede equal one cold run).
+	report := &ExecReport{Results: make(map[colset.Set]*table.Table, len(req.Sets))}
+	out := &RunResult{Report: report, ModelUsd: model}
+	if lead != nil {
+		if !counters.FlightShared {
+			shallow := *lead.res.Report
+			report = &shallow
+			report.Results = make(map[colset.Set]*table.Table, len(req.Sets))
+			out.Report = report
+		}
+		for s, t := range lead.res.Report.Results {
+			report.Results[s] = t
+		}
+		out.Plan = lead.res.Plan
+		out.Search = lead.res.Search
+		out.PlanCostSeq = lead.res.PlanCostSeq
+		out.PlanCostPar = lead.res.PlanCostPar
+		out.Degradations = report.Degradations
+	} else {
+		// Every set was served from the cache: an empty plan rooted at the
+		// base relation, zero cost.
+		out.Plan = &plan.Plan{BaseName: req.Table, ColNames: base.ColNames()}
+	}
+	for s, t := range served {
+		report.Results[s] = t
+	}
+	snap := e.cache.Snapshot()
+	counters.Evictions = snap.Evictions
+	counters.Bytes = snap.Bytes
+	counters.Entries = snap.Entries
+	report.Cache = counters
+	out.Cache = counters
+	report.Wall = time.Since(start)
+	return out, nil
+}
+
+// residualOutcome is what one singleflight residual computation produces: the
+// leader's run result (shared read-only with followers) and how many cache
+// admissions it made.
+type residualOutcome struct {
+	res        *RunResult
+	admissions int
+}
+
+// runResidual plans and executes the not-cache-served grouping sets, then —
+// only after the run has fully succeeded — offers its results and its dropped
+// temp tables to the cache, each with an admission benefit equal to the cost
+// of computing that set from the base relation. Collecting candidates during
+// the run but admitting after it is what guarantees a cancelled or
+// over-budget run never leaves a partially admitted entry.
+func (e *Engine) runResidual(sub Request, ver uint64, model cost.Model) (*residualOutcome, error) {
+	type promo struct {
+		set  colset.Set
+		aggs []exec.Agg
+		t    *table.Table
+	}
+	var mu sync.Mutex
+	var promos []promo
+	res, err := e.runDirect(sub, func(set colset.Set, aggs []exec.Agg, t *table.Table) {
+		mu.Lock()
+		promos = append(promos, promo{set: set, aggs: aggs, t: t})
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	outcome := &residualOutcome{res: res}
+	for _, s := range sub.Sets {
+		t := res.Report.Results[s]
+		if t == nil {
+			continue
+		}
+		aggs := requestAggs(sub, s)
+		if e.offer(sub.Table, ver, s, aggs, t, model) {
+			outcome.admissions++
+		}
+	}
+	for _, p := range promos {
+		if e.offer(sub.Table, ver, p.set, p.aggs, p.t, model) {
+			outcome.admissions++
+		}
+	}
+	return outcome, nil
+}
+
+// offer submits one table for admission, with benefit = the cost of computing
+// its grouping set from the base relation (what a future exact hit saves).
+func (e *Engine) offer(tbl string, ver uint64, s colset.Set, aggs []exec.Agg, t *table.Table, model cost.Model) bool {
+	benefit := model.EdgeCost(cost.Edge{ParentIsBase: true, V: s, NAggs: len(aggs)})
+	return e.cache.Offer(cache.KeyOf(tbl, ver, s, aggs), aggs, t, benefit)
+}
+
+// deriveFromAncestor answers one grouping set from the cheapest cached
+// lattice ancestor, when re-aggregating that ancestor is cheaper than
+// computing from the base relation under the request's cost model (an index
+// fast path on base can beat a cached superset; the comparison decides).
+// The derivation runs under singleflight so a stampede on the same missing
+// set re-aggregates once, and the derived result is itself offered to the
+// cache so the next request is an exact hit. Returns (nil, 0, nil) when no
+// profitable ancestor exists.
+func (e *Engine) deriveFromAncestor(req Request, base *table.Table, ver uint64, s colset.Set, aggs []exec.Agg, model cost.Model) (*table.Table, int, error) {
+	cands := e.cache.Ancestors(req.Table, ver, s, aggs)
+	if len(cands) == 0 {
+		return nil, 0, nil
+	}
+	nAggs := len(aggs)
+	baseCost := model.EdgeCost(cost.Edge{ParentIsBase: true, V: s, NAggs: nAggs})
+	var best *cache.Ancestor
+	var bestCost float64
+	for i := range cands {
+		c := model.EdgeCost(cost.Edge{Parent: cands[i].Set, V: s, NAggs: nAggs})
+		if c >= baseCost {
+			continue
+		}
+		if best == nil || c < bestCost ||
+			(c == bestCost && cands[i].Set.String() < best.Set.String()) {
+			best, bestCost = &cands[i], c
+		}
+	}
+	if best == nil {
+		return nil, 0, nil
+	}
+	key := cache.KeyOf(req.Table, ver, s, aggs)
+	admissions := 0
+	val, err, shared := e.cache.Do("derive|"+key.String(), func() (any, error) {
+		out, err := e.reaggregate(base, best.Table, s, aggs, req)
+		if err != nil {
+			return nil, err
+		}
+		e.cache.TouchAncestor(best.Key)
+		if e.cache.Offer(key, aggs, out, baseCost) {
+			admissions++
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if shared {
+		admissions = 0
+	}
+	return val.(*table.Table), admissions, nil
+}
+
+// reaggregate computes GROUP BY s over a cached ancestor table, resolving the
+// grouping columns by base-column name and rolling the aggregates up through
+// the materialized intermediate (§5.2) — the same mapping the engine applies
+// when computing a child from a temp table, so the output (schema, values,
+// and first-appearance row order) is identical to a cold computation.
+func (e *Engine) reaggregate(base *table.Table, anc *table.Table, s colset.Set, aggs []exec.Agg, req Request) (*table.Table, error) {
+	baseCols := s.Columns()
+	cols := make([]int, len(baseCols))
+	for i, bc := range baseCols {
+		name := base.Col(bc).Name()
+		ord := anc.ColIndex(name)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: cached ancestor %s lacks column %q", anc.Name(), name)
+		}
+		cols[i] = ord
+	}
+	rolled := make([]exec.Agg, len(aggs))
+	for i, a := range aggs {
+		src := anc.ColIndex(a.Name)
+		if src < 0 {
+			return nil, fmt.Errorf("engine: cached ancestor %s lacks aggregate %q", anc.Name(), a.Name)
+		}
+		rolled[i] = a.Rollup(src)
+	}
+	gov := exec.NewGov(req.Context, exec.NewMemBudget(0))
+	return exec.GroupByHashGov(gov, anc, cols, rolled, plan.TempName(s))
+}
+
+// requestAggs returns the aggregates a request computes for one grouping set
+// (its per-set override, the shared list, or the COUNT(*) default — mirroring
+// the executor's defaulting so cache keys match what execution produces).
+func requestAggs(req Request, s colset.Set) []exec.Agg {
+	if a, ok := req.PerSetAggs[s]; ok && len(a) > 0 {
+		return a
+	}
+	if len(req.Aggs) == 0 {
+		return []exec.Agg{exec.CountStar()}
+	}
+	return req.Aggs
+}
+
+// residualKey canonicalizes everything that determines a residual run's
+// output and side effects, so singleflight only collapses requests that are
+// truly interchangeable. The caller's context is deliberately excluded — the
+// leader's context governs the shared computation.
+func residualKey(req Request, ver uint64, missed []colset.Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run|%s@v%d|%s|%d|ss%t|par%t|dop%d|mb%d|core%t,%t,%t,%t,%d,%g",
+		req.Table, ver, req.Strategy, req.Model, req.SharedScan, req.Parallel,
+		req.Parallelism, req.MemBudget,
+		req.Core.BinaryOnly, req.Core.PruneSubsumption, req.Core.PruneMonotonic,
+		req.Core.ConsiderCubeRollup, req.Core.MaxCubeCols, req.Core.StorageBudget)
+	for _, s := range missed {
+		fmt.Fprintf(&b, "|%s:%s", s, cache.AggSignature(requestAggs(req, s)))
+	}
+	return b.String()
+}

@@ -114,6 +114,9 @@ type ExecReport struct {
 	Cancelled bool
 	// Degradations lists the graceful-degradation decisions taken, in order.
 	Degradations []Degradation
+	// Cache describes how the cross-query result cache served this run (all
+	// zero when no cache is configured or the request bypassed it).
+	Cache CacheCounters
 	// Results holds the output table per required grouping set.
 	Results map[colset.Set]*table.Table
 }
@@ -164,6 +167,14 @@ type ExecOptions struct {
 	// taken are recorded in ExecReport.Degradations. 0 means unlimited —
 	// PeakMem is still measured.
 	MemBudget int64
+	// PromoteTemp, when non-nil, observes every materialized intermediate at
+	// the moment it would be dropped, along with the aggregates it carries —
+	// the hook the result cache uses to collect promotion candidates instead
+	// of letting temps die with the run. The hook only records candidates; it
+	// must not admit anything until the run has succeeded, so a cancelled or
+	// failed execution can never leave a partially admitted entry. It may be
+	// called from concurrent sub-plan goroutines under ExecOptions.Parallel.
+	PromoteTemp func(set colset.Set, aggs []exec.Agg, t *table.Table)
 }
 
 // ExecutePlan runs the plan against its base table. aggs are the aggregate
@@ -202,8 +213,10 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		gov:       exec.NewGov(opts.Context, budget),
 		budget:    budget,
 		size:      size,
+		promote:   opts.PromoteTemp,
 		temps:     map[colset.Set]*table.Table{},
 		tempBytes: map[colset.Set]int64{},
+		tempAggs:  map[colset.Set][]exec.Agg{},
 		skipped:   map[colset.Set]bool{},
 		report:    &ExecReport{Results: map[colset.Set]*table.Table{}},
 	}
@@ -314,8 +327,13 @@ type planRun struct {
 	gov       *exec.Gov
 	budget    *exec.MemBudget
 	size      plan.SizeFn
+	// promote, when non-nil, observes each temp as it is dropped (see
+	// ExecOptions.PromoteTemp); tempAggs remembers the aggregates each live
+	// temp carries so the observation is self-describing.
+	promote   func(colset.Set, []exec.Agg, *table.Table)
 	temps     map[colset.Set]*table.Table
 	tempBytes map[colset.Set]int64
+	tempAggs  map[colset.Set][]exec.Agg
 	// skipped marks intermediates whose materialization was skipped under the
 	// memory budget; children re-derive from the base relation instead.
 	skipped   map[colset.Set]bool
@@ -525,7 +543,7 @@ func (r *planRun) compute(n *plan.Node, parent *plan.Node) error {
 		}
 	}
 	if n.IsIntermediate() {
-		r.retain(n.Set, out)
+		r.retain(n.Set, r.aggsFor(n), out)
 	}
 	if n.Required {
 		r.report.Results[n.Set] = r.projectResult(n, out)
@@ -593,7 +611,7 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 	}
 	for i, n := range nodes {
 		if n.IsIntermediate() {
-			r.retain(n.Set, outs[i])
+			r.retain(n.Set, r.aggsFor(n), outs[i])
 		}
 		if n.Required {
 			r.report.Results[n.Set] = r.projectResult(n, outs[i])
@@ -726,7 +744,7 @@ func (r *planRun) expandCovered(n *plan.Node, own *table.Table) error {
 			r.report.Results[c.Set] = r.projectResult(c, t)
 		}
 		if c.IsIntermediate() {
-			r.retain(c.Set, t)
+			r.retain(c.Set, r.aggsFor(n), t)
 		}
 	}
 	// Required sets covered by the operator that are not explicit children do
@@ -763,10 +781,12 @@ func coveredSets(n *plan.Node) []colset.Set {
 }
 
 // retain registers a materialized intermediate and updates storage and
-// budget accounting. When keeping the table would exceed the memory budget,
-// it is skipped instead: children re-derive from the base relation (the
+// budget accounting. aggs are the aggregates the table carries (the node's
+// union under §7.2), recorded so the drop-time promotion hook can describe
+// the table. When keeping the table would exceed the memory budget, it is
+// skipped instead: children re-derive from the base relation (the
 // materialization trades memory for time; the budget reverses the trade).
-func (r *planRun) retain(set colset.Set, t *table.Table) {
+func (r *planRun) retain(set colset.Set, aggs []exec.Agg, t *table.Table) {
 	if _, dup := r.temps[set]; dup {
 		return
 	}
@@ -781,6 +801,7 @@ func (r *planRun) retain(set colset.Set, t *table.Table) {
 	}
 	r.budget.Add(mem)
 	r.tempBytes[set] = mem
+	r.tempAggs[set] = aggs
 	r.temps[set] = t
 	r.report.TempTables++
 	r.liveBytes += t.SizeBytes()
@@ -789,16 +810,22 @@ func (r *planRun) retain(set colset.Set, t *table.Table) {
 	}
 }
 
-// drop frees an intermediate and returns its budget charge.
+// drop frees an intermediate and returns its budget charge, first handing the
+// table to the promotion hook (the cache's chance to keep what the schedule
+// is done with).
 func (r *planRun) drop(set colset.Set) {
 	t, ok := r.temps[set]
 	if !ok {
 		return
 	}
+	if r.promote != nil {
+		r.promote(set, r.tempAggs[set], t)
+	}
 	r.liveBytes -= t.SizeBytes()
 	delete(r.temps, set)
 	r.budget.Release(r.tempBytes[set])
 	delete(r.tempBytes, set)
+	delete(r.tempAggs, set)
 }
 
 // countStarOnly reports whether every aggregate is COUNT(*) — the condition

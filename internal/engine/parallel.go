@@ -50,10 +50,12 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 				gov:       template.gov,
 				budget:    template.budget,
 				size:      template.size,
+				promote:   template.promote,
 				perSet:    template.perSet,
 				nodeAggs:  template.nodeAggs,
 				temps:     map[colset.Set]*table.Table{},
 				tempBytes: map[colset.Set]int64{},
+				tempAggs:  map[colset.Set][]exec.Agg{},
 				skipped:   map[colset.Set]bool{},
 				report:    &ExecReport{Results: map[colset.Set]*table.Table{}},
 			}

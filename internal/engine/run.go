@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"gbmqo/internal/baseline"
+	"gbmqo/internal/cache"
 	"gbmqo/internal/catalog"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/core"
@@ -12,6 +14,7 @@ import (
 	"gbmqo/internal/exec"
 	"gbmqo/internal/plan"
 	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
 )
 
 // Strategy selects how the logical plan for a grouping-sets request is built.
@@ -91,8 +94,17 @@ type Request struct {
 	// means context.Background().
 	Context context.Context
 	// MemBudget bounds execution working memory in bytes with graceful
-	// degradation (see ExecOptions.MemBudget). 0 means unlimited.
+	// degradation (see ExecOptions.MemBudget). 0 means unlimited. When a
+	// result cache is configured it participates in this budget: the cache is
+	// shrunk to at most half the budget up front and its residency is
+	// subtracted from what execution may use, so under pressure cached results
+	// are evicted before operators degrade.
 	MemBudget int64
+	// UseCache serves and populates the engine's cross-query result cache for
+	// this request (no-op when no cache is configured via SetCache). Tables
+	// whose name carries the reserved "__" prefix — ephemeral derived tables —
+	// always bypass the cache.
+	UseCache bool
 }
 
 // RunResult bundles the chosen plan, its execution report, and search effort.
@@ -113,12 +125,16 @@ type RunResult struct {
 	// under the request's MemBudget (also available via Report.Degradations;
 	// surfaced here so budget-sensitive callers see them without digging).
 	Degradations []Degradation
+	// Cache describes how the cross-query result cache served this request
+	// (also available via Report.Cache; all zero when caching was off).
+	Cache CacheCounters
 }
 
 // Engine ties the catalog, statistics and executor into the public runtime.
 type Engine struct {
-	cat  *catalog.Catalog
-	exec *Executor
+	cat   *catalog.Catalog
+	exec  *Executor
+	cache *cache.Cache
 }
 
 // New creates an engine over a fresh catalog with the given statistics
@@ -133,6 +149,13 @@ func New(svc *stats.Service) *Engine {
 
 // Catalog exposes the engine's catalog (registration, indexes).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// SetCache installs (or, with nil, removes) the cross-query result cache.
+// Requests opt in per call with Request.UseCache.
+func (e *Engine) SetCache(c *cache.Cache) { e.cache = c }
+
+// ResultCache returns the installed cross-query result cache (nil when none).
+func (e *Engine) ResultCache() *cache.Cache { return e.cache }
 
 // CostEnv builds a costing environment for a registered table, wiring in its
 // current physical design.
@@ -183,8 +206,20 @@ func (e *Engine) Plan(req Request) (*plan.Plan, core.SearchStats, cost.Model, er
 	}
 }
 
-// Run plans and executes a request.
+// Run plans and executes a request, serving it through the result cache when
+// one is installed and the request opts in.
 func (e *Engine) Run(req Request) (*RunResult, error) {
+	if e.cache != nil && req.UseCache && !strings.HasPrefix(req.Table, "__") {
+		return e.runCached(req)
+	}
+	return e.runDirect(req, nil)
+}
+
+// runDirect plans and executes a request without consulting the cache.
+// promote, when non-nil, observes materialized temps as they are dropped
+// (see ExecOptions.PromoteTemp); the cached path uses it to collect
+// promotion candidates.
+func (e *Engine) runDirect(req Request, promote func(colset.Set, []exec.Agg, *table.Table)) (*RunResult, error) {
 	p, st, model, err := e.Plan(req)
 	if err != nil {
 		return nil, err
@@ -204,6 +239,7 @@ func (e *Engine) Run(req Request) (*RunResult, error) {
 		Parallelism: req.Parallelism,
 		Context:     req.Context,
 		MemBudget:   req.MemBudget,
+		PromoteTemp: promote,
 	})
 	if err != nil {
 		return nil, err

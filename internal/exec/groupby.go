@@ -34,7 +34,7 @@ func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outNa
 	}
 	n := t.NumRows()
 	image, stride := t.RowImage()
-	rd := rowReader{image: image, stride: stride, offs: make([]int, len(groupCols))}
+	rd := rowReader{image: image, stride: stride, offs: make([]int, len(groupCols)), seed: hashSeed.Load()}
 	for i, c := range groupCols {
 		rd.offs[i] = 4 * c
 	}
@@ -350,6 +350,10 @@ type rowReader struct {
 	image  []byte
 	stride int
 	offs   []int // byte offsets of the key columns within one row
+	// seed perturbs hashRow; operators snapshot the process seed here at
+	// construction (zero — e.g. in tests building a bare rowReader —
+	// reproduces the historical fixed-constant hash).
+	seed uint64
 }
 
 // code reads key column k of row r.
@@ -467,9 +471,10 @@ func (h *groupHash) rowsEqual(a, b int32) bool {
 	return true
 }
 
-// hashRow mixes the code tuple of one row with a splitmix-style finalizer.
+// hashRow mixes the code tuple of one row with a splitmix-style finalizer,
+// perturbed by the reader's seed so hash layouts differ across processes.
 func hashRow(rd rowReader, row int) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
+	h := 0x9e3779b97f4a7c15 ^ rd.seed
 	for k := range rd.offs {
 		h ^= uint64(rd.code(row, k)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
 		h *= 0xbf58476d1ce4e5b9

@@ -25,7 +25,7 @@ type queryState struct {
 // budget, when non-nil, is charged for the state's hash-table slots as they
 // grow.
 func newQueryState(t *table.Table, image []byte, stride int, q MultiQuery, budget *MemBudget) *queryState {
-	rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols))}
+	rd := rowReader{image: image, stride: stride, offs: make([]int, len(q.GroupCols)), seed: hashSeed.Load()}
 	for i, c := range q.GroupCols {
 		rd.offs[i] = 4 * c
 	}

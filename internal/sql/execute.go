@@ -30,6 +30,11 @@ type Options struct {
 	// MemBudget bounds execution working memory in bytes with graceful
 	// degradation (see engine.ExecOptions.MemBudget). 0 means unlimited.
 	MemBudget int64
+	// UseCache serves the grouped part of the query through the engine's
+	// cross-query result cache when one is configured (see
+	// engine.Request.UseCache). WHERE-filtered and join-derived sources are
+	// ephemeral "__"-prefixed tables and always bypass the cache.
+	UseCache bool
 }
 
 // Result is the outcome of executing a query.
@@ -198,6 +203,7 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 		Core:      opts.Core,
 		Context:   opts.Context,
 		MemBudget: opts.MemBudget,
+		UseCache:  opts.UseCache,
 	}
 	run, err := eng.Run(req)
 	if err != nil {

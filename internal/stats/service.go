@@ -3,6 +3,7 @@ package stats
 import (
 	"encoding/binary"
 	"math/rand"
+	"sync"
 	"time"
 
 	"gbmqo/internal/colset"
@@ -115,6 +116,13 @@ type Service struct {
 	sampleSize int
 	seed       int64
 
+	// mu guards the memoization maps and the accounting: one service is
+	// shared by every concurrent query (the result-cache path costs lattice
+	// ancestors from multiple goroutines at once), so creation and lookup
+	// must be serialized. Statistics creation is one-time per column set, so
+	// holding the lock across a profile build does not serialize steady-state
+	// costing.
+	mu      sync.Mutex
 	samples map[string]*Sample
 	ndv     map[string]map[colset.Set]float64
 	acct    Accounting
@@ -154,6 +162,8 @@ func (s *Service) NDV(t *table.Table, set colset.Set) float64 {
 	if set.IsEmpty() {
 		return 1
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	byTable, ok := s.ndv[t.Name()]
 	if !ok {
 		byTable = make(map[colset.Set]float64)
@@ -233,14 +243,24 @@ func birthdayEstimate(p Profile, rows float64) float64 {
 }
 
 // Accounting returns a copy of the creation-cost counters.
-func (s *Service) Accounting() Accounting { return s.acct }
+func (s *Service) Accounting() Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acct
+}
 
 // ResetAccounting zeroes the counters (cached statistics are kept).
-func (s *Service) ResetAccounting() { s.acct = Accounting{} }
+func (s *Service) ResetAccounting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acct = Accounting{}
+}
 
 // Invalidate drops cached statistics and the sample for a table (used when a
 // table is regenerated between experiment steps).
 func (s *Service) Invalidate(tableName string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.samples, tableName)
 	delete(s.ndv, tableName)
 }
