@@ -1,0 +1,125 @@
+package gbmqo
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveWorkload is a TPC-H-shaped concurrent dashboard: 12 distinct Group By
+// queries over lineitem's categorical and quantity columns, the kind of
+// near-simultaneous arrivals the micro-batching scheduler exists for.
+func serveWorkload() []GroupQuery {
+	sumQty := Agg{Kind: AggSum, Col: 4, Name: "sum_qty"}
+	minQty := Agg{Kind: AggMin, Col: 4, Name: "min_qty"}
+	return []GroupQuery{
+		{Cols: []string{"l_returnflag"}},
+		{Cols: []string{"l_linestatus"}},
+		{Cols: []string{"l_shipmode"}},
+		{Cols: []string{"l_shipinstruct"}},
+		{Cols: []string{"l_returnflag", "l_linestatus"}},
+		{Cols: []string{"l_shipmode", "l_returnflag"}},
+		{Cols: []string{"l_shipmode", "l_linestatus"}},
+		{Cols: []string{"l_shipinstruct", "l_returnflag"}},
+		{Cols: []string{"l_returnflag"}, Aggs: []Agg{sumQty}},
+		{Cols: []string{"l_shipmode"}, Aggs: []Agg{sumQty, minQty}},
+		{Cols: []string{"l_linestatus"}, Aggs: []Agg{minQty}},
+		{Cols: []string{"l_shipmode", "l_shipinstruct"}},
+	}
+}
+
+// BenchmarkServeBatchedVsSolo measures what micro-batching buys a concurrent
+// server: "solo" answers the workload with one independent plan per query
+// (batching off — every query pays its own scan), "batched" submits the same
+// queries through the scheduler, which closes them into one window and runs
+// a single shared GB-MQO plan. The parent benchmark writes the throughput
+// ratio to BENCH_serve.json, the artifact checked in with the repo.
+func BenchmarkServeBatchedVsSolo(b *testing.B) {
+	const rows = 50_000
+	li, err := GenerateDataset("lineitem", rows, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := serveWorkload()
+	opts := QueryOptions{SharedScan: true, Parallel: true}
+
+	var soloNs, batchedNs int64
+	var avgBatch float64
+
+	b.Run("solo", func(b *testing.B) {
+		db := Open(nil)
+		db.Register(li)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, q := range queries {
+				wg.Add(1)
+				go func(q GroupQuery) {
+					defer wg.Done()
+					if _, _, err := db.ExecuteQueries("lineitem", []GroupQuery{q}, opts); err != nil {
+						b.Error(err)
+					}
+				}(q)
+			}
+			wg.Wait()
+		}
+		soloNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		db := Open(nil)
+		db.Register(li)
+		// MaxBatch equals the workload size so windows close "full" the
+		// moment the last concurrent query arrives — the loaded-server case.
+		db.StartBatching(BatchOptions{MaxBatch: len(queries), MaxWait: 50 * time.Millisecond, Exec: opts})
+		defer db.StopBatching()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, q := range queries {
+				wg.Add(1)
+				go func(q GroupQuery) {
+					defer wg.Done()
+					if _, _, err := db.Submit(context.Background(), "lineitem", q); err != nil {
+						b.Error(err)
+					}
+				}(q)
+			}
+			wg.Wait()
+		}
+		batchedNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		if st, ok := db.BatchStats(); ok && st.Batches > 0 {
+			avgBatch = float64(st.Submitted) / float64(st.Batches)
+		}
+	})
+
+	if soloNs == 0 || batchedNs == 0 {
+		return // sub-benchmark filtered out; nothing to report
+	}
+	if avgBatch < 4 {
+		b.Fatalf("average batch size %.1f, want >= 4 — the batched leg never actually batched", avgBatch)
+	}
+	speedup := float64(soloNs) / float64(batchedNs)
+	art := map[string]any{
+		"bench":             "ServeBatchedVsSolo",
+		"rows":              rows,
+		"queries":           len(queries),
+		"solo_ns_per_op":    soloNs,
+		"batched_ns_per_op": batchedNs,
+		"speedup":           speedup,
+		"avg_batch_queries": avgBatch,
+		"command":           "go test -bench BenchmarkServeBatchedVsSolo -benchtime 5x",
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("solo %.2fms, batched %.2fms, speedup %.2fx, avg batch %.1f",
+		float64(soloNs)/1e6, float64(batchedNs)/1e6, speedup, avgBatch)
+}

@@ -13,28 +13,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"gbmqo"
+	"gbmqo/internal/server"
 )
 
 func main() {
 	var (
-		gen      = flag.String("gen", "", "generate a bundled dataset (lineitem, sales, nref, customer)")
-		rows     = flag.Int("rows", 50_000, "rows to generate")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		zipf     = flag.Float64("zipf", 0, "Zipf skew for lineitem")
-		csvPath  = flag.String("csv", "", "load a CSV file instead of generating")
-		schema   = flag.String("schema", "", "CSV schema, e.g. \"a:int,b:string,c:float,d:date\"")
-		tableN   = flag.String("table", "t", "table name for -csv")
-		sqlStmt  = flag.String("sql", "", "SQL statement to execute")
-		explain  = flag.String("explain", "", "semicolon-separated Group By column lists to optimize and explain")
-		profileT = flag.String("profile", "", "table to run the data-quality profile on")
-		strategy = flag.String("strategy", "gbmqo", "planning strategy: gbmqo, naive, groupingsets, exhaustive")
-		limit    = flag.Int("limit", 20, "max result rows to print")
-		cacheMB  = flag.Int("cache-mb", 0, "cross-query result cache budget in MiB (0 = off)")
-		repeat   = flag.Int("repeat", 1, "run -sql this many times (with -cache-mb, repeats hit the cache)")
+		gen       = flag.String("gen", "", "generate a bundled dataset (lineitem, sales, nref, customer)")
+		rows      = flag.Int("rows", 50_000, "rows to generate")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		zipf      = flag.Float64("zipf", 0, "Zipf skew for lineitem")
+		csvPath   = flag.String("csv", "", "load a CSV file instead of generating")
+		schema    = flag.String("schema", "", "CSV schema, e.g. \"a:int,b:string,c:float,d:date\"")
+		tableN    = flag.String("table", "t", "table name for -csv")
+		sqlStmt   = flag.String("sql", "", "SQL statement to execute")
+		explain   = flag.String("explain", "", "semicolon-separated Group By column lists to optimize and explain")
+		profileT  = flag.String("profile", "", "table to run the data-quality profile on")
+		strategy  = flag.String("strategy", "gbmqo", "planning strategy: gbmqo, naive, groupingsets, exhaustive")
+		limit     = flag.Int("limit", 20, "max result rows to print")
+		cacheMB   = flag.Int("cache-mb", 0, "cross-query result cache budget in MiB (0 = off)")
+		repeat    = flag.Int("repeat", 1, "run -sql this many times (with -cache-mb, repeats hit the cache)")
+		serve     = flag.Bool("serve", false, "serve Group By queries over HTTP (POST /query, POST /sql, GET /metrics)")
+		addr      = flag.String("addr", ":8080", "listen address for -serve")
+		batchMax  = flag.Int("batch-max", 0, "micro-batch window: max distinct queries (0 = default 16)")
+		batchWait = flag.Duration("batch-wait", 0, "micro-batch window: max wait after open (0 = default 2ms)")
+		batchIdle = flag.Duration("batch-idle", 0, "micro-batch window: idle flush (0 = default batch-wait/4)")
+		metrics   = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format after running")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -131,6 +139,29 @@ func main() {
 		fail(err)
 		fmt.Print(rep)
 		fmt.Printf("\nprofile plan:\n%s", rep.Plan)
+	}
+	if *serve {
+		ran = true
+		if len(db.Tables()) == 0 {
+			fail(fmt.Errorf("-serve needs at least one table (-gen or -csv)"))
+		}
+		sopts := opts
+		sopts.SharedScan = true
+		sopts.Parallel = true
+		db.StartBatching(gbmqo.BatchOptions{
+			MaxBatch: *batchMax,
+			MaxWait:  *batchWait,
+			IdleWait: *batchIdle,
+			Exec:     sopts,
+		})
+		defer db.StopBatching()
+		fmt.Printf("serving %s on %s (POST /query, POST /sql, GET /metrics)\n",
+			strings.Join(db.Tables(), ", "), *addr)
+		fail(http.ListenAndServe(*addr, server.New(db).Handler()))
+	}
+	if *metrics {
+		ran = true
+		db.WriteMetrics(os.Stdout)
 	}
 	if !ran {
 		flag.Usage()

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"gbmqo/internal/cache"
 	"gbmqo/internal/colset"
@@ -31,7 +32,9 @@ import (
 	"gbmqo/internal/engine"
 	"gbmqo/internal/exec"
 	"gbmqo/internal/index"
+	"gbmqo/internal/obs"
 	"gbmqo/internal/plan"
+	"gbmqo/internal/sched"
 	"gbmqo/internal/sql"
 	"gbmqo/internal/stats"
 	"gbmqo/internal/table"
@@ -174,8 +177,21 @@ type Config struct {
 
 // DB is the top-level handle: a catalog of tables plus the optimizer and
 // execution engine.
+//
+// A DB is safe for concurrent use once its tables are registered: queries,
+// Submit calls and stats reads (CacheStats, Metrics, WriteMetrics) may run
+// from any number of goroutines. Registering or replacing tables and building
+// indexes are not synchronized with running queries — do schema changes
+// before serving traffic.
 type DB struct {
 	eng *engine.Engine
+	obs *obs.Registry
+
+	// batchMu guards the lazily started micro-batching scheduler (see
+	// DB.Submit and DB.StartBatching in submit.go).
+	batchMu   sync.Mutex
+	batcher   *sched.Batcher
+	batchOpts BatchOptions
 }
 
 // Open creates an empty DB. A nil config selects sampling-based statistics
@@ -185,15 +201,27 @@ func Open(cfg *Config) *DB {
 	if cfg != nil {
 		c = *cfg
 	}
-	db := &DB{eng: engine.New(stats.NewService(c.Estimator, c.SampleSize, c.Seed))}
+	db := &DB{
+		eng: engine.New(stats.NewService(c.Estimator, c.SampleSize, c.Seed)),
+		obs: obs.NewRegistry(),
+	}
 	if c.CacheBytes > 0 {
 		db.eng.SetCache(cache.New(cache.Config{MaxBytes: c.CacheBytes}))
 	}
+	db.registerMetrics()
+	obs.PublishExpvar(db.obs)
 	return db
 }
 
 // CacheStats snapshots the cross-query result cache's counters and residency.
 // ok is false when no cache is configured (Config.CacheBytes == 0).
+//
+// CacheStats is safe to call while queries and Submit batches are running on
+// other goroutines: every counter in the snapshot is read atomically, and
+// residency (Bytes, Entries) is read under the cache's own lock. The snapshot
+// is a consistent point-in-time view of each individual counter, not of the
+// whole set — a query completing mid-snapshot may be reflected in Hits but
+// not yet in Bytes.
 func (db *DB) CacheStats() (st CacheStats, ok bool) {
 	c := db.eng.ResultCache()
 	if c == nil {

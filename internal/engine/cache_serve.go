@@ -74,12 +74,14 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 
 	var counters CacheCounters
 	served := map[colset.Set]*table.Table{}
+	origins := make(map[colset.Set]SetOrigin, len(req.Sets))
 	var missed []colset.Set
 	for _, s := range req.Sets {
 		aggs := requestAggs(req, s)
 		key := cache.KeyOf(req.Table, ver, s, aggs)
 		if t, ok := e.cache.Get(key); ok {
 			served[s] = t
+			origins[s] = OriginCacheHit
 			counters.Hits++
 			continue
 		}
@@ -89,6 +91,7 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 		}
 		if t != nil {
 			served[s] = t
+			origins[s] = OriginCacheAncestor
 			counters.AncestorHits++
 			counters.Admissions += admissions
 			continue
@@ -147,6 +150,14 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 	for s, t := range served {
 		report.Results[s] = t
 	}
+	missedOrigin := OriginComputed
+	if counters.FlightShared {
+		missedOrigin = OriginFlightShared
+	}
+	for _, s := range missed {
+		origins[s] = missedOrigin
+	}
+	report.Origins = origins
 	snap := e.cache.Snapshot()
 	counters.Evictions = snap.Evictions
 	counters.Bytes = snap.Bytes

@@ -79,7 +79,50 @@ func (d Degradation) String() string {
 	return fmt.Sprintf("%s at %s: %s", d.Kind, d.Node, d.Detail)
 }
 
+// SetOrigin attributes one requested grouping set's result to how it was
+// produced — the per-query attribution a batching front-end needs when many
+// independently submitted queries ride one plan.
+type SetOrigin int
+
+// Result origins.
+const (
+	// OriginComputed: the set was planned and executed by this run.
+	OriginComputed SetOrigin = iota
+	// OriginCacheHit: served from an exact cross-query cache entry.
+	OriginCacheHit
+	// OriginCacheAncestor: re-aggregated from a cached lattice ancestor.
+	OriginCacheAncestor
+	// OriginFlightShared: computed by a concurrent identical request this run
+	// piggybacked on (singleflight follower).
+	OriginFlightShared
+)
+
+// String names the origin.
+func (o SetOrigin) String() string {
+	switch o {
+	case OriginComputed:
+		return "computed"
+	case OriginCacheHit:
+		return "cache-hit"
+	case OriginCacheAncestor:
+		return "cache-ancestor"
+	case OriginFlightShared:
+		return "flight-shared"
+	default:
+		return fmt.Sprintf("SetOrigin(%d)", int(o))
+	}
+}
+
 // ExecReport describes one plan execution.
+//
+// Concurrency: a report belongs to the Run/ExecutePlan call that produced it
+// and is written only until that call returns; afterwards every field is safe
+// to read from any goroutine without synchronization. Concurrent submitters
+// each receive their own report — the only sharing is the result *tables*
+// reachable from Results on the cached path (singleflight followers see the
+// leader's tables), and tables are immutable once built. Cross-request
+// cumulative counters live in cache.Stats (atomics, see DB.CacheStats) and
+// the obs registry, never in an ExecReport.
 type ExecReport struct {
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
@@ -117,6 +160,11 @@ type ExecReport struct {
 	// Cache describes how the cross-query result cache served this run (all
 	// zero when no cache is configured or the request bypassed it).
 	Cache CacheCounters
+	// Origins attributes each requested grouping set's result to how it was
+	// produced (computed, cache hit, ancestor re-aggregation, shared flight).
+	// Populated by Engine.Run; direct Executor calls leave it nil (everything
+	// an executor produces is OriginComputed by construction).
+	Origins map[colset.Set]SetOrigin
 	// Results holds the output table per required grouping set.
 	Results map[colset.Set]*table.Table
 }

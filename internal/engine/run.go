@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"gbmqo/internal/baseline"
 	"gbmqo/internal/cache"
@@ -135,6 +136,9 @@ type Engine struct {
 	cat   *catalog.Catalog
 	exec  *Executor
 	cache *cache.Cache
+	// runObs, when set, observes every Run outcome (see SetRunObserver). Held
+	// in an atomic so installation never races with concurrent Run calls.
+	runObs atomic.Pointer[func(*RunResult, error)]
 }
 
 // New creates an engine over a fresh catalog with the given statistics
@@ -206,13 +210,53 @@ func (e *Engine) Plan(req Request) (*plan.Plan, core.SearchStats, cost.Model, er
 	}
 }
 
+// SetRunObserver installs fn to observe every Run outcome — the hook the
+// observability registry uses to accumulate cross-request governance counters
+// (rows scanned, degradations, cancellations) without threading a registry
+// through every layer. fn must be safe for concurrent calls: Run may execute
+// from many submitter goroutines at once. On failure fn receives (nil, err).
+// A nil fn removes the observer.
+func (e *Engine) SetRunObserver(fn func(*RunResult, error)) {
+	if fn == nil {
+		e.runObs.Store(nil)
+		return
+	}
+	e.runObs.Store(&fn)
+}
+
 // Run plans and executes a request, serving it through the result cache when
 // one is installed and the request opts in.
 func (e *Engine) Run(req Request) (*RunResult, error) {
+	res, err := e.run(req)
+	if fn := e.runObs.Load(); fn != nil {
+		(*fn)(res, err)
+	}
+	return res, err
+}
+
+func (e *Engine) run(req Request) (*RunResult, error) {
 	if e.cache != nil && req.UseCache && !strings.HasPrefix(req.Table, "__") {
 		return e.runCached(req)
 	}
-	return e.runDirect(req, nil)
+	res, err := e.runDirect(req, nil)
+	if err != nil {
+		return nil, err
+	}
+	markOrigins(res.Report, req.Sets, OriginComputed)
+	return res, nil
+}
+
+// markOrigins attributes sets to origin in the report (lazily allocating the
+// map), skipping sets already attributed.
+func markOrigins(rep *ExecReport, sets []colset.Set, origin SetOrigin) {
+	if rep.Origins == nil {
+		rep.Origins = make(map[colset.Set]SetOrigin, len(sets))
+	}
+	for _, s := range sets {
+		if _, done := rep.Origins[s]; !done {
+			rep.Origins[s] = origin
+		}
+	}
 }
 
 // runDirect plans and executes a request without consulting the cache.

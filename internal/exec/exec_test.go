@@ -400,6 +400,61 @@ func TestUnionAllTagged(t *testing.T) {
 	}
 }
 
+func TestSplitTaggedRoundTrip(t *testing.T) {
+	a := table.New("a", []table.ColumnDef{{Name: "x", Typ: table.TInt64}, {Name: "cnt", Typ: table.TInt64}})
+	a.AppendRow(table.Int(1), table.Int(10))
+	a.AppendRow(table.Int(2), table.Int(11))
+	b := table.New("b", []table.ColumnDef{{Name: "y", Typ: table.TString}, {Name: "cnt", Typ: table.TInt64}})
+	b.AppendRow(table.Str("k"), table.Int(20))
+	union, err := UnionAllTagged("u", []table.ColumnDef{
+		{Name: "x", Typ: table.TInt64},
+		{Name: "y", Typ: table.TString},
+		{Name: "cnt", Typ: table.TInt64},
+	}, []*table.Table{a, b}, []string{"(x)", "(y)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, tags, err := SplitTagged(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || len(tags) != 2 {
+		t.Fatalf("split into %d parts / %d tags, want 2/2", len(parts), len(tags))
+	}
+	if tags[0] != "(x)" || tags[1] != "(y)" {
+		t.Fatalf("tags = %v, want first-appearance order [(x) (y)]", tags)
+	}
+	// Parts carry the full union schema minus grp_tag, rows in order.
+	for i, p := range parts {
+		if p.ColIndex(GrpTagCol) >= 0 {
+			t.Fatalf("part %d still has %s", i, GrpTagCol)
+		}
+		if p.NumCols() != 3 {
+			t.Fatalf("part %d has %d cols, want 3", i, p.NumCols())
+		}
+	}
+	px, py := parts[0], parts[1]
+	if px.NumRows() != 2 || py.NumRows() != 1 {
+		t.Fatalf("part rows = %d/%d, want 2/1", px.NumRows(), py.NumRows())
+	}
+	if px.ColByName("x").Value(0).I != 1 || px.ColByName("x").Value(1).I != 2 {
+		t.Fatal("part (x) row order not preserved")
+	}
+	if !px.ColByName("y").IsNull(0) || !py.ColByName("x").IsNull(0) {
+		t.Fatal("absent grouping columns must stay NULL after split")
+	}
+	if py.ColByName("cnt").Value(0).I != 20 {
+		t.Fatal("part (y) aggregate wrong")
+	}
+}
+
+func TestSplitTaggedMissingColumn(t *testing.T) {
+	plain := table.New("p", []table.ColumnDef{{Name: "x", Typ: table.TInt64}})
+	if _, _, err := SplitTagged(plain); err == nil {
+		t.Fatal("no error splitting a table without grp_tag")
+	}
+}
+
 func TestUnionAllTaggedArityError(t *testing.T) {
 	_, err := UnionAllTagged("u", nil, []*table.Table{table.New("a", nil)}, nil)
 	if err == nil {

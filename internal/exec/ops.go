@@ -72,6 +72,43 @@ func UnionAllTagged(outName string, outCols []table.ColumnDef, parts []*table.Ta
 	return out, nil
 }
 
+// SplitTagged is the inverse of UnionAllTagged: it splits a GROUPING
+// SETS-shaped result back into one table per Grp-Tag, in first-appearance
+// tag order, preserving row order and dropping the tag column. Each part
+// keeps the full union schema (grouping columns absent from a part's set
+// stay NULL — the tag, not the NULLs, is the authoritative set marker, since
+// a NULL grouping value is indistinguishable from an absent column). A table
+// without a grp_tag column is a malformed request and returns an error.
+func SplitTagged(t *table.Table) (parts []*table.Table, tags []string, err error) {
+	tagOrd := t.ColIndex(GrpTagCol)
+	if tagOrd < 0 {
+		return nil, nil, fmt.Errorf("exec: table %q has no %s column to split on", t.Name(), GrpTagCol)
+	}
+	keep := make([]int, 0, t.NumCols()-1)
+	for i := 0; i < t.NumCols(); i++ {
+		if i != tagOrd {
+			keep = append(keep, i)
+		}
+	}
+	rowsByTag := map[string][]int32{}
+	col := t.Col(tagOrd)
+	for r := 0; r < t.NumRows(); r++ {
+		v := col.Value(r)
+		if v.Null {
+			return nil, nil, fmt.Errorf("exec: NULL %s at row %d", GrpTagCol, r)
+		}
+		if _, seen := rowsByTag[v.S]; !seen {
+			tags = append(tags, v.S)
+		}
+		rowsByTag[v.S] = append(rowsByTag[v.S], int32(r))
+	}
+	for _, tag := range tags {
+		g := t.Gather(tag, rowsByTag[tag])
+		parts = append(parts, g.Project(tag, keep))
+	}
+	return parts, tags, nil
+}
+
 // HashJoin computes the inner equi-join of l and r on l.lKey = r.rKey. The
 // output schema is all columns of l followed by all columns of r; name
 // clashes on the right side get the right table's name as a prefix. NULL keys

@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gbmqo/internal/colset"
+	"gbmqo/internal/core"
+	"gbmqo/internal/engine"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// fakeResult builds a deterministic result for each requested set: one row,
+// grouping columns named c<ord> holding the ordinal, aggregate columns
+// holding 1.
+func fakeResult(sets []colset.Set, perSet map[colset.Set][]exec.Agg) *engine.RunResult {
+	rep := &engine.ExecReport{
+		Results: map[colset.Set]*table.Table{},
+		Origins: map[colset.Set]engine.SetOrigin{},
+	}
+	for _, s := range sets {
+		var defs []table.ColumnDef
+		var row []table.Value
+		s.ForEach(func(c int) {
+			defs = append(defs, table.ColumnDef{Name: fmt.Sprintf("c%d", c), Typ: table.TInt64})
+			row = append(row, table.Int(int64(c)))
+		})
+		for _, a := range perSet[s] {
+			defs = append(defs, table.ColumnDef{Name: a.Name, Typ: table.TInt64})
+			row = append(row, table.Int(1))
+		}
+		t := table.New("res", defs)
+		t.AppendRow(row...)
+		rep.Results[s] = t
+		rep.Origins[s] = engine.OriginComputed
+	}
+	return &engine.RunResult{
+		Report:      rep,
+		Search:      core.SearchStats{NaiveCost: 100},
+		PlanCostSeq: 40,
+	}
+}
+
+// countingRunner counts calls and optionally blocks until released or the
+// batch context dies.
+type countingRunner struct {
+	calls atomic.Int32
+	block chan struct{} // nil = don't block
+	ctxCh chan context.Context
+}
+
+func (r *countingRunner) run(ctx context.Context, tbl string, sets []colset.Set, perSet map[colset.Set][]exec.Agg) (*engine.RunResult, error) {
+	r.calls.Add(1)
+	if r.ctxCh != nil {
+		r.ctxCh <- ctx
+	}
+	if r.block != nil {
+		select {
+		case <-r.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return fakeResult(sets, perSet), nil
+}
+
+func cnt() []exec.Agg { return []exec.Agg{exec.CountStar()} }
+
+func TestWindowClosesWhenFull(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	var wg sync.WaitGroup
+	infos := make([]BatchInfo, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, info, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(i), Aggs: cnt()})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if out.NumRows() != 1 {
+				t.Errorf("submit %d: %d rows", i, out.NumRows())
+			}
+			infos[i] = info
+		}(i)
+	}
+	wg.Wait()
+	if got := r.calls.Load(); got != 1 {
+		t.Fatalf("runner called %d times, want 1 (batched)", got)
+	}
+	for i, info := range infos {
+		if info.BatchQueries != 2 {
+			t.Fatalf("info %d: BatchQueries = %d, want 2", i, info.BatchQueries)
+		}
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDedupIdenticalQueries(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 64, MaxWait: 20 * time.Millisecond, IdleWait: 10 * time.Millisecond})
+	defer b.Close()
+	q := Query{Table: "t", Set: colset.Of(3), Aggs: cnt()}
+	var wg sync.WaitGroup
+	outs := make([]*table.Table, 2)
+	deduped := 0
+	var mu sync.Mutex
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, info, err := b.Submit(nil, q)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			outs[i] = out
+			if info.Deduped {
+				deduped++
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if got := r.calls.Load(); got != 1 {
+		t.Fatalf("runner called %d times, want 1", got)
+	}
+	if outs[0] != outs[1] {
+		t.Fatal("identical queries did not share one result table")
+	}
+	if deduped != 1 {
+		t.Fatalf("deduped = %d, want exactly 1 (the second arrival)", deduped)
+	}
+	if st := b.Stats(); st.Deduped != 1 {
+		t.Fatalf("stats.Deduped = %d", st.Deduped)
+	}
+}
+
+func TestIdleFlushBeatsDeadline(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 64, MaxWait: 5 * time.Second, IdleWait: 10 * time.Millisecond})
+	defer b.Close()
+	start := time.Now()
+	_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("idle flush took %v; the 5s deadline must not gate a lone request", elapsed)
+	}
+}
+
+func TestDeadlineFlush(t *testing.T) {
+	r := &countingRunner{}
+	// IdleWait == MaxWait: only the deadline can fire.
+	b := New(r.run, Config{MaxBatch: 64, MaxWait: 15 * time.Millisecond, IdleWait: 15 * time.Millisecond})
+	defer b.Close()
+	if _, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()}); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPerRequestCancellationLeavesBatchRunning(t *testing.T) {
+	r := &countingRunner{block: make(chan struct{})}
+	b := New(r.run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	okB := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(ctx, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()})
+		errA <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		out, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(1), Aggs: cnt()})
+		if err == nil && out.NumRows() != 1 {
+			err = errors.New("bad result")
+		}
+		okB <- err
+	}()
+	// Window is full → dispatched; the runner is blocked. Cancel A only.
+	cancel()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submitter got %v, want context.Canceled", err)
+	}
+	// B must still complete once the runner unblocks.
+	close(r.block)
+	if err := <-okB; err != nil {
+		t.Fatalf("surviving submitter: %v", err)
+	}
+	if st := b.Stats(); st.Abandoned != 1 {
+		t.Fatalf("stats.Abandoned = %d", st.Abandoned)
+	}
+}
+
+func TestAllAbandonedCancelsBatch(t *testing.T) {
+	r := &countingRunner{block: make(chan struct{}), ctxCh: make(chan context.Context, 1)}
+	b := New(r.run, Config{MaxBatch: 1, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(ctx, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()})
+		errA <- err
+	}()
+	bctx := <-r.ctxCh // batch dispatched, runner blocked
+	cancel()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+	select {
+	case <-bctx.Done():
+		// Batch context cancelled once its only subscriber left: no orphans.
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch context not cancelled after all subscribers abandoned")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 64, MaxWait: time.Hour, IdleWait: time.Hour, MaxQueue: 1})
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Submit(nil, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()})
+	}()
+	// Wait until the first submission is queued.
+	for i := 0; i < 200; i++ {
+		if b.Stats().QueueLen == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(1), Aggs: cnt()})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	b.Flush()
+	<-done
+}
+
+func TestAggregateMergeAndProjection(t *testing.T) {
+	var sawAggs atomic.Int32
+	run := func(ctx context.Context, tbl string, sets []colset.Set, perSet map[colset.Set][]exec.Agg) (*engine.RunResult, error) {
+		if len(sets) == 1 {
+			sawAggs.Store(int32(len(perSet[sets[0]])))
+		}
+		return fakeResult(sets, perSet), nil
+	}
+	b := New(run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	set := colset.Of(2)
+	qa := Query{Table: "t", Set: set, Aggs: []exec.Agg{exec.CountStar()}}
+	qb := Query{Table: "t", Set: set, Aggs: []exec.Agg{{Kind: exec.AggSum, Col: 5, Name: "sum_x"}}}
+	var wg sync.WaitGroup
+	var ta, tb *table.Table
+	wg.Add(2)
+	go func() { defer wg.Done(); ta, _, _ = b.Submit(nil, qa) }()
+	time.Sleep(5 * time.Millisecond) // qa first: deterministic merge order
+	go func() { defer wg.Done(); tb, _, _ = b.Submit(nil, qb) }()
+	wg.Wait()
+	// Same set + compatible names = one group per aggsig but a single merged
+	// run carrying both aggregates; MaxBatch counts distinct (set, aggs)
+	// groups, so the window closed as full with two groups.
+	if got := sawAggs.Load(); got != 2 {
+		t.Fatalf("merged run saw %d aggs, want 2 (union)", got)
+	}
+	if ta == nil || tb == nil {
+		t.Fatal("missing results")
+	}
+	if ta.NumCols() != 2 || ta.ColIndex("cnt") < 0 || ta.ColIndex("sum_x") >= 0 {
+		t.Fatalf("qa columns = %v, want [c2 cnt]", ta.ColNames())
+	}
+	if tb.NumCols() != 2 || tb.ColIndex("sum_x") < 0 || tb.ColIndex("cnt") >= 0 {
+		t.Fatalf("qb columns = %v, want [c2 sum_x]", tb.ColNames())
+	}
+}
+
+func TestAggregateNameConflictRunsSolo(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	set := colset.Of(1)
+	// Same output name "v", different aggregate: cannot share one result
+	// schema — the second group must run on its own.
+	qa := Query{Table: "t", Set: set, Aggs: []exec.Agg{{Kind: exec.AggMin, Col: 3, Name: "v"}}}
+	qb := Query{Table: "t", Set: set, Aggs: []exec.Agg{{Kind: exec.AggMax, Col: 3, Name: "v"}}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var errs [2]error
+	go func() { defer wg.Done(); _, _, errs[0] = b.Submit(nil, qa) }()
+	time.Sleep(5 * time.Millisecond)
+	go func() { defer wg.Done(); _, _, errs[1] = b.Submit(nil, qb) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := r.calls.Load(); got != 2 {
+		t.Fatalf("runner called %d times, want 2 (main batch + conflict solo)", got)
+	}
+	if st := b.Stats(); st.Conflicts != 1 {
+		t.Fatalf("stats.Conflicts = %d", st.Conflicts)
+	}
+}
+
+func TestRunnerErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(context.Context, string, []colset.Set, map[colset.Set][]exec.Agg) (*engine.RunResult, error) {
+		return nil, boom
+	}
+	b := New(run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(i), Aggs: cnt()})
+			if !errors.Is(err, boom) {
+				t.Errorf("submit %d: %v, want boom", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSeparateTablesSeparateWindows(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 1, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	for i, tbl := range []string{"a", "b"} {
+		if _, _, err := b.Submit(nil, Query{Table: tbl, Set: colset.Of(i), Aggs: cnt()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.calls.Load(); got != 2 {
+		t.Fatalf("runner called %d times, want 2 (one per table)", got)
+	}
+}
+
+func TestCloseRejectsSubmissions(t *testing.T) {
+	b := New((&countingRunner{}).run, Config{})
+	b.Close()
+	_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(0), Aggs: cnt()})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b := New((&countingRunner{}).run, Config{})
+	defer b.Close()
+	cases := []Query{
+		{Table: "", Set: colset.Of(0), Aggs: cnt()},
+		{Table: "t", Aggs: cnt()},
+		{Table: "t", Set: colset.Of(0)},
+		{Table: "t", Set: colset.Of(0), Aggs: []exec.Agg{exec.CountStar(), exec.CountStar()}},
+	}
+	for i, q := range cases {
+		if _, _, err := b.Submit(nil, q); err == nil {
+			t.Errorf("case %d accepted: %+v", i, q)
+		}
+	}
+}

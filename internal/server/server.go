@@ -1,0 +1,339 @@
+// Package server is the HTTP/JSON front-end that turns the GB-MQO library
+// into a concurrent query server: every request body is one or more Group By
+// queries, each handed to the DB's micro-batching scheduler, so concurrent
+// HTTP clients hitting the same table share one multi-query plan without
+// knowing about each other. Observability rides along: /metrics exposes the
+// scheduler, cache and governance counters in Prometheus text format, and
+// /debug/vars mirrors them through expvar.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gbmqo"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// Server serves Group By queries over HTTP on top of a DB whose tables are
+// already registered. Schema changes (Register, CreateIndex) must happen
+// before the server starts taking traffic.
+type Server struct {
+	db *gbmqo.DB
+	// MaxBody bounds request bodies (default 1 MiB).
+	MaxBody int64
+	// Timeout bounds one request's Group By work when the client sent no
+	// timeout_ms (default 30s).
+	Timeout time.Duration
+}
+
+// New wraps db in a Server with defaults.
+func New(db *gbmqo.DB) *Server {
+	return &Server{db: db, MaxBody: 1 << 20, Timeout: 30 * time.Second}
+}
+
+// Handler routes the server's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /sql", s.handleSQL)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// aggJSON is one aggregate in a query request.
+type aggJSON struct {
+	// Fn is count, sum, min or max; count with an empty Col is COUNT(*).
+	Fn string `json:"fn"`
+	// Col is the source column name.
+	Col string `json:"col,omitempty"`
+	// As overrides the output column name.
+	As string `json:"as,omitempty"`
+}
+
+// queryJSON is one Group By request.
+type queryJSON struct {
+	// Cols are the grouping column names (non-empty).
+	Cols []string `json:"cols"`
+	// Aggs defaults to COUNT(*).
+	Aggs []aggJSON `json:"aggs,omitempty"`
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Table     string      `json:"table"`
+	Queries   []queryJSON `json:"queries"`
+	TimeoutMS int         `json:"timeout_ms,omitempty"`
+}
+
+// batchJSON surfaces how the scheduler served one query.
+type batchJSON struct {
+	BatchQueries  int     `json:"batch_queries"`
+	BatchRequests int     `json:"batch_requests"`
+	Deduped       bool    `json:"deduped"`
+	QueueWaitMS   float64 `json:"queue_wait_ms"`
+	Origin        string  `json:"origin"`
+}
+
+// tableJSON is a result set on the wire.
+type tableJSON struct {
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// queryResponse is one query's outcome inside a /query response.
+type queryResponse struct {
+	Result *tableJSON `json:"result,omitempty"`
+	Batch  *batchJSON `json:"batch,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "table and queries are required")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// Submit every query concurrently: that is the whole point — queries in
+	// one body (and across bodies) ride the same micro-batch window.
+	out := make([]queryResponse, len(req.Queries))
+	var wg sync.WaitGroup
+	for i, q := range req.Queries {
+		gq, err := s.bindQuery(req.Table, q)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, gq gbmqo.GroupQuery) {
+			defer wg.Done()
+			res, info, err := s.db.Submit(ctx, req.Table, gq)
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			out[i].Result = encodeTable(res)
+			out[i].Batch = &batchJSON{
+				BatchQueries:  info.BatchQueries,
+				BatchRequests: info.BatchRequests,
+				Deduped:       info.Deduped,
+				QueueWaitMS:   float64(info.QueueWait) / float64(time.Millisecond),
+				Origin:        info.Origin.String(),
+			}
+		}(i, gq)
+	}
+	wg.Wait()
+	writeJSON(w, map[string]any{"results": out})
+}
+
+// sqlRequest is the POST /sql body.
+type sqlRequest struct {
+	SQL string `json:"sql"`
+	// Split returns the GROUPING SETS union split back into one table per
+	// grouping set (keyed by its Grp-Tag) instead of the union shape.
+	Split     bool `json:"split,omitempty"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	var req sqlRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	res, err := s.db.SubmitSQL(ctx, req.SQL)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if !req.Split {
+		writeJSON(w, map[string]any{"result": encodeTable(res)})
+		return
+	}
+	parts, tags, err := exec.SplitTagged(res)
+	if err != nil {
+		// No grp_tag column: a plain result splits into itself.
+		writeJSON(w, map[string]any{"parts": []map[string]any{{"tag": "", "result": encodeTable(res)}}})
+		return
+	}
+	enc := make([]map[string]any, len(parts))
+	for i := range parts {
+		enc[i] = map[string]any{"tag": tags[i], "result": encodeTable(parts[i])}
+	}
+	writeJSON(w, map[string]any{"parts": enc})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.db.WriteMetrics(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"ok": true, "tables": len(s.db.Tables())}
+	if st, ok := s.db.BatchStats(); ok {
+		resp["batching"] = map[string]any{
+			"submitted":    st.Submitted,
+			"deduped":      st.Deduped,
+			"batches":      st.Batches,
+			"queue_len":    st.QueueLen,
+			"open_windows": st.OpenWindows,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	type tbl struct {
+		Name string   `json:"name"`
+		Rows int      `json:"rows"`
+		Cols []string `json:"cols"`
+	}
+	var out []tbl
+	for _, name := range s.db.Tables() {
+		t, _ := s.db.Table(name)
+		out = append(out, tbl{Name: name, Rows: t.NumRows(), Cols: t.ColNames()})
+	}
+	writeJSON(w, map[string]any{"tables": out})
+}
+
+// bindQuery turns a wire query into a GroupQuery, resolving aggregate column
+// names against the table (grouping columns are resolved by DB.Submit).
+func (s *Server) bindQuery(tableName string, q queryJSON) (gbmqo.GroupQuery, error) {
+	gq := gbmqo.GroupQuery{Cols: q.Cols}
+	if len(q.Aggs) == 0 {
+		return gq, nil
+	}
+	t, ok := s.db.Table(tableName)
+	if !ok {
+		return gq, fmt.Errorf("unknown table %q", tableName)
+	}
+	for _, a := range q.Aggs {
+		fn := strings.ToLower(a.Fn)
+		if fn == "count" && a.Col == "" {
+			ag := gbmqo.CountStar()
+			if a.As != "" {
+				ag.Name = a.As
+			}
+			gq.Aggs = append(gq.Aggs, ag)
+			continue
+		}
+		ord := -1
+		for i := 0; i < t.NumCols(); i++ {
+			if strings.EqualFold(t.Col(i).Name(), a.Col) {
+				ord = i
+				break
+			}
+		}
+		if ord < 0 {
+			return gq, fmt.Errorf("table %q has no column %q", tableName, a.Col)
+		}
+		ag := gbmqo.Agg{Col: ord, Name: fn + "_" + strings.ToLower(a.Col)}
+		switch fn {
+		case "count":
+			ag.Kind = gbmqo.AggCount
+		case "sum":
+			ag.Kind = gbmqo.AggSum
+		case "min":
+			ag.Kind = gbmqo.AggMin
+		case "max":
+			ag.Kind = gbmqo.AggMax
+		default:
+			return gq, fmt.Errorf("unknown aggregate %q (want count, sum, min, max)", a.Fn)
+		}
+		if a.As != "" {
+			ag.Name = a.As
+		}
+		gq.Aggs = append(gq.Aggs, ag)
+	}
+	return gq, nil
+}
+
+// requestContext bounds one request's work: the client's timeout_ms if sent,
+// the server default otherwise, joined with the connection's context so a
+// dropped client abandons its batch subscription.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.Timeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// encodeTable renders a result table for JSON: NULL cells become nil, dates
+// their formatted form, numbers stay native.
+func encodeTable(t *gbmqo.Table) *tableJSON {
+	out := &tableJSON{
+		Columns: t.ColNames(),
+		Types:   make([]string, t.NumCols()),
+		Rows:    make([][]any, t.NumRows()),
+	}
+	for c := 0; c < t.NumCols(); c++ {
+		out.Types[c] = t.Col(c).Type().String()
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]any, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			row[c] = encodeValue(t.Col(c).Value(r))
+		}
+		out.Rows[r] = row
+	}
+	return out
+}
+
+func encodeValue(v table.Value) any {
+	if v.Null {
+		return nil
+	}
+	switch v.Typ {
+	case table.TInt64:
+		return v.I
+	case table.TFloat64:
+		return v.F
+	case table.TString:
+		return v.S
+	default: // TDate
+		return v.String()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gbmqo"
+)
+
+func newTestServer(t *testing.T) (*gbmqo.DB, *httptest.Server) {
+	t.Helper()
+	db := gbmqo.Open(nil)
+	tbl, err := gbmqo.GenerateDataset("sales", 5000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(tbl)
+	db.StartBatching(gbmqo.BatchOptions{MaxWait: 2 * time.Millisecond, Exec: gbmqo.QueryOptions{SharedScan: true}})
+	ts := httptest.NewServer(New(db).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		db.StopBatching()
+	})
+	return db, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func salesCol(t *testing.T, db *gbmqo.DB) string {
+	t.Helper()
+	tbl, ok := db.Table("sales")
+	if !ok {
+		t.Fatal("sales not registered")
+	}
+	return tbl.Col(0).Name()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	db, ts := newTestServer(t)
+	col := salesCol(t, db)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"table": "sales",
+		"queries": []map[string]any{
+			{"cols": []string{col}},
+			{"cols": []string{col}, "aggs": []map[string]any{{"fn": "count", "as": "n"}}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	results := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	tbl, _ := db.Table("sales")
+	want := tbl.Col(0).DistinctCount()
+	for i, raw := range results {
+		r := raw.(map[string]any)
+		if e, ok := r["error"]; ok && e != nil {
+			t.Fatalf("query %d error: %v", i, e)
+		}
+		res := r["result"].(map[string]any)
+		if rows := len(res["rows"].([]any)); rows != want {
+			t.Fatalf("query %d rows = %d, want %d", i, rows, want)
+		}
+		if r["batch"] == nil {
+			t.Fatalf("query %d missing batch info", i)
+		}
+	}
+	// The alias must be honored.
+	cols := results[1].(map[string]any)["result"].(map[string]any)["columns"].([]any)
+	found := false
+	for _, c := range cols {
+		if c == "n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alias n missing from %v", cols)
+	}
+}
+
+func TestQueryEndpointPerQueryErrors(t *testing.T) {
+	db, ts := newTestServer(t)
+	col := salesCol(t, db)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"table": "sales",
+		"queries": []map[string]any{
+			{"cols": []string{"no_such_col"}},
+			{"cols": []string{col}, "aggs": []map[string]any{{"fn": "median", "col": col}}},
+			{"cols": []string{col}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	results := out["results"].([]any)
+	if e := results[0].(map[string]any)["error"]; e == nil || e == "" {
+		t.Fatal("unknown column must error")
+	}
+	if e := results[1].(map[string]any)["error"]; e == nil || !strings.Contains(e.(string), "median") {
+		t.Fatalf("unknown aggregate error = %v", e)
+	}
+	if e, ok := results[2].(map[string]any)["error"]; ok && e != nil {
+		t.Fatalf("valid query alongside bad ones failed: %v", e)
+	}
+}
+
+func TestSQLEndpointAndSplit(t *testing.T) {
+	db, ts := newTestServer(t)
+	tbl, _ := db.Table("sales")
+	c0, c1 := tbl.Col(0).Name(), tbl.Col(1).Name()
+	stmt := "SELECT COUNT(*) FROM sales GROUP BY GROUPING SETS ((" + c0 + "), (" + c1 + "))"
+	resp, out := postJSON(t, ts.URL+"/sql", map[string]any{"sql": stmt})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	res := out["result"].(map[string]any)
+	cols := res["columns"].([]any)
+	if cols[len(cols)-1] != "grp_tag" {
+		t.Fatalf("union shape missing grp_tag: %v", cols)
+	}
+	// The same statement split into per-set parts.
+	resp, out = postJSON(t, ts.URL+"/sql", map[string]any{"sql": stmt, "split": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("split status = %d", resp.StatusCode)
+	}
+	parts := out["parts"].([]any)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(parts))
+	}
+	tags := map[string]bool{}
+	for _, p := range parts {
+		pm := p.(map[string]any)
+		tags[pm["tag"].(string)] = true
+		pcols := pm["result"].(map[string]any)["columns"].([]any)
+		for _, c := range pcols {
+			if c == "grp_tag" {
+				t.Fatal("split part still carries grp_tag")
+			}
+		}
+	}
+	if !tags["("+c0+")"] || !tags["("+c1+")"] {
+		t.Fatalf("tags = %v", tags)
+	}
+	// Invalid SQL surfaces as 422.
+	resp, _ = postJSON(t, ts.URL+"/sql", map[string]any{"sql": "SELEC nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad sql status = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	db, ts := newTestServer(t)
+	col := salesCol(t, db)
+	postJSON(t, ts.URL+"/query", map[string]any{
+		"table":   "sales",
+		"queries": []map[string]any{{"cols": []string{col}}},
+	})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE gbmqo_sched_submissions_total counter",
+		"# TYPE gbmqo_sched_batch_queries histogram",
+		"gbmqo_exec_runs_total",
+		"gbmqo_sched_window_close_total{reason=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzAndTables(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if h["ok"] != true {
+		t.Fatalf("healthz = %v", h)
+	}
+	resp, err = http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl map[string]any
+	json.NewDecoder(resp.Body).Decode(&tl)
+	resp.Body.Close()
+	tables := tl["tables"].([]any)
+	if len(tables) != 1 || tables[0].(map[string]any)["name"] != "sales" {
+		t.Fatalf("tables = %v", tl)
+	}
+}
+
+func TestBadRequestBodies(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d", resp.StatusCode)
+	}
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{"table": "sales"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing queries status = %d: %v", resp.StatusCode, out)
+	}
+}
+
+// TestServeLoad hammers the server with concurrent clients — the CI
+// race-detector witness that the whole stack (HTTP handler, scheduler
+// windows, shared engine runs, metrics scrapes) is safe under load. Every
+// response must be well-formed and every query answered or attributed an
+// error; at the end the scheduler must have actually batched.
+func TestServeLoad(t *testing.T) {
+	db, ts := newTestServer(t)
+	tbl, _ := db.Table("sales")
+	var cols []string
+	for i := 0; i < tbl.NumCols() && i < 3; i++ {
+		if tbl.Col(i).Type().String() != "FLOAT" {
+			cols = append(cols, tbl.Col(i).Name())
+		}
+	}
+	if len(cols) < 2 {
+		t.Skip("sales schema too narrow for the load mix")
+	}
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := map[string]any{"cols": []string{cols[(w+i)%len(cols)]}}
+				if i%3 == 0 {
+					q["cols"] = []string{cols[i%len(cols)], cols[(i+1)%len(cols)]}
+				}
+				body, _ := json.Marshal(map[string]any{
+					"table":   "sales",
+					"queries": []map[string]any{q},
+				})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d, decode err %v", w, resp.StatusCode, err)
+					return
+				}
+				r := out["results"].([]any)[0].(map[string]any)
+				if e, ok := r["error"]; ok && e != nil {
+					t.Errorf("worker %d: query error %v", w, e)
+					return
+				}
+				if i%10 == 0 { // interleave metrics scrapes with traffic
+					mr, err := http.Get(ts.URL + "/metrics")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mr.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st, ok := db.BatchStats()
+	if !ok {
+		t.Fatal("batching never started")
+	}
+	if st.Submitted != workers*perWorker {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, workers*perWorker)
+	}
+	if st.Batches == 0 || st.Batches >= st.Submitted {
+		t.Fatalf("batches = %d of %d submissions — scheduler never coalesced", st.Batches, st.Submitted)
+	}
+}

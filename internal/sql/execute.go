@@ -174,6 +174,53 @@ func resolveColumn(t *table.Table, name string) int {
 	return -1
 }
 
+// BatchSpec is a grouped single-table query decomposed into scheduler form:
+// the resolved base table, its grouping sets, the shared aggregate list, and
+// whether the grand-total (empty) grouping set belongs to the result. It is
+// how the SQL surface hands a statement to the micro-batching scheduler one
+// grouping set at a time.
+type BatchSpec struct {
+	Table        string
+	Sets         []colset.Set
+	Aggs         []exec.Agg
+	IncludeGrand bool
+}
+
+// Decompose resolves a parsed query into a BatchSpec. ok is false when the
+// statement is not batchable by shape — joins, WHERE filters (their derived
+// tables are ephemeral and private to one run) and non-grouped selects go
+// down the solo path. Resolution failures (unknown table or column) are
+// real errors regardless of shape.
+func Decompose(eng *engine.Engine, q *Query) (spec *BatchSpec, ok bool, err error) {
+	if q.From.Join != "" || len(q.Where) > 0 || q.Group.Kind == GroupNone {
+		return nil, false, nil
+	}
+	src, found := resolveTable(eng, q.From.Table)
+	if !found {
+		return nil, false, fmt.Errorf("sql: unknown table %q", q.From.Table)
+	}
+	aggs, err := bindAggregates(src, q.Select)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(aggs) == 0 {
+		aggs = []exec.Agg{exec.CountStar()}
+	}
+	sets, includeGrand, err := expandGroupSpec(src, q.Group)
+	if err != nil {
+		return nil, false, err
+	}
+	return &BatchSpec{Table: src.Name(), Sets: sets, Aggs: aggs, IncludeGrand: includeGrand}, true, nil
+}
+
+// Assemble builds the GROUPING SETS union result shape from per-set result
+// tables — the same assembly Execute performs, exported so a batching
+// front-end that collected the per-set tables through the scheduler produces
+// output byte-identical to a solo Run of the statement.
+func Assemble(src *table.Table, spec *BatchSpec, results map[colset.Set]*table.Table) (*table.Table, error) {
+	return assembleUnion(src, spec.Sets, spec.Aggs, results, spec.IncludeGrand)
+}
+
 // executeGrouping handles single-table queries.
 func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Options) (*Result, error) {
 	aggs, err := bindAggregates(src, q.Select)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gbmqo/internal/colset"
 	"gbmqo/internal/engine"
 	"gbmqo/internal/exec"
 	"gbmqo/internal/stats"
@@ -382,5 +383,93 @@ func TestCaseInsensitiveResolution(t *testing.T) {
 	}
 	if res.Table.NumRows() != tb.Col(0).DistinctCount() {
 		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+}
+
+// tablesIdentical compares schema and every cell.
+func tablesIdentical(t *testing.T, got, want *table.Table) {
+	t.Helper()
+	if got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for c := 0; c < got.NumCols(); c++ {
+		if got.Col(c).Name() != want.Col(c).Name() || got.Col(c).Type() != want.Col(c).Type() {
+			t.Fatalf("col %d is %s %v, want %s %v", c, got.Col(c).Name(), got.Col(c).Type(), want.Col(c).Name(), want.Col(c).Type())
+		}
+	}
+	for r := 0; r < got.NumRows(); r++ {
+		for c := 0; c < got.NumCols(); c++ {
+			g, w := got.Col(c).Value(r), want.Col(c).Value(r)
+			if g != w {
+				t.Fatalf("cell (%d,%d) = %v, want %v", r, c, g, w)
+			}
+		}
+	}
+}
+
+func TestDecomposeAssembleMatchesRun(t *testing.T) {
+	eng, tb := newSQLEngine(t)
+	for _, stmt := range []string{
+		"SELECT a, b, COUNT(*), SUM(c) AS sc FROM t GROUP BY GROUPING SETS ((a), (b), (a, b))",
+		"SELECT COUNT(*) FROM t GROUP BY CUBE(a, b)",
+		"SELECT a, MIN(c) AS mn, MAX(c) AS mx FROM t GROUP BY ROLLUP(a, b)",
+		"SELECT a FROM t GROUP BY a",
+	} {
+		q, err := Parse(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		spec, ok, err := Decompose(eng, q)
+		if err != nil || !ok {
+			t.Fatalf("%s: decompose ok=%v err=%v", stmt, ok, err)
+		}
+		if spec.Table != tb.Name() {
+			t.Fatalf("%s: table %q", stmt, spec.Table)
+		}
+		// Compute each grouping set through the engine one at a time, the way
+		// the scheduler would, then reassemble.
+		results := map[colset.Set]*table.Table{}
+		for _, s := range spec.Sets {
+			run, err := eng.Run(engine.Request{Table: spec.Table, Sets: []colset.Set{s}, Aggs: spec.Aggs})
+			if err != nil {
+				t.Fatalf("%s: per-set run: %v", stmt, err)
+			}
+			results[s] = run.Report.Results[s]
+		}
+		got, err := Assemble(tb, spec, results)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", stmt, err)
+		}
+		want, err := Run(eng, stmt, Options{})
+		if err != nil {
+			t.Fatalf("%s: solo run: %v", stmt, err)
+		}
+		tablesIdentical(t, got, want.Table)
+	}
+}
+
+func TestDecomposeRejectsUnbatchableShapes(t *testing.T) {
+	eng, _ := newSQLEngine(t)
+	for _, stmt := range []string{
+		"SELECT a, COUNT(*) FROM t WHERE c > 2 GROUP BY a",
+		"SELECT COUNT(*) FROM t",
+		"SELECT a FROM t",
+	} {
+		q, err := Parse(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		spec, ok, err := Decompose(eng, q)
+		if err != nil || ok || spec != nil {
+			t.Fatalf("%s: want ok=false, got spec=%v ok=%v err=%v", stmt, spec, ok, err)
+		}
+	}
+	// Resolution failures are errors, not fallbacks.
+	q, err := Parse("SELECT a, COUNT(*) FROM nosuch GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompose(eng, q); err == nil {
+		t.Fatal("unknown table must error")
 	}
 }

@@ -1,0 +1,344 @@
+package gbmqo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gbmqo/internal/cache"
+	"gbmqo/internal/colset"
+	"gbmqo/internal/engine"
+	"gbmqo/internal/obs"
+	"gbmqo/internal/sched"
+	"gbmqo/internal/sql"
+	"gbmqo/internal/table"
+)
+
+// This file is the online entry point: instead of handing the optimizer a
+// complete query set up front (ExecuteQueries), concurrent callers Submit
+// individual Group By requests and an adaptive micro-batching scheduler
+// groups near-simultaneous arrivals on the same table into one GB-MQO plan.
+// See DESIGN.md "Online micro-batching" and internal/sched.
+
+// Batching and per-request types re-exported from the scheduler.
+type (
+	// BatchInfo tells a Submit caller how its request was served (batch size,
+	// dedup, queueing latency, result origin, modeled shared-vs-solo cost).
+	BatchInfo = sched.BatchInfo
+	// BatchStats is a point-in-time snapshot of scheduler activity.
+	BatchStats = sched.Stats
+	// SetOrigin attributes a grouping set's result to how it was produced.
+	SetOrigin = engine.SetOrigin
+)
+
+// Result origins (BatchInfo.Origin, ExecReport.Origins).
+const (
+	// OriginComputed: executed by this run's plan.
+	OriginComputed = engine.OriginComputed
+	// OriginCacheHit: served verbatim from the cross-query result cache.
+	OriginCacheHit = engine.OriginCacheHit
+	// OriginCacheAncestor: re-aggregated from a cached superset grouping.
+	OriginCacheAncestor = engine.OriginCacheAncestor
+	// OriginFlightShared: piggybacked on a concurrent identical computation.
+	OriginFlightShared = engine.OriginFlightShared
+)
+
+// Batching errors.
+var (
+	// ErrBatcherClosed: Submit after StopBatching (or during shutdown).
+	ErrBatcherClosed = sched.ErrClosed
+	// ErrQueueFull: the scheduler's admission queue is at MaxQueue.
+	ErrQueueFull = sched.ErrQueueFull
+)
+
+// BatchOptions tunes the micro-batching scheduler (see DB.StartBatching).
+// Zero values select the scheduler defaults (MaxBatch 16, MaxWait 2ms,
+// IdleWait MaxWait/4, MaxQueue 4096).
+type BatchOptions struct {
+	// MaxBatch closes a window once it holds this many distinct queries.
+	MaxBatch int
+	// MaxWait closes a window this long after it opened — the ceiling on the
+	// queueing latency a request can pay to ride a batch.
+	MaxWait time.Duration
+	// IdleWait closes a window early when no new request arrived for this
+	// long.
+	IdleWait time.Duration
+	// MaxQueue bounds submissions waiting in open windows; beyond it Submit
+	// fails fast with ErrQueueFull.
+	MaxQueue int
+	// Exec are the query options batch runs execute under (strategy, shared
+	// scan, parallelism, memory budget, cache bypass). Exec.Context is
+	// ignored: a batch runs under its own context, cancelled only when every
+	// subscriber has abandoned it.
+	Exec QueryOptions
+}
+
+// StartBatching starts the micro-batching scheduler with explicit options.
+// It is a no-op if batching is already running (the first configuration
+// wins); use StopBatching first to reconfigure. Submit starts batching
+// lazily with defaults, so calling StartBatching is only needed to override
+// them.
+func (db *DB) StartBatching(o BatchOptions) {
+	db.batchMu.Lock()
+	defer db.batchMu.Unlock()
+	if db.batcher != nil {
+		return
+	}
+	db.batchOpts = o
+	db.batcher = sched.New(db.runBatch, sched.Config{
+		MaxBatch: o.MaxBatch,
+		MaxWait:  o.MaxWait,
+		IdleWait: o.IdleWait,
+		MaxQueue: o.MaxQueue,
+		Reg:      db.obs,
+	})
+}
+
+// StopBatching flushes open windows, waits for in-flight batches, and stops
+// the scheduler. Submissions racing with it fail with ErrBatcherClosed. A
+// later Submit or StartBatching starts a fresh scheduler.
+func (db *DB) StopBatching() {
+	db.batchMu.Lock()
+	b := db.batcher
+	db.batcher = nil
+	db.batchMu.Unlock()
+	if b != nil {
+		b.Close()
+	}
+}
+
+// FlushBatches closes all open windows immediately without stopping the
+// scheduler (tests and graceful drains).
+func (db *DB) FlushBatches() {
+	db.batchMu.Lock()
+	b := db.batcher
+	db.batchMu.Unlock()
+	if b != nil {
+		b.Flush()
+	}
+}
+
+// BatchStats snapshots scheduler activity. ok is false when batching has
+// never been started.
+func (db *DB) BatchStats() (st BatchStats, ok bool) {
+	db.batchMu.Lock()
+	b := db.batcher
+	db.batchMu.Unlock()
+	if b == nil {
+		return BatchStats{}, false
+	}
+	return b.Stats(), true
+}
+
+// batcherDefaults are the execution options a lazily started scheduler uses:
+// shared scans and parallel sub-plans on, because batches exist to amortize
+// scans across queries.
+func batcherDefaults() BatchOptions {
+	return BatchOptions{Exec: QueryOptions{SharedScan: true, Parallel: true}}
+}
+
+// getBatcher returns the running scheduler, starting one with defaults on
+// first use.
+func (db *DB) getBatcher() *sched.Batcher {
+	db.batchMu.Lock()
+	defer db.batchMu.Unlock()
+	if db.batcher == nil {
+		db.batchOpts = batcherDefaults()
+		db.batcher = sched.New(db.runBatch, sched.Config{Reg: db.obs})
+	}
+	return db.batcher
+}
+
+// runBatch executes one dispatched window through the engine: one GB-MQO
+// plan over the union of the window's grouping sets, inheriting the DB's
+// cache, governance and parallelism settings.
+func (db *DB) runBatch(ctx context.Context, tableName string, sets []colset.Set, perSet map[colset.Set][]Agg) (*engine.RunResult, error) {
+	db.batchMu.Lock()
+	o := db.batchOpts.Exec
+	db.batchMu.Unlock()
+	opts := db.sqlOptions(o)
+	return db.eng.Run(engine.Request{
+		Table:       tableName,
+		Sets:        sets,
+		PerSetAggs:  perSet,
+		Strategy:    o.Strategy,
+		Model:       opts.Model,
+		Core:        opts.Core,
+		SharedScan:  o.SharedScan,
+		Parallel:    o.Parallel,
+		Parallelism: o.Parallelism,
+		Context:     ctx,
+		MemBudget:   o.MemBudget,
+		UseCache:    !o.NoCache,
+	})
+}
+
+// Submit hands one Group By request to the micro-batching scheduler and
+// blocks until its result is ready, ctx expires, or the scheduler rejects
+// it. Requests arriving close together on the same table share one GB-MQO
+// plan; identical requests (same grouping columns and aggregates) inside a
+// window share one computation. The result table is byte-identical to what
+// ExecuteQueries would return for the same single query.
+//
+// ctx bounds only this caller's wait: when it expires the call returns
+// ctx.Err() but the batch keeps running for its other subscribers (and is
+// cancelled once all of them have abandoned it). q.Cols must be non-empty —
+// grand totals have no grouping columns to share and go through Query.
+// Submit starts the scheduler with default BatchOptions if StartBatching was
+// not called.
+func (db *DB) Submit(ctx context.Context, tableName string, q GroupQuery) (*Table, BatchInfo, error) {
+	t, ok := db.eng.Catalog().Table(tableName)
+	if !ok {
+		return nil, BatchInfo{}, fmt.Errorf("gbmqo: unknown table %q", tableName)
+	}
+	ords, err := db.resolveCols(t, q.Cols)
+	if err != nil {
+		return nil, BatchInfo{}, err
+	}
+	aggs := q.Aggs
+	if len(aggs) == 0 {
+		aggs = []Agg{CountStar()}
+	}
+	return db.getBatcher().Submit(ctx, sched.Query{Table: t.Name(), Set: colset.Of(ords...), Aggs: aggs})
+}
+
+// SubmitSQL runs a SQL statement through the micro-batching scheduler: a
+// batchable grouped single-table statement is decomposed into its grouping
+// sets, each submitted individually (so concurrent statements' sets batch
+// together), and the GROUPING SETS union result is reassembled
+// byte-identical to Query. Statements the scheduler cannot batch — joins,
+// WHERE filters, plain selects — fall back to a solo QueryWith run under the
+// batcher's execution options.
+func (db *DB) SubmitSQL(ctx context.Context, statement string) (*Table, error) {
+	q, err := sql.Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	spec, ok, err := sql.Decompose(db.eng, q)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		db.batchMu.Lock()
+		o := db.batchOpts.Exec
+		db.batchMu.Unlock()
+		o.Context = ctx
+		res, err := db.QueryWith(statement, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table, nil
+	}
+	src, found := db.eng.Catalog().Table(spec.Table)
+	if !found {
+		return nil, fmt.Errorf("gbmqo: unknown table %q", spec.Table)
+	}
+	b := db.getBatcher()
+	results := make(map[colset.Set]*table.Table, len(spec.Sets))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, s := range spec.Sets {
+		wg.Add(1)
+		go func(s colset.Set) {
+			defer wg.Done()
+			res, _, err := b.Submit(ctx, sched.Query{Table: spec.Table, Set: s, Aggs: spec.Aggs})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[s] = res
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sql.Assemble(src, spec, results)
+}
+
+// WriteMetrics writes every metric the DB tracks — scheduler, cache,
+// execution governance — in Prometheus text exposition format. The same
+// series back GET /metrics on the server and expvar under the "gbmqo" key.
+func (db *DB) WriteMetrics(w io.Writer) {
+	db.obs.WritePrometheus(w)
+}
+
+// Metrics snapshots every tracked series as a flat name → value map
+// (histograms appear as <name>_sum and <name>_count). Like CacheStats, the
+// snapshot is safe to take while queries run.
+func (db *DB) Metrics() map[string]float64 {
+	return db.obs.Snapshot()
+}
+
+// registerMetrics wires the engine and cache into the DB's metrics registry:
+// a run observer accumulates governance counters from every engine Run
+// (SQL, direct, and batched paths alike), and the cache's own atomic
+// counters are exposed as collect-time functions.
+func (db *DB) registerMetrics() {
+	r := db.obs
+	runs := r.Counter("gbmqo_exec_runs_total", "engine runs completed")
+	errs := r.Counter("gbmqo_exec_errors_total", "engine runs that returned an error")
+	cancelled := r.Counter("gbmqo_exec_cancelled_total", "engine runs stopped by context cancellation or deadline")
+	rows := r.Counter("gbmqo_exec_rows_scanned_total", "input rows consumed by Group By operators")
+	queries := r.Counter("gbmqo_exec_queries_total", "Group By statements executed, covered cube/rollup levels included")
+	spills := r.Counter("gbmqo_exec_spill_fallbacks_total", "hash aggregations degraded to sort under MemBudget")
+	degr := r.Counter("gbmqo_exec_degradations_total", "graceful-degradation decisions taken under MemBudget")
+	peak := r.Gauge("gbmqo_exec_peak_mem_bytes", "high-water mark of governed execution memory over all runs")
+	db.eng.SetRunObserver(func(res *engine.RunResult, err error) {
+		if err != nil {
+			errs.Inc()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				cancelled.Inc()
+			}
+		}
+		if res == nil || res.Report == nil {
+			return
+		}
+		rep := res.Report
+		runs.Inc()
+		rows.Add(float64(rep.RowsScanned))
+		queries.Add(float64(rep.QueriesRun))
+		spills.Add(float64(rep.SpillFallbacks))
+		degr.Add(float64(len(rep.Degradations)))
+		peak.SetMax(float64(rep.PeakMem))
+	})
+	c := db.eng.ResultCache()
+	if c == nil {
+		return
+	}
+	stat := func(f func(cache.Stats) float64) func() float64 {
+		return func() float64 { return f(c.Snapshot()) }
+	}
+	r.Func("gbmqo_cache_hits_total", "exact cross-query cache hits", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Hits) }))
+	r.Func("gbmqo_cache_ancestor_hits_total", "queries answered by re-aggregating a cached superset", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.AncestorHits) }))
+	r.Func("gbmqo_cache_misses_total", "cache lookups that found nothing usable", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Misses) }))
+	r.Func("gbmqo_cache_admissions_total", "results admitted to the cache", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Admissions) }))
+	r.Func("gbmqo_cache_rejections_total", "results the admission policy declined", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Rejections) }))
+	r.Func("gbmqo_cache_evictions_total", "entries displaced by admission pressure", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Evictions) }))
+	r.Func("gbmqo_cache_invalidations_total", "entries swept on table version changes", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Invalidations) }))
+	r.Func("gbmqo_cache_flight_leads_total", "singleflight computations led", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.FlightLeads) }))
+	r.Func("gbmqo_cache_flight_shared_total", "callers that piggybacked on an in-flight computation", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.FlightShared) }))
+	r.Func("gbmqo_cache_bytes", "bytes resident in the cache", obs.KindGauge,
+		stat(func(s cache.Stats) float64 { return float64(s.Bytes) }))
+	r.Func("gbmqo_cache_entries", "entries resident in the cache", obs.KindGauge,
+		stat(func(s cache.Stats) float64 { return float64(s.Entries) }))
+}
