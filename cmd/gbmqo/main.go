@@ -11,11 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"gbmqo"
 	"gbmqo/internal/server"
@@ -42,6 +48,8 @@ func main() {
 		batchMax  = flag.Int("batch-max", 0, "micro-batch window: max distinct queries (0 = default 16)")
 		batchWait = flag.Duration("batch-wait", 0, "micro-batch window: max wait after open (0 = default 2ms)")
 		batchIdle = flag.Duration("batch-idle", 0, "micro-batch window: idle flush (0 = default batch-wait/4)")
+		shedAt    = flag.Duration("shed-target", 0, "p95 batch latency target for adaptive load shedding (0 = off)")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight work on SIGINT/SIGTERM before -serve exits")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format after running")
 	)
 	flag.Parse()
@@ -148,16 +156,22 @@ func main() {
 		sopts := opts
 		sopts.SharedScan = true
 		sopts.Parallel = true
+		sopts.MaxAttempts = 3
 		db.StartBatching(gbmqo.BatchOptions{
-			MaxBatch: *batchMax,
-			MaxWait:  *batchWait,
-			IdleWait: *batchIdle,
-			Exec:     sopts,
+			MaxBatch:          *batchMax,
+			MaxWait:           *batchWait,
+			IdleWait:          *batchIdle,
+			ShedLatencyTarget: *shedAt,
+			Exec:              sopts,
 		})
-		defer db.StopBatching()
+		db.EnableBreakers(gbmqo.BreakerConfig{})
+		ln, err := net.Listen("tcp", *addr)
+		fail(err)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		fmt.Printf("serving %s on %s (POST /query, POST /sql, GET /metrics)\n",
-			strings.Join(db.Tables(), ", "), *addr)
-		fail(http.ListenAndServe(*addr, server.New(db).Handler()))
+			strings.Join(db.Tables(), ", "), ln.Addr())
+		fail(runServe(db, ln, sig, *drainFor))
 	}
 	if *metrics {
 		ran = true
@@ -167,6 +181,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runServe serves HTTP on ln until a signal arrives on sig, then shuts down
+// gracefully: /healthz flips to draining, the scheduler drains in-flight
+// batches, and the HTTP server finishes open requests — each phase bounded
+// by drainFor. Returns nil on a clean drain so -serve exits 0 under
+// SIGINT/SIGTERM.
+func runServe(db *gbmqo.DB, ln net.Listener, sig <-chan os.Signal, drainFor time.Duration) error {
+	srv := server.New(db)
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "gbmqo: %v: draining (timeout %s)\n", s, drainFor)
+	}
+	// Stop routing first (health checks fail), then drain the scheduler so
+	// queued Group By work delivers, then close HTTP connections.
+	srv.SetDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	if err := db.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gbmqo: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
 }
 
 func parseSchema(s string) ([]gbmqo.ColumnDef, error) {

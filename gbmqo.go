@@ -24,6 +24,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"gbmqo/internal/cache"
 	"gbmqo/internal/colset"
@@ -76,7 +77,28 @@ type (
 	// CacheCounters reports how the result cache served one request (see
 	// ExecReport.Cache).
 	CacheCounters = engine.CacheCounters
+	// RetryAttempt records one retried execution attempt: the error, its
+	// classification, the backoff slept, and the degradation modes applied to
+	// the next attempt (see ExecReport.Retries).
+	RetryAttempt = engine.RetryAttempt
+	// ErrClass classifies an execution error for retry purposes (see Classify).
+	ErrClass = exec.ErrClass
 )
+
+// Error classes (see Classify).
+const (
+	// ClassTransient: an isolated operator failure (ExecError); retryable.
+	ClassTransient = exec.ClassTransient
+	// ClassFatal: a planning or catalog error; retrying cannot help.
+	ClassFatal = exec.ClassFatal
+	// ClassCaller: context cancellation or deadline; the caller gave up.
+	ClassCaller = exec.ClassCaller
+)
+
+// Classify reports how an execution error should be treated: transient
+// failures are worth retrying, fatal ones are not, and caller-initiated
+// cancellations must never be retried or counted against a circuit breaker.
+func Classify(err error) ErrClass { return exec.Classify(err) }
 
 // Degradation kinds a budget-constrained execution can record.
 const (
@@ -308,10 +330,27 @@ type QueryOptions struct {
 	// NoCache bypasses the cross-query result cache for this query (no
 	// lookup, no admission). Irrelevant when the DB has no cache configured.
 	NoCache bool
+	// MaxAttempts caps execution attempts: a transiently failing run (an
+	// isolated operator fault, see ExecError) is retried with exponential
+	// backoff up to this many total attempts, each retry descending the
+	// degradation ladder (sequential, then unshared / no-retain / no-cache)
+	// so the retry avoids whatever machinery the fault hit. 0 or 1 disables
+	// retry. Attempts and per-retry detail land in ExecReport.Attempts and
+	// ExecReport.Retries. Fatal errors and caller cancellations never retry.
+	MaxAttempts int
+	// RetryBackoff is the base backoff before the first retry, doubled per
+	// attempt with jitter (default 1ms, capped at 100ms).
+	RetryBackoff time.Duration
 }
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
-	opts := sql.Options{Strategy: o.Strategy, Context: o.Context, MemBudget: o.MemBudget, UseCache: !o.NoCache}
+	opts := sql.Options{
+		Strategy:  o.Strategy,
+		Context:   o.Context,
+		MemBudget: o.MemBudget,
+		UseCache:  !o.NoCache,
+		Retry:     engine.RetryPolicy{MaxAttempts: o.MaxAttempts, BaseBackoff: o.RetryBackoff},
+	}
 	if o.UseCardinalityModel {
 		opts.Model = engine.ModelCardinality
 	}
@@ -413,6 +452,7 @@ func (db *DB) ExecuteQueries(tableName string, queries []GroupQuery, o QueryOpti
 		Context:     o.Context,
 		MemBudget:   o.MemBudget,
 		UseCache:    !o.NoCache,
+		Retry:       opts.Retry,
 		PerSetAggs:  perSet,
 	})
 	if err != nil {
@@ -462,6 +502,7 @@ func (db *DB) buildRequest(tableName string, queries [][]string, o QueryOptions)
 		Context:     o.Context,
 		MemBudget:   o.MemBudget,
 		UseCache:    !o.NoCache,
+		Retry:       opts.Retry,
 	}, nil
 }
 

@@ -24,6 +24,8 @@ package cache
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -103,6 +105,10 @@ type Stats struct {
 	// Invalidations counts entries swept because their table version went
 	// stale.
 	Invalidations int64
+	// Corruptions counts hits whose stored checksum no longer matched the
+	// entry's bytes; each one evicted and quarantined the entry instead of
+	// serving a corrupt result.
+	Corruptions int64
 	// FlightLeads counts singleflight computations executed; FlightShared
 	// counts callers that piggybacked on another caller's computation.
 	FlightLeads  int64
@@ -128,6 +134,7 @@ type entry struct {
 	tbl     *table.Table
 	bytes   int64
 	benefit float64 // estimated plan cost one exact hit saves vs base
+	sum     uint64  // FNV-64a over schema + row image, fixed at admission
 
 	uses     atomic.Int64  // demanded-or-hit count, the W in LRU-W
 	lastUsed atomic.Uint64 // logical clock of the last touch
@@ -159,6 +166,12 @@ type Cache struct {
 	entries map[Key]*entry
 	bytes   int64
 
+	// quarantined marks keys whose entries failed checksum verification;
+	// they are never re-admitted (whatever produced the corruption — a stray
+	// write through a shared slice, a buggy operator — would poison the same
+	// bytes again). Guarded by mu.
+	quarantined map[Key]bool
+
 	dmu    sync.Mutex
 	demand map[Key]int64 // requests seen for not-yet-cached keys
 
@@ -167,6 +180,7 @@ type Cache struct {
 	hits, ancHits, misses           atomic.Int64
 	admissions, rejections          atomic.Int64
 	evictions, invalidations        atomic.Int64
+	corruptions                     atomic.Int64
 	flightLeads, flightSharedCalls  atomic.Int64
 
 	flight flightGroup
@@ -175,9 +189,10 @@ type Cache struct {
 // New creates a cache with the given configuration.
 func New(cfg Config) *Cache {
 	return &Cache{
-		cfg:     cfg,
-		entries: make(map[Key]*entry),
-		demand:  make(map[Key]int64),
+		cfg:         cfg,
+		entries:     make(map[Key]*entry),
+		quarantined: make(map[Key]bool),
+		demand:      make(map[Key]int64),
 	}
 }
 
@@ -185,6 +200,9 @@ func New(cfg Config) *Cache {
 func (c *Cache) MaxBytes() int64 { return c.cfg.MaxBytes }
 
 // Get returns the cached table for an exact key, recording demand either way.
+// The entry's checksum is verified before it is served: a mismatch evicts and
+// quarantines the key, bumps Stats.Corruptions, and reports a miss — a
+// corrupt result is never returned.
 func (c *Cache) Get(key Key) (*table.Table, bool) {
 	if c == nil {
 		return nil, false
@@ -196,10 +214,44 @@ func (c *Cache) Get(key Key) (*table.Table, bool) {
 		c.bumpDemand(key)
 		return nil, false
 	}
+	if checksumTable(e.tbl) != e.sum {
+		c.quarantine(key, e)
+		return nil, false
+	}
 	e.uses.Add(1)
 	e.lastUsed.Store(c.clock.Add(1))
 	c.hits.Add(1)
 	return e.tbl, true
+}
+
+// quarantine handles a checksum mismatch detected on key's entry: evict it,
+// permanently bar the key from re-admission, and count the corruption. The
+// entry is re-checked under the write lock so two concurrent detections count
+// once.
+func (c *Cache) quarantine(key Key, e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] != e {
+		return // already evicted by a concurrent detection or invalidation
+	}
+	c.evictLocked(e)
+	c.quarantined[key] = true
+	c.corruptions.Add(1)
+}
+
+// checksumTable fingerprints a cached table: FNV-64a over the column names
+// and the row-major scan image. The image is built lazily and cached by the
+// table, and Offer forces it before admission, so hashing here reads stable
+// bytes.
+func checksumTable(t *table.Table) uint64 {
+	h := fnv.New64a()
+	for i := 0; i < t.NumCols(); i++ {
+		io.WriteString(h, t.Col(i).Name())
+		h.Write([]byte{0})
+	}
+	img, _ := t.RowImage()
+	h.Write(img)
+	return h.Sum64()
 }
 
 // Ancestor is one lattice-lookup candidate: a cached entry whose grouping
@@ -297,7 +349,9 @@ func (c *Cache) Offer(key Key, aggs []exec.Agg, t *table.Table, benefit float64)
 	if c == nil || t == nil {
 		return false
 	}
+	exec.Testing.Fire("cache.admit")
 	t.RowImage()
+	sum := checksumTable(t)
 	bytes := t.MemSize()
 	if bytes < 1 {
 		bytes = 1
@@ -305,6 +359,10 @@ func (c *Cache) Offer(key Key, aggs []exec.Agg, t *table.Table, benefit float64)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined[key] {
+		c.rejections.Add(1)
+		return false
+	}
 	if _, exists := c.entries[key]; exists {
 		return false
 	}
@@ -330,7 +388,7 @@ func (c *Cache) Offer(key Key, aggs []exec.Agg, t *table.Table, benefit float64)
 		c.evictLocked(victim)
 		c.evictions.Add(1)
 	}
-	e := &entry{key: key, aggs: append([]exec.Agg(nil), aggs...), tbl: t, bytes: bytes, benefit: benefit}
+	e := &entry{key: key, aggs: append([]exec.Agg(nil), aggs...), tbl: t, bytes: bytes, benefit: benefit, sum: sum}
 	e.uses.Store(uses)
 	e.lastUsed.Store(c.clock.Add(1))
 	c.entries[key] = e
@@ -456,6 +514,7 @@ func (c *Cache) Snapshot() Stats {
 		Rejections:    c.rejections.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Corruptions:   c.corruptions.Load(),
 		FlightLeads:   c.flightLeads.Load(),
 		FlightShared:  c.flightSharedCalls.Load(),
 		Bytes:         bytes,

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -299,21 +300,22 @@ func TestDoCollapsesStampede(t *testing.T) {
 	}
 }
 
-func TestDoPanicUnblocksWaiters(t *testing.T) {
+// TestDoPanicPropagatesToLeaderAndWaiters injects a leader panic and checks
+// the failure semantics: the panic is recovered into a typed *exec.ExecError
+// that both the leader and every waiter receive exactly once — nobody hangs,
+// nobody sees a nil value with a nil error, and the process survives.
+func TestDoPanicPropagatesToLeaderAndWaiters(t *testing.T) {
 	c := New(Config{MaxBytes: 1 << 20})
 	entered := make(chan struct{})
 	finish := make(chan struct{})
-	var followerErr error
+	var leaderVal, followerVal any
+	var leaderErr, followerErr error
+	var followerShared bool
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		defer func() {
-			if recover() == nil {
-				t.Error("leader panic was swallowed")
-			}
-		}()
-		c.Do("k", func() (any, error) {
+		leaderVal, leaderErr, _ = c.Do("k", func() (any, error) {
 			close(entered)
 			<-finish
 			panic("boom")
@@ -322,17 +324,74 @@ func TestDoPanicUnblocksWaiters(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-entered
-		_, followerErr, _ = c.Do("k", func() (any, error) { return "late", nil })
+		followerVal, followerErr, followerShared = c.Do("k", func() (any, error) { return "late", nil })
 	}()
 	// Give the follower a moment to join the in-flight call, then let the
 	// leader panic.
 	<-entered
 	close(finish)
 	wg.Wait()
-	// The follower either joined the panicking flight (and must get an error,
-	// not a hang) or arrived after cleanup and computed fresh.
-	if followerErr != nil && followerErr.Error() == "" {
-		t.Fatalf("follower error = %v", followerErr)
+	var ee *exec.ExecError
+	if leaderVal != nil || !errors.As(leaderErr, &ee) {
+		t.Fatalf("leader got (%v, %v), want (nil, *exec.ExecError)", leaderVal, leaderErr)
+	}
+	if followerShared {
+		// The follower joined the panicking flight: same typed error, no value.
+		if followerVal != nil || !errors.As(followerErr, &ee) {
+			t.Fatalf("waiter got (%v, %v), want (nil, *exec.ExecError)", followerVal, followerErr)
+		}
+	} else if followerVal != "late" || followerErr != nil {
+		// The follower arrived after cleanup and computed fresh.
+		t.Fatalf("post-cleanup follower got (%v, %v)", followerVal, followerErr)
+	}
+	// The failed flight must not leave a registered call behind: a fresh Do
+	// computes immediately.
+	v, err, _ := c.Do("k", func() (any, error) { return "fresh", nil })
+	if v != "fresh" || err != nil {
+		t.Fatalf("Do after failed flight = (%v, %v)", v, err)
+	}
+}
+
+// TestChecksumDetectsCorruption corrupts a cached entry's bytes in place and
+// checks the next exact hit refuses to serve it: miss, eviction, quarantine
+// (no re-admission), and a bumped Corruptions counter.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	key := KeyOf("t", 1, colset.Of(0), countStar())
+	tb := testTable("t_a", 32)
+	if !c.Offer(key, countStar(), tb, 100) {
+		t.Fatal("offer rejected")
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("clean entry missed")
+	}
+	// Corrupt the cached row image through the shared table — the failure
+	// mode a stray write through a shared slice produces.
+	img, _ := tb.RowImage()
+	img[0] ^= 0xff
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry was served")
+	}
+	st := c.Snapshot()
+	if st.Corruptions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after corruption = %+v, want 1 corruption, 0 entries", st)
+	}
+	// A second lookup is a plain miss, counted once.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("quarantined key hit")
+	}
+	if st := c.Snapshot(); st.Corruptions != 1 {
+		t.Fatalf("corruption double-counted: %+v", st)
+	}
+	// The quarantined key can never be re-admitted, even with pristine bytes.
+	if c.Offer(key, countStar(), testTable("t_a", 32), 100) {
+		t.Fatal("quarantined key re-admitted")
+	}
+	// Other keys are unaffected.
+	other := KeyOf("t", 1, colset.Of(1), countStar())
+	if !c.Offer(other, countStar(), testTable("t_b", 32), 100) {
+		t.Fatal("unrelated key rejected after quarantine")
 	}
 }
 

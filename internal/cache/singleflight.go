@@ -3,6 +3,8 @@ package cache
 import (
 	"fmt"
 	"sync"
+
+	"gbmqo/internal/exec"
 )
 
 // flightCall is one in-flight computation shared by every caller that asked
@@ -24,9 +26,14 @@ type flightGroup struct {
 }
 
 // do runs fn once per concurrently-requested key. shared reports whether this
-// caller received another caller's result. A panic inside fn is converted to
-// an error for the waiters (so none of them blocks forever) and then
-// re-raised in the leader, preserving the process's panic semantics.
+// caller received another caller's result.
+//
+// A panic inside fn is recovered into a typed *exec.ExecError that propagates
+// to the leader AND every waiter exactly once — nobody blocks forever, nobody
+// sees a nil value with a nil error, and the process survives (a flight
+// failure is an isolated, transient operator failure, exactly what the engine
+// retry loop exists for). The flight is deregistered before delivery, so the
+// failed value can never be mistaken for a usable result by a later caller.
 func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.calls == nil {
@@ -42,17 +49,29 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	normal := false
 	defer func() {
-		if !normal {
-			c.err = fmt.Errorf("cache: in-flight computation for %q panicked", key)
+		if pnc := recover(); pnc != nil {
+			c.val = nil
+			c.err = &exec.ExecError{
+				Step: fmt.Sprintf("in-flight computation %q", key),
+				Err:  panicErr(pnc),
+			}
 		}
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
 		c.wg.Done()
+		val, err = c.val, c.err
 	}()
 	c.val, c.err = fn()
-	normal = true
 	return c.val, c.err, false
+}
+
+// panicErr converts a recovered panic value into an error, preserving error
+// panics for errors.Is/As chains.
+func panicErr(p any) error {
+	if e, ok := p.(error); ok {
+		return fmt.Errorf("panic: %w", e)
+	}
+	return fmt.Errorf("panic: %v", p)
 }

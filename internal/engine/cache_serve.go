@@ -323,9 +323,9 @@ func requestAggs(req Request, s colset.Set) []exec.Agg {
 // leader's context governs the shared computation.
 func residualKey(req Request, ver uint64, missed []colset.Set) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run|%s@v%d|%s|%d|ss%t|par%t|dop%d|mb%d|core%t,%t,%t,%t,%d,%g",
+	fmt.Fprintf(&b, "run|%s@v%d|%s|%d|ss%t|par%t|dop%d|mb%d|nr%t|core%t,%t,%t,%t,%d,%g",
 		req.Table, ver, req.Strategy, req.Model, req.SharedScan, req.Parallel,
-		req.Parallelism, req.MemBudget,
+		req.Parallelism, req.MemBudget, req.NoRetain,
 		req.Core.BinaryOnly, req.Core.PruneSubsumption, req.Core.PruneMonotonic,
 		req.Core.ConsiderCubeRollup, req.Core.MaxCubeCols, req.Core.StorageBudget)
 	for _, s := range missed {

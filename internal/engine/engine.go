@@ -160,6 +160,14 @@ type ExecReport struct {
 	// Cache describes how the cross-query result cache served this run (all
 	// zero when no cache is configured or the request bypassed it).
 	Cache CacheCounters
+	// Attempts counts the engine-boundary attempts this result took: 1 for a
+	// first-try success, more when the retry loop re-ran the request.
+	// Populated by Engine.Run; direct Executor calls leave it 0.
+	Attempts int
+	// Retries attributes each failed-and-retried attempt: the error, its
+	// classification, the backoff taken, and the degraded modes the following
+	// attempt ran under. Nil on a first-try success.
+	Retries []RetryAttempt
 	// Origins attributes each requested grouping set's result to how it was
 	// produced (computed, cache hit, ancestor re-aggregation, shared flight).
 	// Populated by Engine.Run; direct Executor calls leave it nil (everything
@@ -215,6 +223,11 @@ type ExecOptions struct {
 	// taken are recorded in ExecReport.Degradations. 0 means unlimited —
 	// PeakMem is still measured.
 	MemBudget int64
+	// NoRetain skips materializing intermediate temp tables regardless of
+	// budget headroom; children re-derive from the base relation through the
+	// same skipped-intermediate machinery the memory budget uses. Results are
+	// byte-identical; the run trades extra scans for holding no shared state.
+	NoRetain bool
 	// PromoteTemp, when non-nil, observes every materialized intermediate at
 	// the moment it would be dropped, along with the aggregates it carries —
 	// the hook the result cache uses to collect promotion candidates instead
@@ -261,6 +274,7 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		gov:       exec.NewGov(opts.Context, budget),
 		budget:    budget,
 		size:      size,
+		noRetain:  opts.NoRetain,
 		promote:   opts.PromoteTemp,
 		temps:     map[colset.Set]*table.Table{},
 		tempBytes: map[colset.Set]int64{},
@@ -375,6 +389,9 @@ type planRun struct {
 	gov       *exec.Gov
 	budget    *exec.MemBudget
 	size      plan.SizeFn
+	// noRetain skips every temp-table materialization (ExecOptions.NoRetain);
+	// children re-derive from base via the skipped map.
+	noRetain bool
 	// promote, when non-nil, observes each temp as it is dropped (see
 	// ExecOptions.PromoteTemp); tempAggs remembers the aggregates each live
 	// temp carries so the observation is self-describing.
@@ -839,6 +856,13 @@ func (r *planRun) retain(set colset.Set, aggs []exec.Agg, t *table.Table) {
 		return
 	}
 	exec.Testing.Fire("engine.retain")
+	if r.noRetain {
+		// Deliberate skip, not a budget degradation: the retry ladder asked
+		// for a retention-free run, so no Degradation is recorded (the
+		// attribution lives in RetryAttempt.Degraded).
+		r.skipped[set] = true
+		return
+	}
 	mem := t.MemSize()
 	if r.budget.Limit() > 0 && r.budget.WouldExceed(mem) {
 		r.skipped[set] = true

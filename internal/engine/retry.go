@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gbmqo/internal/exec"
+	"gbmqo/internal/fault"
+)
+
+// RetryPolicy bounds the engine's retry loop for one request. The zero value
+// disables retries entirely (every existing caller keeps single-attempt
+// semantics); front-ends that want resilience opt in per request.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first try.
+	// Values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it (plus up to 50% jitter, so synchronized failures do not
+	// retry in lockstep). 0 selects 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 selects 100ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// backoff computes the jittered sleep after failed attempt n (1-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < n && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// RetryAttempt attributes one failed-and-retried attempt in an ExecReport:
+// which attempt failed, why, how it was classified, how long the loop backed
+// off, and which degraded modes the following attempt ran under.
+type RetryAttempt struct {
+	// Attempt is the 1-based index of the attempt that failed.
+	Attempt int
+	// Err is the failure that triggered the retry.
+	Err error
+	// Class is its classification (always exec.ClassTransient — other classes
+	// are not retried).
+	Class exec.ErrClass
+	// Backoff is the jittered sleep taken before the next attempt.
+	Backoff time.Duration
+	// Degraded lists the degradation-ladder modes applied to the next attempt
+	// ("sequential", "unshared", "no-retain", "no-cache").
+	Degraded []string
+}
+
+// degradeForAttempt descends the degradation ladder for retry attempt n
+// (2-based: the first retry). The first retry drops intra-operator and
+// sub-plan parallelism — a poisoned morsel worker cannot poison a sequential
+// pass; further retries also drop shared scans, temp retention and the cache,
+// reducing the run to the simplest, most isolated form that can still answer.
+func degradeForAttempt(req Request, n int) (Request, []string) {
+	cur := req
+	var modes []string
+	if n >= 2 {
+		cur.Parallel = false
+		cur.Parallelism = 0
+		modes = append(modes, "sequential")
+	}
+	if n >= 3 {
+		cur.SharedScan = false
+		cur.NoRetain = true
+		cur.UseCache = false
+		modes = append(modes, "unshared", "no-retain", "no-cache")
+	}
+	return cur, modes
+}
+
+// runSafe is e.run behind a panic barrier. ExecutePlanWith already recovers
+// operator panics, but the surrounding machinery — cache admission, promotion
+// hooks, report assembly — runs outside that boundary; a panic there becomes
+// a typed transient error instead of killing the submitter goroutine.
+func (e *Engine) runSafe(req Request) (res *RunResult, err error) {
+	defer func() {
+		if pnc := recover(); pnc != nil {
+			res = nil
+			err = &exec.ExecError{Step: "engine.run", Err: recoveredPanic(pnc)}
+		}
+	}()
+	return e.run(req)
+}
+
+// runWithRetry is the engine-boundary resilience loop: consult the table's
+// circuit breaker, attempt the request, classify failures, and retry
+// transient ones under the request's RetryPolicy — each retry one rung down
+// the degradation ladder. Every attempt's outcome feeds the breaker (caller
+// cancellations excepted: they say nothing about the table's health).
+func (e *Engine) runWithRetry(req Request) (*RunResult, error) {
+	br := e.breakerFor(req.Table)
+	if err := br.Allow(); err != nil {
+		return nil, err
+	}
+	pol := req.Retry.withDefaults()
+	var attempts []RetryAttempt
+	cur := req
+	for attempt := 1; ; attempt++ {
+		res, err := e.runSafe(cur)
+		if err == nil {
+			br.Record(false)
+			res.Report.Attempts = attempt
+			res.Report.Retries = attempts
+			return res, nil
+		}
+		class := exec.Classify(err)
+		if class != exec.ClassCaller {
+			br.Record(true)
+		}
+		if class != exec.ClassTransient || attempt >= req.Retry.MaxAttempts {
+			return nil, err
+		}
+		backoff := pol.backoff(attempt)
+		var modes []string
+		cur, modes = degradeForAttempt(req, attempt+1)
+		attempts = append(attempts, RetryAttempt{
+			Attempt:  attempt,
+			Err:      err,
+			Class:    class,
+			Backoff:  backoff,
+			Degraded: modes,
+		})
+		ctx := req.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// breakerSet lazily materializes one circuit breaker per base table.
+type breakerSet struct {
+	cfg fault.Config
+	mu  sync.Mutex
+	m   map[string]*fault.Breaker
+}
+
+func (s *breakerSet) get(name string) *fault.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		b = fault.New(name, s.cfg)
+		s.m[name] = b
+	}
+	return b
+}
+
+func (s *breakerSet) snapshots() []fault.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]fault.Snapshot, 0, len(s.m))
+	for _, b := range s.m {
+		out = append(out, b.Snapshot())
+	}
+	return out
+}
+
+// EnableBreakers installs per-table circuit breakers with the given config;
+// every subsequent Run consults its table's breaker before executing.
+// Breakers are off by default — existing fault-injection tests and
+// single-shot callers keep fail-every-time semantics.
+func (e *Engine) EnableBreakers(cfg fault.Config) {
+	e.breakers.Store(&breakerSet{cfg: cfg, m: map[string]*fault.Breaker{}})
+}
+
+// DisableBreakers removes the breaker layer.
+func (e *Engine) DisableBreakers() { e.breakers.Store(nil) }
+
+// BreakerStates snapshots every materialized breaker, sorted by nothing in
+// particular — callers (e.g. /healthz) index by Name. Nil when breakers are
+// disabled or no table has been touched yet.
+func (e *Engine) BreakerStates() []fault.Snapshot {
+	s := e.breakers.Load()
+	if s == nil {
+		return nil
+	}
+	return s.snapshots()
+}
+
+// breakerFor returns the breaker guarding table name, or nil (no-op) when
+// breakers are disabled.
+func (e *Engine) breakerFor(name string) *fault.Breaker {
+	s := e.breakers.Load()
+	if s == nil {
+		return nil
+	}
+	return s.get(name)
+}

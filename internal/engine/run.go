@@ -106,6 +106,16 @@ type Request struct {
 	// whose name carries the reserved "__" prefix — ephemeral derived tables —
 	// always bypass the cache.
 	UseCache bool
+	// Retry bounds the engine's transient-failure retry loop for this request
+	// (see RetryPolicy). The zero value disables retries: the request gets
+	// exactly one attempt, preserving historical semantics.
+	Retry RetryPolicy
+	// NoRetain skips materializing intermediate temp tables; children
+	// re-derive from the base relation via the same machinery the memory
+	// budget uses (byte-identical results, more scan work). The retry
+	// degradation ladder sets it so a fault in retention or promotion cannot
+	// recur on the retry.
+	NoRetain bool
 }
 
 // RunResult bundles the chosen plan, its execution report, and search effort.
@@ -139,6 +149,9 @@ type Engine struct {
 	// runObs, when set, observes every Run outcome (see SetRunObserver). Held
 	// in an atomic so installation never races with concurrent Run calls.
 	runObs atomic.Pointer[func(*RunResult, error)]
+	// breakers, when set, holds the per-table circuit breakers every Run
+	// consults (see EnableBreakers). Atomic for the same reason as runObs.
+	breakers atomic.Pointer[breakerSet]
 }
 
 // New creates an engine over a fresh catalog with the given statistics
@@ -225,9 +238,12 @@ func (e *Engine) SetRunObserver(fn func(*RunResult, error)) {
 }
 
 // Run plans and executes a request, serving it through the result cache when
-// one is installed and the request opts in.
+// one is installed and the request opts in. When the request carries a
+// RetryPolicy, transient failures are retried with backoff down the
+// degradation ladder; when breakers are enabled, the table's circuit breaker
+// may fail the request fast with a *fault.OpenError.
 func (e *Engine) Run(req Request) (*RunResult, error) {
-	res, err := e.run(req)
+	res, err := e.runWithRetry(req)
 	if fn := e.runObs.Load(); fn != nil {
 		(*fn)(res, err)
 	}
@@ -283,6 +299,7 @@ func (e *Engine) runDirect(req Request, promote func(colset.Set, []exec.Agg, *ta
 		Parallelism: req.Parallelism,
 		Context:     req.Context,
 		MemBudget:   req.MemBudget,
+		NoRetain:    req.NoRetain,
 		PromoteTemp: promote,
 	})
 	if err != nil {

@@ -20,6 +20,9 @@ type TestingHooks struct {
 //	exec.sort.stream     — at each index-stream cancellation checkpoint
 //	engine.step          — before each schedule step
 //	engine.retain        — before a temp table is retained
+//	cache.admit          — at the top of every cache admission (Offer)
+//	sched.window.close   — at the start of every batch dispatch
+//	server.handler       — before every HTTP request is routed
 var Testing TestingHooks
 
 // SetFailPoint installs fn as the process-wide fault-injection hook. The

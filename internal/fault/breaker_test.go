@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	return New("lineitem", Config{
+		Window:      8,
+		MinSamples:  4,
+		FailureRate: 0.5,
+		OpenFor:     time.Second,
+		Now:         clk.now,
+	})
+}
+
+func TestBreakerStaysClosedBelowRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	// 1 failure in 4 samples = 25% < 50%: stays closed.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow below failure rate: %v", err)
+	}
+	if s := b.Snapshot(); s.State != StateClosed || s.Failures != 1 || s.Samples != 4 {
+		t.Fatalf("snapshot = %+v, want closed 1/4", s)
+	}
+}
+
+func TestBreakerNeverTripsBelowMinSamples(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	// 3 consecutive failures is a 100% rate, but only 3 < MinSamples=4.
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow below MinSamples: %v", err)
+	}
+}
+
+func TestBreakerTripsAndFailsFast(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	err := b.Allow()
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Allow after trip = %v, want *OpenError", err)
+	}
+	if oe.Name != "lineitem" {
+		t.Fatalf("OpenError.Name = %q", oe.Name)
+	}
+	if oe.RetryAfter <= 0 || oe.RetryAfter > time.Second {
+		t.Fatalf("OpenError.RetryAfter = %v", oe.RetryAfter)
+	}
+	// Time passing inside the open window still fails fast, with shrinking
+	// RetryAfter.
+	clk.advance(400 * time.Millisecond)
+	if !errors.As(b.Allow(), &oe) {
+		t.Fatal("Allow mid-open window succeeded")
+	}
+	if oe.RetryAfter > 600*time.Millisecond {
+		t.Fatalf("RetryAfter did not shrink: %v", oe.RetryAfter)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	// First Allow after OpenFor is the probe.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	if s := b.Snapshot(); s.State != StateHalfOpen {
+		t.Fatalf("state after probe admit = %v, want half-open", s.State)
+	}
+	// A second caller during the probe is rejected (Probes=1).
+	var oe *OpenError
+	if !errors.As(b.Allow(), &oe) {
+		t.Fatal("second caller admitted during single-probe half-open")
+	}
+	b.Record(false)
+	if s := b.Snapshot(); s.State != StateClosed || s.Samples != 0 {
+		t.Fatalf("snapshot after probe success = %+v, want clean closed", s)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after recovery: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	b.Record(true)
+	if s := b.Snapshot(); s.State != StateOpen {
+		t.Fatalf("state after probe failure = %v, want open", s.State)
+	}
+	// The fresh open interval starts at the failed probe, not the first trip.
+	var oe *OpenError
+	if !errors.As(b.Allow(), &oe) || oe.RetryAfter != time.Second {
+		t.Fatalf("Allow after re-trip = %v", b.Allow())
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	// Fill the 8-slot window with successes, then 3 failures: 3/8 < 50%.
+	for i := 0; i < 8; i++ {
+		b.Record(false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow at 3/8 failures: %v", err)
+	}
+	// One more failure makes the window 4/8 = 50%: trips.
+	b.Record(true)
+	if b.Allow() == nil {
+		t.Fatal("breaker did not trip at windowed 50% rate")
+	}
+}
+
+func TestNilBreakerIsNoop(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil Allow: %v", err)
+	}
+	b.Record(true) // must not panic
+	if s := b.Snapshot(); s.State != StateClosed {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+}

@@ -20,11 +20,16 @@ type metrics struct {
 	closeDeadline *obs.Counter
 	closeIdle     *obs.Counter
 	closeFlush    *obs.Counter
+	shed          *obs.Counter
+	panics        *obs.Counter
 	batchQueries  *obs.Histogram
 	occupancy     *obs.Histogram
 	queueWait     *obs.Histogram
+	execLatency   *obs.Histogram
 	queueLen      *obs.Gauge
 	openWindows   *obs.Gauge
+	p95           *obs.Gauge
+	draining      *obs.Gauge
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -57,6 +62,10 @@ func newMetrics(r *obs.Registry) *metrics {
 			"windows closed, by reason"),
 		closeFlush: r.Counter(`gbmqo_sched_window_close_total{reason="flush"}`,
 			"windows closed, by reason"),
+		shed: r.Counter("gbmqo_sched_shed_total",
+			"submissions rejected by adaptive load shedding (p95 latency over target)"),
+		panics: r.Counter("gbmqo_sched_batch_panics_total",
+			"batch dispatches aborted by a recovered panic"),
 		batchQueries: r.Histogram("gbmqo_sched_batch_queries",
 			"distinct queries per dispatched window", obs.SizeBuckets),
 		occupancy: r.Histogram("gbmqo_sched_window_occupancy",
@@ -64,10 +73,16 @@ func newMetrics(r *obs.Registry) *metrics {
 			[]float64{0.0625, 0.125, 0.25, 0.5, 0.75, 1}),
 		queueWait: r.Histogram("gbmqo_sched_queue_wait_seconds",
 			"submission-to-dispatch latency", obs.DurationBuckets),
+		execLatency: r.Histogram("gbmqo_sched_batch_exec_seconds",
+			"batch dispatch-to-delivery execution time", obs.DurationBuckets),
 		queueLen: r.Gauge("gbmqo_sched_queue_len",
 			"submissions waiting in open windows"),
 		openWindows: r.Gauge("gbmqo_sched_open_windows",
 			"currently open windows"),
+		p95: r.Gauge("gbmqo_sched_p95_batch_seconds",
+			"recent p95 batch execution latency driving the shedding bound"),
+		draining: r.Gauge("gbmqo_sched_draining",
+			"1 while the batcher is draining for shutdown"),
 	}
 }
 

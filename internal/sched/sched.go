@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +98,13 @@ type Config struct {
 	// MaxQueue bounds submissions waiting in open windows across all tables;
 	// beyond it Submit fails fast with ErrQueueFull (default 4096).
 	MaxQueue int
+	// ShedLatencyTarget enables adaptive load shedding: when the recent p95
+	// batch execution latency exceeds this target, the effective queue bound
+	// shrinks proportionally (MaxQueue·target/p95, floored at MaxBatch), so a
+	// slow backend sheds load early instead of building a queue it can never
+	// drain in time. Rejections carry an *OverloadError with a Retry-After
+	// hint. 0 disables shedding — only the hard MaxQueue bound applies.
+	ShedLatencyTarget time.Duration
 	// Reg receives the scheduler's metrics (nil = a private registry).
 	Reg *obs.Registry
 }
@@ -129,7 +137,39 @@ var (
 	ErrClosed = errors.New("sched: batcher closed")
 	// ErrQueueFull: Config.MaxQueue submissions are already waiting.
 	ErrQueueFull = errors.New("sched: submission queue full")
+	// ErrDraining: the batcher is draining for shutdown; in-flight batches
+	// complete, new submissions are rejected.
+	ErrDraining = errors.New("sched: batcher draining")
+	// ErrBatchAborted: the batch executing this submission panicked outside
+	// the engine's recovery boundary; the scheduler contained it and every
+	// subscriber received this error instead of hanging.
+	ErrBatchAborted = errors.New("sched: batch aborted by panic")
 )
+
+// OverloadError is the admission rejection Submit returns when the queue is
+// full or load shedding is active. It matches ErrQueueFull under errors.Is,
+// and carries what a front-end needs to answer 429 with a Retry-After.
+type OverloadError struct {
+	// QueueLen is the queue depth at rejection; Limit is the bound it hit —
+	// Config.MaxQueue, or the shrunken adaptive bound when shedding.
+	QueueLen, Limit int
+	// P95 is the recent p95 batch execution latency that drove an adaptive
+	// rejection (0 when the hard bound was hit before any batch completed).
+	P95 time.Duration
+	// RetryAfter estimates when admission is likely to succeed: about one
+	// batch's worth of drain time.
+	RetryAfter time.Duration
+}
+
+// Error renders the rejection.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("sched: overloaded (queue %d ≥ limit %d, p95 %v); retry in %v",
+		e.QueueLen, e.Limit, e.P95, e.RetryAfter)
+}
+
+// Is makes every OverloadError match ErrQueueFull, so existing callers'
+// errors.Is(err, ErrQueueFull) checks keep working.
+func (e *OverloadError) Is(target error) bool { return target == ErrQueueFull }
 
 // Batcher implements the micro-batching scheduler.
 type Batcher struct {
@@ -137,12 +177,21 @@ type Batcher struct {
 	run RunFunc
 	met *metrics
 
-	mu      sync.Mutex
-	closed  bool
-	windows map[string]*window
-	queued  int
-	seq     uint64
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	windows  map[string]*window
+	queued   int
+	seq      uint64
+	wg       sync.WaitGroup
+
+	// Recent batch execution latencies, for the adaptive shedding bound: a
+	// fixed ring under its own mutex, with the derived p95 published through
+	// an atomic so enqueue never contends with latency bookkeeping.
+	latMu  sync.Mutex
+	lat    [64]time.Duration
+	latIdx int
+	p95ns  atomic.Int64
 }
 
 // New creates a Batcher executing batches through run.
@@ -293,9 +342,20 @@ func (b *Batcher) enqueue(q Query) (*pending, error) {
 	if b.closed {
 		return nil, ErrClosed
 	}
-	if b.queued >= b.cfg.MaxQueue {
+	if b.draining {
+		return nil, ErrDraining
+	}
+	limit, p95 := b.admitLimit()
+	if b.queued >= limit {
 		b.met.rejected.Inc()
-		return nil, ErrQueueFull
+		if limit < b.cfg.MaxQueue {
+			b.met.shed.Inc()
+		}
+		retry := p95
+		if retry < b.cfg.MaxWait {
+			retry = b.cfg.MaxWait
+		}
+		return nil, &OverloadError{QueueLen: b.queued, Limit: limit, P95: p95, RetryAfter: retry}
 	}
 	b.seq++
 	p := &pending{
@@ -353,6 +413,42 @@ func groupKey(set colset.Set, aggs []exec.Agg) string {
 	return string(sig)
 }
 
+// admitLimit computes the effective queue bound: MaxQueue, shrunk
+// proportionally when shedding is enabled and the recent p95 batch latency
+// exceeds the target, floored at MaxBatch so one window's worth always fits.
+// Callers hold b.mu.
+func (b *Batcher) admitLimit() (int, time.Duration) {
+	p95 := time.Duration(b.p95ns.Load())
+	limit := b.cfg.MaxQueue
+	if target := b.cfg.ShedLatencyTarget; target > 0 && p95 > target {
+		limit = int(int64(b.cfg.MaxQueue) * int64(target) / int64(p95))
+		if limit < b.cfg.MaxBatch {
+			limit = b.cfg.MaxBatch
+		}
+	}
+	return limit, p95
+}
+
+// observeLatency folds one batch's execution time into the shedding window
+// and republishes the p95.
+func (b *Batcher) observeLatency(d time.Duration) {
+	b.met.execLatency.Observe(d.Seconds())
+	b.latMu.Lock()
+	b.lat[b.latIdx%len(b.lat)] = d
+	b.latIdx++
+	n := b.latIdx
+	if n > len(b.lat) {
+		n = len(b.lat)
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, b.lat[:n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	p95 := tmp[min(n*95/100, n-1)]
+	b.latMu.Unlock()
+	b.p95ns.Store(int64(p95))
+	b.met.p95.Set(p95.Seconds())
+}
+
 // closeTable closes w if it is still the open window for tbl (timer paths).
 func (b *Batcher) closeTable(tbl string, w *window, reason string) {
 	b.mu.Lock()
@@ -400,6 +496,53 @@ func (b *Batcher) Close() {
 	b.wg.Wait()
 }
 
+// Drain is graceful shutdown under a deadline: stop admissions (submissions
+// get ErrDraining), flush every open window, and wait for in-flight batches
+// until ctx expires. Returns nil when everything drained, or ctx's error when
+// the deadline cut the wait short — in-flight batches then finish in the
+// background and deliver to any subscriber still listening. After Drain the
+// batcher is closed either way. A nil ctx waits without a deadline.
+func (b *Batcher) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.draining = true
+	b.met.draining.Set(1)
+	for _, w := range b.windows {
+		b.closeLocked(w, "flush")
+	}
+	b.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	var err error
+	if ctx == nil {
+		<-done
+	} else {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return err
+}
+
+// Draining reports whether Drain has begun (the /healthz "draining" state).
+func (b *Batcher) Draining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining
+}
+
 // Stats is a point-in-time snapshot of scheduler activity (tests and the
 // CLI; the full series live in the obs registry).
 type Stats struct {
@@ -407,26 +550,32 @@ type Stats struct {
 	Deduped     int64
 	Batches     int64
 	Rejected    int64
+	Shed        int64
+	Panics      int64
 	Conflicts   int64
 	Abandoned   int64
 	QueueLen    int
 	OpenWindows int
+	Draining    bool
 }
 
 // Stats snapshots the scheduler counters.
 func (b *Batcher) Stats() Stats {
 	b.mu.Lock()
-	queued, open := b.queued, len(b.windows)
+	queued, open, draining := b.queued, len(b.windows), b.draining
 	b.mu.Unlock()
 	return Stats{
 		Submitted:   int64(b.met.submissions.Value()),
 		Deduped:     int64(b.met.dedup.Value()),
 		Batches:     int64(b.met.batches.Value()),
 		Rejected:    int64(b.met.rejected.Value()),
+		Shed:        int64(b.met.shed.Value()),
+		Panics:      int64(b.met.panics.Value()),
 		Conflicts:   int64(b.met.conflicts.Value()),
 		Abandoned:   int64(b.met.abandoned.Value()),
 		QueueLen:    queued,
 		OpenWindows: open,
+		Draining:    draining,
 	}
 }
 
@@ -443,7 +592,6 @@ func (b *Batcher) dispatch(w *window) {
 
 	d := &dispatch{}
 	d.ctx, d.cancel = context.WithCancel(context.Background())
-	defer d.cancel()
 	var all []*pending
 	for _, g := range w.order {
 		all = append(all, g.subs...)
@@ -454,6 +602,32 @@ func (b *Batcher) dispatch(w *window) {
 		p.disp.Store(d)
 		p.maybeDrop() // the submitter may have abandoned before dispatch
 	}
+	// Containment boundary: a panic anywhere below — merge, run, scatter —
+	// must never leak a subscriber. Every non-abandoned pending gets
+	// ErrBatchAborted; the send is non-blocking because a pending that was
+	// already served before the panic has a value in (or consumed from) its
+	// buffered channel and must not block this defer forever.
+	defer func() {
+		pnc := recover()
+		b.observeLatency(time.Since(now))
+		d.cancel()
+		if pnc == nil {
+			return
+		}
+		b.met.panics.Inc()
+		b.met.errors.Inc()
+		err := fmt.Errorf("%w: %v", ErrBatchAborted, pnc)
+		for _, p := range all {
+			if p.abandoned.Load() {
+				continue
+			}
+			select {
+			case p.ch <- outcome{err: err, info: BatchInfo{BatchQueries: len(w.order), BatchRequests: w.npending}}:
+			default:
+			}
+		}
+	}()
+	exec.Testing.Fire("sched.window.close")
 
 	shared, solos := mergeAggs(w.order)
 	b.met.conflicts.Add(float64(len(solos)))

@@ -382,3 +382,208 @@ func TestSubmitValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedDispatchPanicContainment injects a panic at the sched.window.close
+// fault site and checks the dispatch boundary contains it: every subscriber
+// receives ErrBatchAborted (nobody hangs), the panic is counted, and the
+// batcher keeps serving afterwards.
+func TestSchedDispatchPanicContainment(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 2, MaxWait: time.Hour, IdleWait: time.Hour})
+	defer b.Close()
+	exec.Testing.SetFailPoint(func(site string) {
+		if site == "sched.window.close" {
+			panic("dispatch bomb")
+		}
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Submit(nil, Query{Table: "t", Set: colset.Of(i), Aggs: cnt()})
+		}(i)
+	}
+	wg.Wait()
+	exec.Testing.ClearFailPoint()
+	for i, err := range errs {
+		if !errors.Is(err, ErrBatchAborted) {
+			t.Fatalf("submitter %d: err = %v, want ErrBatchAborted", i, err)
+		}
+	}
+	if st := b.Stats(); st.Panics != 1 {
+		t.Fatalf("stats = %+v, want 1 panic", st)
+	}
+	if r.calls.Load() != 0 {
+		t.Fatalf("runner ran despite pre-run panic")
+	}
+	// The batcher survives: the next window runs normally.
+	var out *table.Table
+	var err error
+	var after sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		after.Add(1)
+		go func(i int) {
+			defer after.Done()
+			o, _, e := b.Submit(nil, Query{Table: "t", Set: colset.Of(i), Aggs: cnt()})
+			if i == 0 {
+				out, err = o, e
+			}
+		}(i)
+	}
+	after.Wait()
+	if err != nil || out == nil {
+		t.Fatalf("submit after contained panic: %v", err)
+	}
+}
+
+// TestSchedDrainFlushesAndRejects checks graceful drain: pending submissions
+// in open windows are flushed and answered, concurrent and later submissions
+// get ErrDraining, and Drain returns nil once everything delivered.
+func TestSchedDrainFlushesAndRejects(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{MaxBatch: 64, MaxWait: time.Hour, IdleWait: time.Hour})
+	resc := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(1), Aggs: cnt()})
+		resc <- err
+	}()
+	// Wait for the submission to sit in an open window.
+	for i := 0; ; i++ {
+		if st := b.Stats(); st.QueueLen == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("submission never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-resc; err != nil {
+		t.Fatalf("in-flight submission during drain: %v", err)
+	}
+	if _, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(2), Aggs: cnt()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain: %v, want ErrClosed", err)
+	}
+}
+
+// TestSchedDrainRejectsWhileDraining checks a submission arriving mid-drain
+// (batches still in flight) gets ErrDraining, and a deadline that expires
+// before the drain completes surfaces the context error.
+func TestSchedDrainRejectsWhileDraining(t *testing.T) {
+	r := &countingRunner{block: make(chan struct{})}
+	b := New(r.run, Config{MaxBatch: 1, MaxWait: time.Hour, IdleWait: time.Hour})
+	resc := make(chan error, 1)
+	go func() {
+		_, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(1), Aggs: cnt()})
+		resc <- err
+	}()
+	// MaxBatch=1 dispatches immediately; wait for the runner to be inside run.
+	for i := 0; r.calls.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("batch never dispatched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := b.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck batch = %v, want DeadlineExceeded", err)
+	}
+	if !b.Draining() {
+		t.Fatal("Draining() = false during drain")
+	}
+	if _, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(2), Aggs: cnt()}); !errors.Is(err, ErrClosed) && !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining/ErrClosed", err)
+	}
+	// Release the stuck batch; the original submitter still gets its answer.
+	close(r.block)
+	if err := <-resc; err != nil {
+		t.Fatalf("submitter after late drain: %v", err)
+	}
+}
+
+// TestSchedAdaptiveShedBound checks the p95-driven admission bound: with the
+// recent p95 over the target, the effective limit shrinks below MaxQueue and
+// rejections carry an *OverloadError with a Retry-After hint while still
+// matching ErrQueueFull.
+func TestSchedAdaptiveShedBound(t *testing.T) {
+	r := &countingRunner{}
+	b := New(r.run, Config{
+		MaxBatch:          4,
+		MaxWait:           time.Hour,
+		IdleWait:          time.Hour,
+		MaxQueue:          100,
+		ShedLatencyTarget: time.Millisecond,
+	})
+	defer b.Close()
+	// Publish a recent p95 of 20ms: limit = 100·1ms/20ms = 5.
+	b.p95ns.Store(int64(20 * time.Millisecond))
+
+	// MaxBatch=4 would close the window at 4 distinct queries, so spread 5
+	// queued submissions over two tables to keep both windows open.
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		tbl := "t"
+		if i >= 3 {
+			tbl = "u"
+		}
+		go func(i int, tbl string) {
+			defer wg.Done()
+			b.Submit(nil, Query{Table: tbl, Set: colset.Of(i % 3), Aggs: cnt()})
+		}(i, tbl)
+	}
+	for i := 0; ; i++ {
+		if st := b.Stats(); st.QueueLen == 5 {
+			break
+		}
+		if i > 1000 {
+			t.Fatalf("queue never reached 5: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err := b.Submit(nil, Query{Table: "v", Set: colset.Of(9), Aggs: cnt()})
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *OverloadError", err)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatal("OverloadError must match ErrQueueFull")
+	}
+	if oe.Limit != 5 || oe.QueueLen != 5 {
+		t.Fatalf("OverloadError = %+v, want limit 5 at queue 5", oe)
+	}
+	if oe.RetryAfter < 20*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want ≥ recent p95", oe.RetryAfter)
+	}
+	if st := b.Stats(); st.Shed != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 shed rejection", st)
+	}
+	b.Flush()
+	wg.Wait()
+}
+
+// TestSchedLatencyFeedsShedding checks dispatch feeds the latency window: a
+// slow batch raises the published p95.
+func TestSchedLatencyFeedsShedding(t *testing.T) {
+	r := &countingRunner{block: make(chan struct{})}
+	b := New(r.run, Config{MaxBatch: 1, MaxWait: time.Hour, IdleWait: time.Hour, ShedLatencyTarget: time.Millisecond})
+	defer b.Close()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(r.block)
+	}()
+	if _, _, err := b.Submit(nil, Query{Table: "t", Set: colset.Of(1), Aggs: cnt()}); err != nil {
+		t.Fatal(err)
+	}
+	if p95 := time.Duration(b.p95ns.Load()); p95 < 20*time.Millisecond {
+		t.Fatalf("published p95 = %v after a ~30ms batch", p95)
+	}
+}

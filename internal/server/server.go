@@ -10,11 +10,15 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gbmqo"
@@ -32,6 +36,10 @@ type Server struct {
 	// Timeout bounds one request's Group By work when the client sent no
 	// timeout_ms (default 30s).
 	Timeout time.Duration
+
+	// draining flips when graceful shutdown begins: /healthz turns 503 so
+	// load balancers stop routing while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // New wraps db in a Server with defaults.
@@ -39,7 +47,18 @@ func New(db *gbmqo.DB) *Server {
 	return &Server{db: db, MaxBody: 1 << 20, Timeout: 30 * time.Second}
 }
 
-// Handler routes the server's endpoints.
+// SetDraining marks the server as draining for shutdown: /healthz reports
+// status "draining" with 503 so load balancers eject this instance while
+// in-flight requests complete.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Draining reports whether graceful shutdown has begun (set explicitly or
+// observed from the DB's scheduler).
+func (s *Server) Draining() bool { return s.draining.Load() || s.db.Draining() }
+
+// Handler routes the server's endpoints. Every handler runs under a recovery
+// middleware: a panic is contained to its request and answered with a 500
+// instead of killing the process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -48,7 +67,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	return s.contain(mux)
+}
+
+// contain is the per-request panic boundary. The failpoint lets the chaos
+// harness inject handler-level faults and assert the 500 path.
+func (s *Server) contain(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if pnc := recover(); pnc != nil {
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", pnc))
+			}
+		}()
+		exec.Testing.Fire("server.handler")
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterHeader sets Retry-After from a duration hint: whole seconds,
+// rounded up, at least 1 (the header has no sub-second form).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// rejectStatus maps a scheduler rejection to its HTTP form: overload
+// (ErrQueueFull / OverloadError) → 429 with a Retry-After hint, shutdown
+// (ErrDraining / ErrBatcherClosed) → 503. ok is false for every other error.
+func rejectStatus(err error) (code int, retryAfter time.Duration, ok bool) {
+	var ov *gbmqo.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, ov.RetryAfter, true
+	case errors.Is(err, gbmqo.ErrQueueFull):
+		return http.StatusTooManyRequests, 0, true
+	case errors.Is(err, gbmqo.ErrDraining), errors.Is(err, gbmqo.ErrBatcherClosed):
+		return http.StatusServiceUnavailable, 0, true
+	}
+	return 0, 0, false
 }
 
 // aggJSON is one aggregate in a query request.
@@ -113,11 +172,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Submit every query concurrently: that is the whole point — queries in
 	// one body (and across bodies) ride the same micro-batch window.
 	out := make([]queryResponse, len(req.Queries))
+	errs := make([]error, len(req.Queries))
 	var wg sync.WaitGroup
 	for i, q := range req.Queries {
 		gq, err := s.bindQuery(req.Table, q)
 		if err != nil {
 			out[i].Error = err.Error()
+			errs[i] = err
 			continue
 		}
 		wg.Add(1)
@@ -126,6 +187,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			res, info, err := s.db.Submit(ctx, req.Table, gq)
 			if err != nil {
 				out[i].Error = err.Error()
+				errs[i] = err
 				return
 			}
 			out[i].Result = encodeTable(res)
@@ -139,7 +201,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}(i, gq)
 	}
 	wg.Wait()
+	// When every query in the body was turned away by backpressure or
+	// shutdown, answer with the transport-level status (429 + Retry-After, or
+	// 503) so clients and load balancers can react without parsing bodies.
+	// Mixed outcomes keep the 200-with-inline-errors shape: partial results
+	// are still results.
+	if code, retryAfter, all := uniformReject(errs); all {
+		if retryAfter > 0 {
+			retryAfterHeader(w, retryAfter)
+		}
+		httpError(w, code, out[0].Error)
+		return
+	}
 	writeJSON(w, map[string]any{"results": out})
+}
+
+// uniformReject reports whether every query failed with a scheduler
+// rejection mapping to the same HTTP status; retryAfter is the largest hint.
+func uniformReject(errs []error) (code int, retryAfter time.Duration, all bool) {
+	if len(errs) == 0 {
+		return 0, 0, false
+	}
+	for _, err := range errs {
+		if err == nil {
+			return 0, 0, false
+		}
+		c, ra, ok := rejectStatus(err)
+		if !ok || (code != 0 && c != code) {
+			return 0, 0, false
+		}
+		code = c
+		if ra > retryAfter {
+			retryAfter = ra
+		}
+	}
+	return code, retryAfter, true
 }
 
 // sqlRequest is the POST /sql body.
@@ -164,6 +260,13 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.db.SubmitSQL(ctx, req.SQL)
 	if err != nil {
+		if code, retryAfter, ok := rejectStatus(err); ok {
+			if retryAfter > 0 {
+				retryAfterHeader(w, retryAfter)
+			}
+			httpError(w, code, err.Error())
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -190,7 +293,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	resp := map[string]any{"ok": true, "tables": len(s.db.Tables())}
+	draining := s.Draining()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	resp := map[string]any{"ok": !draining, "status": status, "tables": len(s.db.Tables())}
 	if st, ok := s.db.BatchStats(); ok {
 		resp["batching"] = map[string]any{
 			"submitted":    st.Submitted,
@@ -198,7 +306,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"batches":      st.Batches,
 			"queue_len":    st.QueueLen,
 			"open_windows": st.OpenWindows,
+			"shed":         st.Shed,
+			"panics":       st.Panics,
 		}
+	}
+	if br := s.db.BreakerStates(); len(br) > 0 {
+		list := make([]map[string]any, len(br))
+		for i, b := range br {
+			e := map[string]any{
+				"table":    b.Name,
+				"state":    b.State.String(),
+				"failures": b.Failures,
+				"samples":  b.Samples,
+			}
+			if b.RetryAfter > 0 {
+				e["retry_after_ms"] = float64(b.RetryAfter) / float64(time.Millisecond)
+			}
+			list[i] = e
+		}
+		resp["breakers"] = list
+	}
+	if draining {
+		// 503 while draining: load balancers stop routing, but the body
+		// still tells operators exactly where the drain stands.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
 	}
 	writeJSON(w, resp)
 }

@@ -2,15 +2,19 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"gbmqo"
+	"gbmqo/internal/exec"
 )
 
 func newTestServer(t *testing.T) (*gbmqo.DB, *httptest.Server) {
@@ -311,5 +315,231 @@ func TestServeLoad(t *testing.T) {
 	}
 	if st.Batches == 0 || st.Batches >= st.Submitted {
 		t.Fatalf("batches = %d of %d submissions — scheduler never coalesced", st.Batches, st.Submitted)
+	}
+}
+
+// TestServerBackpressure429 drives the scheduler into overload and asserts
+// the transport mapping: a fully rejected body answers 429 with a
+// Retry-After hint, and a client that honors the hint succeeds once the
+// backlog drains.
+func TestServerBackpressure429(t *testing.T) {
+	db := gbmqo.Open(nil)
+	tbl, err := gbmqo.GenerateDataset("sales", 2000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(tbl)
+	// Two submissions fill the queue; windows stay open long enough for the
+	// third request to observe the overload deterministically.
+	db.StartBatching(gbmqo.BatchOptions{
+		MaxQueue: 2,
+		MaxWait:  500 * time.Millisecond,
+		Exec:     gbmqo.QueryOptions{SharedScan: true},
+	})
+	ts := httptest.NewServer(New(db).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		db.StopBatching()
+	})
+	col0, col1 := tbl.Col(0).Name(), tbl.Col(1).Name()
+
+	var wg sync.WaitGroup
+	for _, col := range []string{col0, col1} {
+		wg.Add(1)
+		go func(col string) {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/query", map[string]any{
+				"table": "sales", "queries": []map[string]any{{"cols": []string{col}}},
+			})
+		}(col)
+	}
+	// Wait until both submissions are parked in an open window.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st, ok := db.BatchStats(); ok && st.QueueLen >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"table": "sales", "queries": []map[string]any{{"cols": []string{col0, col1}}},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %v)", resp.StatusCode, out)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	if out["error"] == nil {
+		t.Fatal("429 body missing error")
+	}
+
+	// A client honoring the hint retries after the advertised delay and
+	// eventually lands: the parked window closes at MaxWait and drains.
+	var ok bool
+	for attempt := 0; attempt < 5; attempt++ {
+		time.Sleep(time.Duration(secs) * time.Second)
+		resp, out = postJSON(t, ts.URL+"/query", map[string]any{
+			"table": "sales", "queries": []map[string]any{{"cols": []string{col0, col1}}},
+		})
+		if resp.StatusCode == http.StatusOK {
+			ok = true
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("retry status = %d, want 200 or 429", resp.StatusCode)
+		}
+		if secs, err = strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+			t.Fatalf("retry Retry-After = %q", resp.Header.Get("Retry-After"))
+		}
+	}
+	if !ok {
+		t.Fatal("client honoring Retry-After never succeeded")
+	}
+	r := out["results"].([]any)[0].(map[string]any)
+	if e, present := r["error"]; present && e != nil {
+		t.Fatalf("retried query error: %v", e)
+	}
+	wg.Wait()
+	st, _ := db.BatchStats()
+	if st.Rejected == 0 {
+		t.Fatalf("stats = %+v, want Rejected > 0", st)
+	}
+}
+
+// TestServerHealthzDraining: /healthz flips to 503 status "draining" once
+// shutdown begins, via the explicit server flag or the DB's own drain state.
+func TestServerHealthzDraining(t *testing.T) {
+	db := gbmqo.Open(nil)
+	tbl, err := gbmqo.GenerateDataset("sales", 500, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(tbl)
+	db.StartBatching(gbmqo.BatchOptions{MaxWait: 2 * time.Millisecond})
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		db.StopBatching()
+	})
+
+	get := func() (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	resp, h := get()
+	if resp.StatusCode != http.StatusOK || h["ok"] != true || h["status"] != "ok" {
+		t.Fatalf("healthy: status=%d body=%v", resp.StatusCode, h)
+	}
+
+	srv.SetDraining()
+	resp, h = get()
+	if resp.StatusCode != http.StatusServiceUnavailable || h["ok"] != false || h["status"] != "draining" {
+		t.Fatalf("draining: status=%d body=%v", resp.StatusCode, h)
+	}
+
+	// The DB's drain state is observed too, without SetDraining.
+	db2 := gbmqo.Open(nil)
+	db2.Register(tbl)
+	db2.StartBatching(gbmqo.BatchOptions{MaxWait: 2 * time.Millisecond})
+	srv2 := New(db2)
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := db2.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: status=%d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestServerHandlerPanicContained: a panic inside the handler chain answers
+// that one request with a 500 and leaves the server serving.
+func TestServerHandlerPanicContained(t *testing.T) {
+	db, ts := newTestServer(t)
+	var fired atomic.Bool
+	exec.Testing.SetFailPoint(func(site string) {
+		if site == "server.handler" && fired.CompareAndSwap(false, true) {
+			panic("injected handler fault")
+		}
+	})
+	defer exec.Testing.SetFailPoint(nil)
+
+	resp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "injected handler fault") {
+		t.Fatalf("error = %v, want the panic value", out["error"])
+	}
+
+	// The next request is served normally.
+	col := salesCol(t, db)
+	resp2, out2 := postJSON(t, ts.URL+"/query", map[string]any{
+		"table": "sales", "queries": []map[string]any{{"cols": []string{col}}},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status = %d (body %v)", resp2.StatusCode, out2)
+	}
+}
+
+// TestServerHealthzBreakers: armed circuit breakers appear in /healthz.
+func TestServerHealthzBreakers(t *testing.T) {
+	db, ts := newTestServer(t)
+	db.EnableBreakers(gbmqo.BreakerConfig{})
+	col := salesCol(t, db)
+	if resp, _ := postJSON(t, ts.URL+"/query", map[string]any{
+		"table": "sales", "queries": []map[string]any{{"cols": []string{col}}},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	brs, ok := h["breakers"].([]any)
+	if !ok || len(brs) == 0 {
+		t.Fatalf("healthz breakers = %v, want sales breaker", h["breakers"])
+	}
+	b := brs[0].(map[string]any)
+	if b["table"] != "sales" || b["state"] != "closed" {
+		t.Fatalf("breaker = %v, want sales closed", b)
 	}
 }

@@ -35,6 +35,9 @@ type Options struct {
 	// engine.Request.UseCache). WHERE-filtered and join-derived sources are
 	// ephemeral "__"-prefixed tables and always bypass the cache.
 	UseCache bool
+	// Retry retries transient execution failures with backoff and degradation
+	// (see engine.Request.Retry). The zero value disables retry.
+	Retry engine.RetryPolicy
 }
 
 // Result is the outcome of executing a query.
@@ -251,6 +254,7 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 		Context:   opts.Context,
 		MemBudget: opts.MemBudget,
 		UseCache:  opts.UseCache,
+		Retry:     opts.Retry,
 	}
 	run, err := eng.Run(req)
 	if err != nil {

@@ -145,6 +145,7 @@ func pushdownJoin(eng *engine.Engine, q *Query, opts Options, left, right *table
 		Core:      opts.Core,
 		Context:   opts.Context,
 		MemBudget: opts.MemBudget,
+		Retry:     opts.Retry,
 	})
 	if err != nil {
 		return nil, err

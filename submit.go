@@ -11,6 +11,7 @@ import (
 	"gbmqo/internal/cache"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/engine"
+	"gbmqo/internal/fault"
 	"gbmqo/internal/obs"
 	"gbmqo/internal/sched"
 	"gbmqo/internal/sql"
@@ -32,6 +33,32 @@ type (
 	BatchStats = sched.Stats
 	// SetOrigin attributes a grouping set's result to how it was produced.
 	SetOrigin = engine.SetOrigin
+	// OverloadError is the typed rejection adaptive load shedding returns:
+	// queue state, the recent p95 batch latency that shrank the admission
+	// limit, and a RetryAfter hint for clients. Matches ErrQueueFull under
+	// errors.Is.
+	OverloadError = sched.OverloadError
+	// BreakerConfig tunes per-table circuit breakers (see DB.EnableBreakers).
+	// The zero value selects defaults.
+	BreakerConfig = fault.Config
+	// BreakerSnapshot is one table breaker's observable state (see
+	// DB.BreakerStates and GET /healthz).
+	BreakerSnapshot = fault.Snapshot
+	// BreakerState enumerates circuit-breaker states.
+	BreakerState = fault.State
+	// BreakerOpenError is the fail-fast rejection an open breaker returns,
+	// carrying a RetryAfter hint.
+	BreakerOpenError = fault.OpenError
+)
+
+// Circuit-breaker states.
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed = fault.StateClosed
+	// BreakerOpen: requests fail fast with *BreakerOpenError.
+	BreakerOpen = fault.StateOpen
+	// BreakerHalfOpen: one probe request is allowed through.
+	BreakerHalfOpen = fault.StateHalfOpen
 )
 
 // Result origins (BatchInfo.Origin, ExecReport.Origins).
@@ -50,8 +77,15 @@ const (
 var (
 	// ErrBatcherClosed: Submit after StopBatching (or during shutdown).
 	ErrBatcherClosed = sched.ErrClosed
-	// ErrQueueFull: the scheduler's admission queue is at MaxQueue.
+	// ErrQueueFull: the scheduler's admission queue is at MaxQueue (or the
+	// tighter adaptive limit; see OverloadError for the detailed form).
 	ErrQueueFull = sched.ErrQueueFull
+	// ErrDraining: the scheduler is draining for shutdown; in-flight batches
+	// still deliver but new submissions are refused.
+	ErrDraining = sched.ErrDraining
+	// ErrBatchAborted: the submission's batch was aborted by a recovered
+	// panic in the dispatch path.
+	ErrBatchAborted = sched.ErrBatchAborted
 )
 
 // BatchOptions tunes the micro-batching scheduler (see DB.StartBatching).
@@ -69,6 +103,12 @@ type BatchOptions struct {
 	// MaxQueue bounds submissions waiting in open windows; beyond it Submit
 	// fails fast with ErrQueueFull.
 	MaxQueue int
+	// ShedLatencyTarget enables adaptive load shedding: when the recent p95
+	// batch execution latency exceeds this target, the admission limit shrinks
+	// proportionally below MaxQueue and excess submissions fail fast with an
+	// *OverloadError carrying a RetryAfter hint. 0 disables shedding (only
+	// the hard MaxQueue bound applies).
+	ShedLatencyTarget time.Duration
 	// Exec are the query options batch runs execute under (strategy, shared
 	// scan, parallelism, memory budget, cache bypass). Exec.Context is
 	// ignored: a batch runs under its own context, cancelled only when every
@@ -89,11 +129,12 @@ func (db *DB) StartBatching(o BatchOptions) {
 	}
 	db.batchOpts = o
 	db.batcher = sched.New(db.runBatch, sched.Config{
-		MaxBatch: o.MaxBatch,
-		MaxWait:  o.MaxWait,
-		IdleWait: o.IdleWait,
-		MaxQueue: o.MaxQueue,
-		Reg:      db.obs,
+		MaxBatch:          o.MaxBatch,
+		MaxWait:           o.MaxWait,
+		IdleWait:          o.IdleWait,
+		MaxQueue:          o.MaxQueue,
+		ShedLatencyTarget: o.ShedLatencyTarget,
+		Reg:               db.obs,
 	})
 }
 
@@ -135,9 +176,10 @@ func (db *DB) BatchStats() (st BatchStats, ok bool) {
 
 // batcherDefaults are the execution options a lazily started scheduler uses:
 // shared scans and parallel sub-plans on, because batches exist to amortize
-// scans across queries.
+// scans across queries, and bounded retry on, because a batch failure fans
+// out to every subscriber.
 func batcherDefaults() BatchOptions {
-	return BatchOptions{Exec: QueryOptions{SharedScan: true, Parallel: true}}
+	return BatchOptions{Exec: QueryOptions{SharedScan: true, Parallel: true, MaxAttempts: 3}}
 }
 
 // getBatcher returns the running scheduler, starting one with defaults on
@@ -173,8 +215,57 @@ func (db *DB) runBatch(ctx context.Context, tableName string, sets []colset.Set,
 		Context:     ctx,
 		MemBudget:   o.MemBudget,
 		UseCache:    !o.NoCache,
+		Retry:       opts.Retry,
 	})
 }
+
+// Drain gracefully shuts down the micro-batching scheduler: new submissions
+// fail fast (ErrDraining, then ErrBatcherClosed), open windows flush
+// immediately, and Drain blocks until every in-flight batch has delivered or
+// ctx expires (returning ctx's error; batches keep draining in the
+// background). The drained batcher stays registered so later Submits get
+// ErrBatcherClosed instead of silently starting a fresh scheduler — use
+// StopBatching + StartBatching to serve again. Drain is a no-op when
+// batching never started.
+func (db *DB) Drain(ctx context.Context) error {
+	db.batchMu.Lock()
+	b := db.batcher
+	db.batchMu.Unlock()
+	if b == nil {
+		return nil
+	}
+	return b.Drain(ctx)
+}
+
+// Draining reports whether a Drain or Close is in progress (or finished):
+// health endpoints surface this so load balancers stop routing before the
+// listener goes away.
+func (db *DB) Draining() bool {
+	db.batchMu.Lock()
+	b := db.batcher
+	db.batchMu.Unlock()
+	return b != nil && b.Draining()
+}
+
+// Close gracefully shuts the DB down for process exit: it drains the
+// micro-batching scheduler under ctx's deadline (see Drain). Queries through
+// Query/Execute still work after Close — only the batching entry points are
+// stopped.
+func (db *DB) Close(ctx context.Context) error { return db.Drain(ctx) }
+
+// EnableBreakers arms a per-table circuit breaker in front of every engine
+// run (Query, Execute, Submit alike): once a table's recent failure rate
+// crosses cfg's threshold the breaker opens and requests against that table
+// fail fast with *BreakerOpenError until a timed probe succeeds. Caller
+// cancellations are never counted as failures. A zero cfg selects defaults.
+func (db *DB) EnableBreakers(cfg BreakerConfig) { db.eng.EnableBreakers(cfg) }
+
+// DisableBreakers removes circuit breaking (and forgets breaker history).
+func (db *DB) DisableBreakers() { db.eng.DisableBreakers() }
+
+// BreakerStates snapshots every armed table breaker, sorted by table name.
+// Empty when EnableBreakers was never called.
+func (db *DB) BreakerStates() []BreakerSnapshot { return db.eng.BreakerStates() }
 
 // Submit hands one Group By request to the micro-batching scheduler and
 // blocks until its result is ready, ctx expires, or the scheduler rejects
@@ -293,6 +384,7 @@ func (db *DB) registerMetrics() {
 	queries := r.Counter("gbmqo_exec_queries_total", "Group By statements executed, covered cube/rollup levels included")
 	spills := r.Counter("gbmqo_exec_spill_fallbacks_total", "hash aggregations degraded to sort under MemBudget")
 	degr := r.Counter("gbmqo_exec_degradations_total", "graceful-degradation decisions taken under MemBudget")
+	retries := r.Counter("gbmqo_exec_retries_total", "transiently failed attempts retried with backoff")
 	peak := r.Gauge("gbmqo_exec_peak_mem_bytes", "high-water mark of governed execution memory over all runs")
 	db.eng.SetRunObserver(func(res *engine.RunResult, err error) {
 		if err != nil {
@@ -310,6 +402,7 @@ func (db *DB) registerMetrics() {
 		queries.Add(float64(rep.QueriesRun))
 		spills.Add(float64(rep.SpillFallbacks))
 		degr.Add(float64(len(rep.Degradations)))
+		retries.Add(float64(len(rep.Retries)))
 		peak.SetMax(float64(rep.PeakMem))
 	})
 	c := db.eng.ResultCache()
@@ -337,6 +430,8 @@ func (db *DB) registerMetrics() {
 		stat(func(s cache.Stats) float64 { return float64(s.FlightLeads) }))
 	r.Func("gbmqo_cache_flight_shared_total", "callers that piggybacked on an in-flight computation", obs.KindCounter,
 		stat(func(s cache.Stats) float64 { return float64(s.FlightShared) }))
+	r.Func("gbmqo_cache_corruptions_total", "cache hits whose checksum failed verification (entry evicted and quarantined)", obs.KindCounter,
+		stat(func(s cache.Stats) float64 { return float64(s.Corruptions) }))
 	r.Func("gbmqo_cache_bytes", "bytes resident in the cache", obs.KindGauge,
 		stat(func(s cache.Stats) float64 { return float64(s.Bytes) }))
 	r.Func("gbmqo_cache_entries", "entries resident in the cache", obs.KindGauge,
