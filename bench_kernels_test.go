@@ -1,0 +1,232 @@
+package gbmqo
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"gbmqo/internal/exec"
+	"gbmqo/internal/table"
+)
+
+// kernelBenchTable builds the sweep input: one or two key columns with a
+// controlled number of distinct values (optionally Zipf-skewed draws) and one
+// float measure whose values are multiples of 0.25, so every kernel's SUM is
+// bit-exact regardless of accumulation order and outputs can be
+// fingerprint-compared. ndvB == 0 builds a single-key-column table.
+func kernelBenchTable(rows, ndvA, ndvB int, zipf float64, seed int64) *table.Table {
+	r := rand.New(rand.NewSource(seed))
+	defs := []table.ColumnDef{{Name: "ka", Typ: table.TInt64}}
+	if ndvB > 0 {
+		defs = append(defs, table.ColumnDef{Name: "kb", Typ: table.TInt64})
+	}
+	defs = append(defs, table.ColumnDef{Name: "x", Typ: table.TFloat64})
+	t := table.New("kb", defs)
+	var za, zb *rand.Zipf
+	if zipf > 1 {
+		if ndvA > 1 {
+			za = rand.NewZipf(r, zipf, 1, uint64(ndvA-1))
+		}
+		if ndvB > 1 {
+			zb = rand.NewZipf(r, zipf, 1, uint64(ndvB-1))
+		}
+	}
+	draw := func(z *rand.Zipf, ndv int) int64 {
+		if z != nil {
+			return int64(z.Uint64())
+		}
+		return int64(r.Intn(ndv))
+	}
+	for i := 0; i < rows; i++ {
+		row := []table.Value{table.Int(draw(za, ndvA))}
+		if ndvB > 0 {
+			row = append(row, table.Int(draw(zb, ndvB)))
+		}
+		row = append(row, table.Float(float64(r.Intn(4000))/4))
+		t.AppendRow(row...)
+	}
+	return t
+}
+
+// fingerprintTable hashes schema, row order, and every value so two tables
+// fingerprint equal iff they are byte-identical result sets.
+func fingerprintTable(t *table.Table) uint64 {
+	h := fnv.New64a()
+	for c := 0; c < t.NumCols(); c++ {
+		fmt.Fprintf(h, "%s:%v|", t.Col(c).Name(), t.Col(c).Type())
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		for c := 0; c < t.NumCols(); c++ {
+			v := t.Col(c).Value(i)
+			if v.Null {
+				fmt.Fprint(h, "NULL\t")
+			} else if v.Typ == table.TFloat64 {
+				fmt.Fprintf(h, "%.17g\t", v.F)
+			} else {
+				fmt.Fprintf(h, "%s\t", v.String())
+			}
+		}
+		fmt.Fprint(h, "\n")
+	}
+	return h.Sum64()
+}
+
+// BenchmarkKernelSweep sweeps key shape (NDV, dense-domain width) × skew ×
+// DOP over the physical aggregation kernels and the adaptive chooser,
+// verifying byte identity against the reference hash kernel at every point
+// and writing the measured grid to BENCH_kernels.json (the artifact checked
+// in with the repo).
+//
+//   - "baseline" is what the engine ran before the adaptive layer existed:
+//     the unsized hash kernel sequentially, the morsel-parallel hash path at
+//     DOP > 1.
+//   - dense and radix are measured at DOP > 1 only — they are the chooser's
+//     parallel-regime rungs, so that is where they are candidates.
+//   - "wide" configs use a two-column key whose code domain overflows
+//     denseMaxDomain: dense is inapplicable there, which is exactly the
+//     radix kernel's regime.
+func BenchmarkKernelSweep(b *testing.B) {
+	const rows = 262_144
+	const reps = 5
+	gov := exec.NewGov(context.Background(), exec.NewMemBudget(0))
+
+	type cell struct {
+		Key      string           `json:"key"`
+		NDV      int              `json:"ndv"`
+		Zipf     float64          `json:"zipf"`
+		Workers  int              `json:"workers"`
+		Groups   int              `json:"groups"`
+		Kernel   map[string]int64 `json:"ns_per_op"`
+		Adaptive string           `json:"adaptive_picked"`
+	}
+	var grid []cell
+
+	// Kernels at one grid point are measured round-robin (rep-major, not
+	// kernel-major) so allocation and GC pressure from one kernel's big runs
+	// is spread evenly instead of taxing whichever kernel happens to run
+	// after it.
+	type contender struct {
+		name string
+		fn   func() (*table.Table, error)
+	}
+	measureAll := func(cs []contender) (map[string]int64, map[string]*table.Table) {
+		best := map[string]int64{}
+		outs := map[string]*table.Table{}
+		for r := 0; r < reps; r++ {
+			for _, c := range cs {
+				start := time.Now()
+				o, err := c.fn()
+				el := time.Since(start).Nanoseconds()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if prev, ok := best[c.name]; !ok || el < prev {
+					best[c.name] = el
+					outs[c.name] = o
+				}
+			}
+		}
+		return best, outs
+	}
+
+	configs := []struct {
+		key        string
+		ndvA, ndvB int
+	}{
+		{"narrow-low", 16, 0},      // low-NDV extreme: dense regime
+		{"narrow-high", 65536, 0},  // high NDV but still a dense-able domain
+		{"wide-high", 2048, 2048},  // high-NDV extreme, domain 4.2M: radix regime
+	}
+	for _, cfg := range configs {
+		for _, zipf := range []float64{0, 1.5} {
+			src := kernelBenchTable(rows, cfg.ndvA, cfg.ndvB, zipf, int64(cfg.ndvA)+int64(zipf*10))
+			groupCols := []int{0}
+			if cfg.ndvB > 0 {
+				groupCols = []int{0, 1}
+			}
+			aggs := []exec.Agg{exec.CountStar(), {Kind: exec.AggSum, Col: len(groupCols), Name: "sx"}}
+			ref := exec.GroupByHash(src, groupCols, aggs, "ref")
+			want := fingerprintTable(ref)
+			groups := ref.NumRows()
+			for _, dop := range []int{1, 4} {
+				c := cell{Key: cfg.key, NDV: cfg.ndvA * max(cfg.ndvB, 1), Zipf: zipf,
+					Workers: dop, Groups: groups, Kernel: map[string]int64{}}
+
+				var picked string
+				// Baseline: the pre-adaptive engine's kernel at this DOP.
+				cs := []contender{
+					{"baseline", func() (*table.Table, error) {
+						if dop > 1 {
+							o, _, err := exec.GroupByHashParallelGov(gov, src, groupCols, aggs, "g", dop)
+							return o, err
+						}
+						return exec.GroupByHashGov(gov, src, groupCols, aggs, "g")
+					}},
+					{"sort", func() (*table.Table, error) {
+						return exec.GroupBySortGov(gov, src, groupCols, aggs, "g")
+					}},
+				}
+				if dop > 1 {
+					if exec.DenseDomain(src, groupCols) != 0 {
+						cs = append(cs, contender{"dense", func() (*table.Table, error) {
+							o, _, err := exec.GroupByDenseGov(gov, src, groupCols, aggs, "g", dop)
+							return o, err
+						}})
+					}
+					cs = append(cs, contender{"radix", func() (*table.Table, error) {
+						o, _, err := exec.GroupByRadixParallelGov(gov, src, groupCols, aggs, "g", dop)
+						return o, err
+					}})
+				}
+				cs = append(cs, contender{"adaptive", func() (*table.Table, error) {
+					o, ks, err := exec.GroupByAdaptiveGov(gov, src, groupCols, aggs, "g",
+						exec.AdaptiveHints{NDV: float64(groups), Workers: dop})
+					picked = ks.Kind.String()
+					return o, err
+				}})
+
+				best, outs := measureAll(cs)
+				for name, ns := range best {
+					c.Kernel[name] = ns
+					if out := outs[name]; out != nil && fingerprintTable(out) != want {
+						b.Fatalf("%s zipf=%v dop=%d: %s output not byte-identical to hash reference", cfg.key, zipf, dop, name)
+					}
+				}
+				c.Adaptive = picked
+
+				bestFixed := int64(1 << 62)
+				for name, v := range c.Kernel {
+					if name != "adaptive" && v < bestFixed {
+						bestFixed = v
+					}
+				}
+				if ad := c.Kernel["adaptive"]; float64(ad) > 1.25*float64(bestFixed) {
+					b.Logf("WARN %s zipf=%v dop=%d: adaptive %dns > best fixed %dns", cfg.key, zipf, dop, ad, bestFixed)
+				}
+				grid = append(grid, c)
+			}
+		}
+	}
+
+	art := map[string]any{
+		"bench":   "KernelSweep",
+		"rows":    rows,
+		"reps":    reps,
+		"note":    "ns_per_op is min over reps; baseline = pre-adaptive engine kernel (unsized hash / morsel-parallel hash); dense/radix measured at DOP>1 where the chooser offers them; all kernels verified byte-identical to the hash reference at every point",
+		"sweep":   grid,
+		"command": "go test -run '^$' -bench BenchmarkKernelSweep -benchtime 1x",
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernels.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	_ = b.N
+}

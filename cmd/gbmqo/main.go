@@ -51,6 +51,8 @@ func main() {
 		shedAt    = flag.Duration("shed-target", 0, "p95 batch latency target for adaptive load shedding (0 = off)")
 		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight work on SIGINT/SIGTERM before -serve exits")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format after running")
+		par       = flag.Int("par", 0, "intra-operator parallelism: morsel workers per large aggregate (-1 = GOMAXPROCS, 0 = off)")
+		kernels   = flag.Bool("explain-kernels", false, "with -sql: print which physical aggregation kernel ran each plan node and why")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -79,7 +81,7 @@ func main() {
 		fmt.Printf("loaded %s: %d rows\n", t.Name(), t.NumRows())
 	}
 
-	opts := gbmqo.QueryOptions{}
+	opts := gbmqo.QueryOptions{Parallelism: *par}
 	switch strings.ToLower(*strategy) {
 	case "gbmqo":
 		opts.Strategy = gbmqo.GBMQO
@@ -105,6 +107,15 @@ func main() {
 		if res.Plan != nil {
 			fmt.Println("plan:")
 			fmt.Println(res.Plan)
+		}
+		if *kernels && res.Report != nil {
+			fmt.Println("kernels:")
+			for _, ku := range res.Report.Kernels {
+				fmt.Printf("  %s\n", ku)
+			}
+			if res.Report.RehashesAvoided > 0 {
+				fmt.Printf("  rehashes avoided by presizing: %d\n", res.Report.RehashesAvoided)
+			}
 		}
 		fmt.Println(res.Table.FormatRows(*limit))
 		if st, ok := db.CacheStats(); ok {

@@ -345,11 +345,13 @@ type QueryOptions struct {
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
 	opts := sql.Options{
-		Strategy:  o.Strategy,
-		Context:   o.Context,
-		MemBudget: o.MemBudget,
-		UseCache:  !o.NoCache,
-		Retry:     engine.RetryPolicy{MaxAttempts: o.MaxAttempts, BaseBackoff: o.RetryBackoff},
+		Strategy:    o.Strategy,
+		Context:     o.Context,
+		MemBudget:   o.MemBudget,
+		UseCache:    !o.NoCache,
+		Retry:       engine.RetryPolicy{MaxAttempts: o.MaxAttempts, BaseBackoff: o.RetryBackoff},
+		Parallel:    o.Parallel,
+		Parallelism: o.Parallelism,
 	}
 	if o.UseCardinalityModel {
 		opts.Model = engine.ModelCardinality
@@ -372,6 +374,10 @@ type QueryResult struct {
 	Plan *Plan
 	// Search reports optimizer effort.
 	Search SearchStats
+	// Report accounts the execution (nil for non-grouped statements):
+	// governance counters, degradations, and per-node kernel attribution
+	// (see ExecReport.Kernels).
+	Report *ExecReport
 }
 
 // Query runs a SQL statement with default options and returns its result set.
@@ -389,7 +395,7 @@ func (db *DB) QueryWith(statement string, o QueryOptions) (*QueryResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Table: res.Table, Plan: res.Plan, Search: res.Search}, nil
+	return &QueryResult{Table: res.Table, Plan: res.Plan, Search: res.Search, Report: res.Report}, nil
 }
 
 // Optimize plans a set of Group By queries (named columns, one list per

@@ -29,6 +29,9 @@ var Sites = []string{
 	"exec.morsel.worker",
 	"exec.hash.batch",
 	"exec.sort.stream",
+	"exec.dense.batch",
+	"exec.radix.scatter",
+	"exec.radix.build",
 	"engine.step",
 	"engine.retain",
 	"cache.admit",

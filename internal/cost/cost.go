@@ -38,6 +38,12 @@ func (e *Env) BaseRows() float64 { return float64(e.base.NumRows()) }
 // NDV estimates |GroupBy(set)| through the statistics service.
 func (e *Env) NDV(set colset.Set) float64 { return e.stats.NDV(e.base, set) }
 
+// CachedNDV answers |GroupBy(set)| from already-built statistics without
+// creating any (see stats.Service.CachedNDV). The execution layer's kernel
+// chooser reads estimates through this so choosing a kernel never triggers
+// mid-query profiling.
+func (e *Env) CachedNDV(set colset.Set) (float64, bool) { return e.stats.CachedNDV(e.base, set) }
+
 // Width returns the average byte width of the given base columns.
 func (e *Env) Width(set colset.Set) float64 { return e.base.WidthBytes(set) }
 

@@ -47,6 +47,10 @@ const (
 	// DegradeRederive skipped materializing an intermediate temp table; its
 	// children are computed from the base relation instead.
 	DegradeRederive
+	// DegradeKernelFallback recorded the kernel chooser preferring the dense
+	// or radix aggregation kernel but falling down the ladder because the
+	// budget would not admit the kernel's working state.
+	DegradeKernelFallback
 )
 
 // String names the degradation kind.
@@ -58,6 +62,8 @@ func (k DegradeKind) String() string {
 		return "unshared-scan"
 	case DegradeRederive:
 		return "rederive-from-base"
+	case DegradeKernelFallback:
+		return "kernel-fallback"
 	default:
 		return fmt.Sprintf("DegradeKind(%d)", int(k))
 	}
@@ -77,6 +83,31 @@ type Degradation struct {
 // String renders the decision.
 func (d Degradation) String() string {
 	return fmt.Sprintf("%s at %s: %s", d.Kind, d.Node, d.Detail)
+}
+
+// KernelUse attributes one executed Group By operator to the physical
+// aggregation kernel that ran it.
+type KernelUse struct {
+	// Node is the grouping set computed (set notation, matching plan output).
+	Node string
+	// Kernel names the kernel: "hash", "sort", "dense", "radix", or the index
+	// fast-path pseudo-kernels "index-stream" / "index-counts".
+	Kernel string
+	// Reason is the chooser's explanation for the pick.
+	Reason string
+	// Rows is the operator's input row count; Groups its output group count.
+	Rows   int
+	Groups int
+	// Workers is the parallel worker count the kernel used (1 = sequential).
+	Workers int
+	// RehashesAvoided counts grow() doublings the NDV presize skipped.
+	RehashesAvoided int
+}
+
+// String renders one attribution row.
+func (k KernelUse) String() string {
+	return fmt.Sprintf("%s: %s (%d rows → %d groups, %d workers): %s",
+		k.Node, k.Kernel, k.Rows, k.Groups, k.Workers, k.Reason)
 }
 
 // SetOrigin attributes one requested grouping set's result to how it was
@@ -157,6 +188,14 @@ type ExecReport struct {
 	Cancelled bool
 	// Degradations lists the graceful-degradation decisions taken, in order.
 	Degradations []Degradation
+	// Kernels attributes, per executed Group By operator, which physical
+	// aggregation kernel the adaptive chooser ran and why, in execution order.
+	// Index fast paths appear with the pseudo-kernels "index-stream" /
+	// "index-counts".
+	Kernels []KernelUse
+	// RehashesAvoided totals the hash-table grow() doublings skipped because
+	// group tables were presized from NDV estimates.
+	RehashesAvoided int
 	// Cache describes how the cross-query result cache served this run (all
 	// zero when no cache is configured or the request bypassed it).
 	Cache CacheCounters
@@ -223,6 +262,11 @@ type ExecOptions struct {
 	// taken are recorded in ExecReport.Degradations. 0 means unlimited —
 	// PeakMem is still measured.
 	MemBudget int64
+	// NDVFn, when non-nil, answers NDV estimates for grouping sets from
+	// *already-built* statistics (0 = unknown) — the stats feed of the
+	// adaptive kernel chooser. It must never build a statistic: kernel choice
+	// happens mid-execution, where profiling would cost more than it saves.
+	NDVFn func(colset.Set) float64
 	// NoRetain skips materializing intermediate temp tables regardless of
 	// budget headroom; children re-derive from the base relation through the
 	// same skipped-intermediate machinery the memory budget uses. Results are
@@ -274,6 +318,7 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 		gov:       exec.NewGov(opts.Context, budget),
 		budget:    budget,
 		size:      size,
+		ndv:       opts.NDVFn,
 		noRetain:  opts.NoRetain,
 		promote:   opts.PromoteTemp,
 		temps:     map[colset.Set]*table.Table{},
@@ -312,7 +357,26 @@ func (ex *Executor) ExecutePlanWith(p *plan.Plan, aggs []exec.Agg, size plan.Siz
 	}
 	run.report.Wall = time.Since(start)
 	run.finish()
+	annotateKernels(p, run.report)
 	return run.report, nil
+}
+
+// annotateKernels attaches the report's per-node kernel attribution to the
+// plan for display: p.String() then renders each node with the kernel that
+// executed it. The first attribution per node wins (CUBE/ROLLUP covered
+// levels re-aggregate under the same set; the node's own computation comes
+// first).
+func annotateKernels(p *plan.Plan, rep *ExecReport) {
+	if len(rep.Kernels) == 0 {
+		return
+	}
+	notes := make(map[string]string, len(rep.Kernels))
+	for _, k := range rep.Kernels {
+		if _, ok := notes[k.Node]; !ok {
+			notes[k.Node] = k.Kernel
+		}
+	}
+	p.Annotate(notes)
 }
 
 // runSteps walks one contiguous schedule (the whole plan sequentially, or
@@ -389,6 +453,9 @@ type planRun struct {
 	gov       *exec.Gov
 	budget    *exec.MemBudget
 	size      plan.SizeFn
+	// ndv answers NDV estimates from already-built statistics for the kernel
+	// chooser (nil or a 0 answer = unknown; see ExecOptions.NDVFn).
+	ndv func(colset.Set) float64
 	// noRetain skips every temp-table materialization (ExecOptions.NoRetain);
 	// children re-derive from base via the skipped map.
 	noRetain bool
@@ -472,30 +539,79 @@ func (r *planRun) hashEstimate(set colset.Set) int64 {
 	return 2 * int64(r.size(set))
 }
 
-// hashGroupBy dispatches one hash aggregation: under a constrained budget an
-// aggregation whose estimated state does not fit degrades to the sort-based
-// operator (O(rows) working state, first-appearance output order — results
-// are interchangeable); otherwise the morsel-parallel operator runs when the
-// worker budget and input size allow, recording parallelism counters.
+// hashGroupBy dispatches one Group By aggregation through the adaptive
+// kernel chooser: per-node statistics (NDV estimate, dictionary-derived dense
+// domain, row count) and the memory budget pick among the dense
+// accumulator-array kernel, the radix-partitioned parallel kernel, sort-based
+// aggregation (the budget rung: O(rows) working state), and the presized
+// hash kernel (morsel-parallel when the worker budget and input size allow).
+// The pick, its reason, and any budget-rejected preferences are recorded in
+// the report's kernel attribution and degradation list.
 func (r *planRun) hashGroupBy(src *table.Table, cols []int, aggs []exec.Agg, set colset.Set, name string) (*table.Table, error) {
-	if len(cols) > 0 && r.budget.Limit() > 0 {
-		if est := r.hashEstimate(set); r.budget.WouldExceed(est) {
-			r.degrade(DegradeSortAgg, set, fmt.Sprintf(
-				"estimated hash state %dB over budget (used %d of %dB); sort-based aggregation",
-				est, r.budget.Used(), r.budget.Limit()))
-			r.report.SpillFallbacks++
-			return exec.GroupBySortGov(r.gov, src, cols, aggs, name)
+	hints := exec.AdaptiveHints{Workers: r.par}
+	if len(cols) > 0 {
+		hints.NDV = r.ndvEstimate(set)
+		if r.budget.Limit() > 0 {
+			hints.HashStateBytes = r.hashEstimate(set)
 		}
 	}
-	if r.par <= 1 {
-		return exec.GroupByHashGov(r.gov, src, cols, aggs, name)
-	}
-	out, st, err := exec.GroupByHashParallelGov(r.gov, src, cols, aggs, name, r.par)
+	out, ks, err := exec.GroupByAdaptiveGov(r.gov, src, cols, aggs, name, hints)
 	if err != nil {
 		return nil, err
 	}
-	r.notePar(st)
+	if ks.Kind == exec.KernelSort && hints.HashStateBytes > 0 {
+		r.degrade(DegradeSortAgg, set, fmt.Sprintf(
+			"estimated hash state %dB over budget (used %d of %dB); sort-based aggregation",
+			hints.HashStateBytes, r.budget.Used(), r.budget.Limit()))
+		r.report.SpillFallbacks++
+	}
+	r.noteKernel(set, src.NumRows(), ks)
 	return out, nil
+}
+
+// ndvEstimate answers the chooser's NDV question from already-built
+// statistics (0 = unknown).
+func (r *planRun) ndvEstimate(set colset.Set) float64 {
+	if r.ndv == nil {
+		return 0
+	}
+	return r.ndv(set)
+}
+
+// noteKernel folds one operator's kernel stats into the report: the per-node
+// attribution row, budget-rejected preferences as kernel-fallback
+// degradations, presize savings, and the parallelism counters.
+func (r *planRun) noteKernel(set colset.Set, rows int, ks exec.KernelStats) {
+	for _, fb := range ks.Fallbacks {
+		r.degrade(DegradeKernelFallback, set, fmt.Sprintf(
+			"%s kernel preferred but %s; fell back to %s", fb.Kind, fb.Detail, ks.Kind))
+	}
+	r.report.Kernels = append(r.report.Kernels, KernelUse{
+		Node:            set.String(),
+		Kernel:          ks.Kind.String(),
+		Reason:          ks.Reason,
+		Rows:            rows,
+		Groups:          ks.Groups,
+		Workers:         ks.Workers,
+		RehashesAvoided: ks.RehashesAvoided,
+	})
+	r.report.RehashesAvoided += ks.RehashesAvoided
+	r.notePar(exec.ParStats{Workers: ks.Workers, Merge: ks.Merge})
+}
+
+// noteKernelNamed records an attribution row for a path outside the adaptive
+// chooser (index fast paths, shared scans).
+func (r *planRun) noteKernelNamed(set colset.Set, kernel, reason string, rows, groups, rehashes int) {
+	r.report.Kernels = append(r.report.Kernels, KernelUse{
+		Node:            set.String(),
+		Kernel:          kernel,
+		Reason:          reason,
+		Rows:            rows,
+		Groups:          groups,
+		Workers:         1,
+		RehashesAvoided: rehashes,
+	})
+	r.report.RehashesAvoided += rehashes
 }
 
 // notePar folds one operator's parallel-execution stats into the report.
@@ -656,10 +772,17 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 			}
 			queries[i] = exec.MultiQuery{GroupCols: cols, Aggs: rolled, OutName: plan.TempName(n.Set)}
 		}
+		if hint := int(r.ndvEstimate(n.Set)); hint > 0 {
+			if hint > src.NumRows() {
+				hint = src.NumRows()
+			}
+			queries[i].SizeHint = hint
+		}
 	}
 	// One scan of the parent feeds every sibling.
 	r.report.RowsScanned += int64(src.NumRows())
 	r.report.QueriesRun += len(nodes)
+	sharedReason := fmt.Sprintf("shared scan of %d sibling queries", len(nodes))
 	var outs []*table.Table
 	var err error
 	if r.par > 1 {
@@ -667,9 +790,19 @@ func (r *planRun) computeShared(nodes []*plan.Node, parent *plan.Node) error {
 		outs, st, err = exec.GroupByHashMultiParallelGov(r.gov, src, queries, r.par)
 		if err == nil {
 			r.notePar(st)
+			r.report.RehashesAvoided += st.RehashesAvoided
+			for _, n := range nodes {
+				r.noteKernelNamed(n.Set, "hash", sharedReason, src.NumRows(), 0, 0)
+			}
 		}
 	} else {
-		outs, err = exec.GroupByHashMultiGov(r.gov, src, queries)
+		var stats []exec.KernelStats
+		outs, stats, err = exec.GroupByHashMultiStatsGov(r.gov, src, queries)
+		if err == nil {
+			for i, n := range nodes {
+				r.noteKernelNamed(n.Set, "hash", sharedReason, src.NumRows(), stats[i].Groups, stats[i].RehashesAvoided)
+			}
+		}
 	}
 	if err != nil {
 		return nodeErr(nodes[0], err)
@@ -716,9 +849,18 @@ func (r *planRun) fromBase(n *plan.Node) (*table.Table, error) {
 			} else {
 				out = exec.GroupByIndexPrefixCounts(r.base, ix, cols, name)
 			}
+			r.noteKernelNamed(n.Set, "index-counts",
+				fmt.Sprintf("COUNT(*) off index %s boundaries", ix.Name()),
+				ix.NumGroups(), out.NumRows(), 0)
 			return renameAggs(out, aggs), nil
 		}
-		return exec.GroupByIndexStreamGov(r.gov, r.base, ix, cols, aggs, name)
+		out, err := exec.GroupByIndexStreamGov(r.gov, r.base, ix, cols, aggs, name)
+		if err == nil {
+			r.noteKernelNamed(n.Set, "index-stream",
+				fmt.Sprintf("rows clustered by index %s", ix.Name()),
+				r.base.NumRows(), out.NumRows(), 0)
+		}
+		return out, err
 	}
 	return r.hashGroupBy(r.base, cols, aggs, n.Set, name)
 }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportAttributesKernels pins the per-node kernel attribution: a
+// parallel run over a dense-eligible table must record one KernelUse per
+// computed node, pick the dense kernel for at least one base-level node, and
+// annotate the returned plan with the kernel names.
+func TestReportAttributesKernels(t *testing.T) {
+	e, _ := newTestEngine(t, 70000)
+	res, err := e.Run(Request{
+		Table:       "lineitem",
+		Sets:        govSets(),
+		Strategy:    StrategyGBMQO,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if len(rep.Kernels) == 0 {
+		t.Fatal("no kernel attribution recorded")
+	}
+	seen := map[string]string{}
+	kinds := map[string]int{}
+	for _, ku := range rep.Kernels {
+		if prev, dup := seen[ku.Node]; dup {
+			t.Errorf("node %s attributed twice (%s then %s)", ku.Node, prev, ku.Kernel)
+		}
+		seen[ku.Node] = ku.Kernel
+		kinds[ku.Kernel]++
+		if ku.Kernel == "" || ku.Rows < 0 {
+			t.Errorf("malformed attribution %+v", ku)
+		}
+	}
+	for _, set := range govSets() {
+		if _, ok := seen[set.String()]; !ok {
+			t.Errorf("required node %s has no kernel attribution", set)
+		}
+	}
+	if kinds["dense"] == 0 {
+		t.Errorf("no node ran the dense kernel over a 70k-row low-NDV table: %v", kinds)
+	}
+	planStr := res.Plan.String()
+	if !strings.Contains(planStr, "<dense") && !strings.Contains(planStr, "<hash") {
+		t.Errorf("plan not annotated with kernels:\n%s", planStr)
+	}
+}
+
+// TestSequentialRunsKeepHashLadder pins the chooser policy at the engine
+// level: without intra-operator parallelism the parallel-regime kernels
+// (dense, radix) must not run, so sequential experiment measurements keep
+// their pre-kernel behaviour.
+func TestSequentialRunsKeepHashLadder(t *testing.T) {
+	e, _ := newTestEngine(t, 70000)
+	res, err := e.Run(Request{Table: "lineitem", Sets: govSets(), Strategy: StrategyGBMQO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ku := range res.Report.Kernels {
+		if ku.Kernel == "dense" || ku.Kernel == "radix" {
+			t.Errorf("sequential run used parallel-regime kernel: %s", ku)
+		}
+	}
+}
+
+// TestKernelFallbackDegradation pins the admission ladder: a budget too small
+// for the dense kernel's per-worker arrays must record a kernel-fallback
+// degradation and still complete on a lower rung with correct results.
+func TestKernelFallbackDegradation(t *testing.T) {
+	e, li := newTestEngine(t, 70000)
+	res, err := e.Run(Request{
+		Table:       "lineitem",
+		Sets:        govSets(),
+		Strategy:    StrategyGBMQO,
+		Parallelism: 4,
+		MemBudget:   200 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFallback bool
+	for _, d := range res.Report.Degradations {
+		if d.Kind == DegradeKernelFallback {
+			sawFallback = true
+			if !strings.Contains(d.Detail, "fell back to") {
+				t.Errorf("fallback detail %q does not name the fallback rung", d.Detail)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatalf("no kernel-fallback degradation under a 200KiB budget; got %v", res.Report.Degradations)
+	}
+	// Results must match an unconstrained sequential run exactly.
+	ref, err := e.Run(Request{Table: "lineitem", Sets: govSets(), Strategy: StrategyGBMQO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = li
+	assertSameResults(t, ref.Report.Results, res.Report.Results)
+}

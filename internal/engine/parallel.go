@@ -50,6 +50,7 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 				gov:       template.gov,
 				budget:    template.budget,
 				size:      template.size,
+				ndv:       template.ndv,
 				promote:   template.promote,
 				perSet:    template.perSet,
 				nodeAggs:  template.nodeAggs,
@@ -98,7 +99,9 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 		}
 		merged.MergeTime += res.report.MergeTime
 		merged.SpillFallbacks += res.report.SpillFallbacks
+		merged.RehashesAvoided += res.report.RehashesAvoided
 		merged.Degradations = append(merged.Degradations, res.report.Degradations...)
+		merged.Kernels = append(merged.Kernels, res.report.Kernels...)
 		for set, t := range res.report.Results {
 			merged.Results[set] = t
 		}
@@ -111,6 +114,7 @@ func (ex *Executor) executeParallel(template *planRun, p *plan.Plan, steps []pla
 		}
 		return merged, firstErr
 	}
+	annotateKernels(p, merged)
 	return merged, nil
 }
 

@@ -301,6 +301,13 @@ func (e *Engine) runDirect(req Request, promote func(colset.Set, []exec.Agg, *ta
 		MemBudget:   req.MemBudget,
 		NoRetain:    req.NoRetain,
 		PromoteTemp: promote,
+		NDVFn: func(s colset.Set) float64 {
+			// Cached-only lookup: the planner's sizeFn has already built
+			// statistics for every plan node, so this almost always hits; a
+			// miss answers 0 (unknown) rather than profiling mid-execution.
+			v, _ := env.CachedNDV(s)
+			return v
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -95,6 +95,21 @@ type accumulator interface {
 	// what lets the morsel-driven parallel path merge thread-local hash tables
 	// into the final result.
 	mergePartial(dst int, other accumulator, src int)
+	// cloneEmpty returns a fresh accumulator of the same concrete type over
+	// the same input column, with empty per-group state. Read-only decode
+	// state (code slices, decode tables, rank tables) is shared with the
+	// receiver, so the parallel kernels can hand each worker or partition its
+	// own clone without rebuilding decode tables per clone.
+	cloneEmpty() accumulator
+}
+
+// cloneAccs clones a template accumulator slice for one worker or partition.
+func cloneAccs(accs []accumulator) []accumulator {
+	out := make([]accumulator, len(accs))
+	for i, a := range accs {
+		out[i] = a.cloneEmpty()
+	}
+	return out
 }
 
 // newAccumulator builds the accumulator for one agg over the input table.
@@ -154,6 +169,7 @@ func (a *countStarAcc) mergePartial(dst int, other accumulator, src int) {
 	}
 	a.counts[dst] += other.(*countStarAcc).counts[src]
 }
+func (a *countStarAcc) cloneEmpty() accumulator { return &countStarAcc{} }
 
 type countAcc struct {
 	col    *table.Column
@@ -176,6 +192,7 @@ func (a *countAcc) mergePartial(dst int, other accumulator, src int) {
 	}
 	a.counts[dst] += other.(*countAcc).counts[src]
 }
+func (a *countAcc) cloneEmpty() accumulator { return &countAcc{col: a.col} }
 
 type sumIntAcc struct {
 	codes []uint32
@@ -212,6 +229,7 @@ func (a *sumIntAcc) mergePartial(dst int, other accumulator, src int) {
 		a.seen[dst] = true
 	}
 }
+func (a *sumIntAcc) cloneEmpty() accumulator { return &sumIntAcc{codes: a.codes, vals: a.vals} }
 
 type sumFloatAcc struct {
 	codes []uint32
@@ -248,6 +266,7 @@ func (a *sumFloatAcc) mergePartial(dst int, other accumulator, src int) {
 		a.seen[dst] = true
 	}
 }
+func (a *sumFloatAcc) cloneEmpty() accumulator { return &sumFloatAcc{codes: a.codes, vals: a.vals} }
 
 // extremeAcc tracks MIN or MAX per group by dictionary code, comparing codes
 // through the column's rank table (rank order == value order), so no value
@@ -284,6 +303,9 @@ func (a *extremeAcc) result(g int) table.Value { return a.col.Decode(a.best[g]) 
 func (a *extremeAcc) outType() table.Type      { return a.col.Type() }
 func (a *extremeAcc) mergePartial(dst int, other accumulator, src int) {
 	a.consider(dst, other.(*extremeAcc).best[src])
+}
+func (a *extremeAcc) cloneEmpty() accumulator {
+	return &extremeAcc{col: a.col, ranks: a.ranks, min: a.min}
 }
 
 // avgAcc computes AVG by carrying a mergeable (sum, count) pair per group.
@@ -322,3 +344,4 @@ func (a *avgAcc) mergePartial(dst int, other accumulator, src int) {
 	a.sums[dst] += o.sums[src]
 	a.counts[dst] += o.counts[src]
 }
+func (a *avgAcc) cloneEmpty() accumulator { return &avgAcc{codes: a.codes, vals: a.vals} }

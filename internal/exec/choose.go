@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"fmt"
+
+	"gbmqo/internal/table"
+)
+
+// radixMinGroups is the NDV estimate below which the morsel path's
+// worker-local tables + merge stay cheaper than the radix kernel's two extra
+// passes over the input: merging w small tables only touches w·NDV groups,
+// which is noise until the group count rivals the morsel size. The scatter
+// pass writes 12 bytes per input row, so the merge it replaces has to be
+// tens of thousands of groups wide before the trade pays off.
+const radixMinGroups = 32768
+
+// denseMaxBlowup bounds the dense domain relative to the input row count: a
+// group-id array up to 8× the rows still costs less to allocate and walk than
+// hashing every row; beyond that the kernel would mostly touch empty slots.
+const denseMaxBlowup = 8
+
+// denseSmallDomain is the domain size below which the dense kernel is
+// admitted without consulting the blowup ratio (the array is a few KB).
+const denseSmallDomain = 4096
+
+// denseMinRows is the input size below which the dense kernel's fixed costs —
+// allocating and zeroing per-worker domain-sized group-id arrays, plus the
+// batched decode machinery — are not amortized: a presized hash table over a
+// few thousand rows is already cache-resident and the absolute win would be
+// microseconds, while the array setup is a real constant. Below this the
+// chooser stays on the hash ladder.
+const denseMinRows = 1 << 16
+
+// ChooserInput is what the per-node physical operator chooser knows when it
+// picks a kernel: table-local facts (rows, dictionary-derived dense domain),
+// statistics estimates (NDV), the requested parallelism, and the admission
+// gate.
+type ChooserInput struct {
+	// Rows is the input row count.
+	Rows int
+	// GroupCols is the number of grouping columns (0 = single global group).
+	GroupCols int
+	// NDV is the statistics estimate of the number of output groups; 0 means
+	// unknown (no stats threaded), which disables the presize hint and the
+	// radix kernel.
+	NDV float64
+	// DenseDomain is Π(dictSize+1) over the group columns (see DenseDomain);
+	// 0 means inapplicable.
+	DenseDomain int
+	// Workers is the requested intra-operator DOP (post ResolveWorkers).
+	Workers int
+	// HashStateBytes estimates the hash kernel's working state — the
+	// admission quantity of the hash → sort degradation ladder; 0 disables
+	// the sort fallback (no budget or no estimate).
+	HashStateBytes int64
+	// NAggs is the number of aggregate columns.
+	NAggs int
+	// Budget is the admission gate (nil or unlimited admits everything).
+	Budget *MemBudget
+}
+
+// KernelChoice is the chooser's decision: the kernel to run, its worker
+// count, the hash presize hint, a human-readable reason, and any preferred
+// kernels the budget rejected on the way down the ladder.
+type KernelChoice struct {
+	Kind      KernelKind
+	Workers   int
+	SizeHint  int
+	Reason    string
+	Fallbacks []KernelFallback
+}
+
+// ChooseKernel picks the physical aggregation kernel for one plan node from
+// its statistics and the memory budget. The ladder:
+//
+//  1. dense — for parallel runs (≥ 2 effective workers) over inputs large
+//     enough to amortize the array setup (rows ≥ denseMinRows) whose
+//     group-code domain is small enough that flat accumulator arrays beat
+//     hashing (domain ≤ denseMaxDomain and at most denseMaxBlowup× the row
+//     count, or tiny outright), when the budget admits the per-worker
+//     arrays. Dense and radix are the parallel-regime rungs: their edge over
+//     the morsel path is eliminating the cross-worker merge, so sequential
+//     plans — where no merge exists and scan cost dominates — keep the
+//     proven hash ladder;
+//  2. radix — for parallel high-NDV aggregation (estimated groups ≥
+//     radixMinGroups with ≥ 2 effective workers), when the budget admits the
+//     hash + scatter passes;
+//  3. sort — when the budget cannot admit the hash kernel's estimated state
+//     (the existing degradation rung: O(rows) working state);
+//  4. hash — the default, presized from the NDV estimate and morsel-parallel
+//     when the worker budget and input size allow.
+//
+// A kernel rejected by budget admission is recorded in Fallbacks and the
+// ladder continues — kernel choice degrades, it never errors.
+func ChooseKernel(in ChooserInput) KernelChoice {
+	if in.GroupCols == 0 || in.Rows == 0 {
+		return KernelChoice{Kind: KernelHash, Workers: 1, Reason: "trivial input (no group columns or no rows)"}
+	}
+	var c KernelChoice
+	w := effectiveWorkers(in.Rows, in.Workers)
+
+	if w >= 2 && in.Rows >= denseMinRows && in.DenseDomain > 0 && (in.DenseDomain <= denseSmallDomain || in.DenseDomain <= denseMaxBlowup*in.Rows) {
+		need := int64(in.DenseDomain)*4 + denseBatch*4
+		if w > 1 {
+			need *= int64(w + 1)
+		}
+		if !in.Budget.WouldExceed(need) {
+			c.Kind = KernelDense
+			c.Workers = w
+			c.Reason = fmt.Sprintf("dense domain %d fits %d rows; flat array beats hashing", in.DenseDomain, in.Rows)
+			return c
+		}
+		c.Fallbacks = append(c.Fallbacks, KernelFallback{
+			Kind:   KernelDense,
+			Detail: fmt.Sprintf("needs %dB of accumulator arrays, over budget", need),
+		})
+	}
+
+	if w >= 2 && in.NDV >= radixMinGroups {
+		need := int64(in.Rows)*12 + in.HashStateBytes
+		if !in.Budget.WouldExceed(need) {
+			c.Kind = KernelRadix
+			c.Workers = w
+			c.Reason = fmt.Sprintf("~%.0f groups ≥ %d: partitioned build avoids the %d-way local-table merge", in.NDV, radixMinGroups, w)
+			return c
+		}
+		c.Fallbacks = append(c.Fallbacks, KernelFallback{
+			Kind:   KernelRadix,
+			Detail: fmt.Sprintf("needs %dB of hash+scatter state, over budget", need),
+		})
+	}
+
+	if in.HashStateBytes > 0 && in.Budget.WouldExceed(in.HashStateBytes) {
+		c.Kind = KernelSort
+		c.Workers = 1
+		c.Reason = fmt.Sprintf("estimated hash state %dB over budget; O(rows) sort aggregation", in.HashStateBytes)
+		return c
+	}
+
+	c.Kind = KernelHash
+	c.Workers = w
+	if hint := int(in.NDV); hint > 0 {
+		if hint > in.Rows {
+			hint = in.Rows
+		}
+		c.SizeHint = hint
+	}
+	switch {
+	case w > 1:
+		c.Reason = fmt.Sprintf("morsel-parallel hash, %d workers (est. %.0f groups)", w, in.NDV)
+	case c.SizeHint > 0:
+		c.Reason = fmt.Sprintf("hash, presized for ~%d groups", c.SizeHint)
+	default:
+		c.Reason = "hash (default)"
+	}
+	return c
+}
+
+// AdaptiveHints carries per-node statistics into the adaptive dispatch.
+type AdaptiveHints struct {
+	// NDV is the estimated number of output groups (0 = unknown).
+	NDV float64
+	// HashStateBytes is the engine's working-state estimate for the hash
+	// kernel, used for sort-fallback admission (0 = no estimate / no budget).
+	HashStateBytes int64
+	// Workers is the requested intra-operator DOP.
+	Workers int
+}
+
+// GroupByAdaptiveGov runs the per-node kernel chooser and dispatches to the
+// chosen kernel. It is the single entry point the engine (and the kernel
+// benchmark) uses, so measured adaptive behaviour is engine behaviour. The
+// returned stats name the kernel that actually ran, the chooser's reason, and
+// any budget-rejected fallbacks.
+func GroupByAdaptiveGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, hints AdaptiveHints) (*table.Table, KernelStats, error) {
+	choice := ChooseKernel(ChooserInput{
+		Rows:           t.NumRows(),
+		GroupCols:      len(groupCols),
+		NDV:            hints.NDV,
+		DenseDomain:    DenseDomain(t, groupCols),
+		Workers:        hints.Workers,
+		HashStateBytes: hints.HashStateBytes,
+		NAggs:          len(aggs),
+		Budget:         gov.Budget(),
+	})
+	var out *table.Table
+	var ks KernelStats
+	var err error
+	switch choice.Kind {
+	case KernelDense:
+		out, ks, err = GroupByDenseGov(gov, t, groupCols, aggs, outName, choice.Workers)
+	case KernelRadix:
+		out, ks, err = GroupByRadixParallelGov(gov, t, groupCols, aggs, outName, choice.Workers)
+	case KernelSort:
+		out, err = GroupBySortGov(gov, t, groupCols, aggs, outName)
+		ks = KernelStats{Kind: KernelSort, Workers: 1}
+		if out != nil {
+			ks.Groups = out.NumRows()
+		}
+	default:
+		if choice.Workers > 1 {
+			var st ParStats
+			out, st, err = groupByHashParallelSized(gov, t, groupCols, aggs, outName, choice.Workers, choice.SizeHint)
+			ks = KernelStats{Kind: KernelHash, Workers: st.Workers, Merge: st.Merge, RehashesAvoided: st.RehashesAvoided}
+			if out != nil {
+				ks.Groups = out.NumRows()
+			}
+		} else {
+			out, ks, err = groupByHashSized(gov, t, groupCols, aggs, outName, choice.SizeHint)
+		}
+	}
+	ks.Reason = choice.Reason
+	ks.Fallbacks = choice.Fallbacks
+	return out, ks, err
+}

@@ -29,8 +29,19 @@ func GroupByHash(t *table.Table, groupCols []int, aggs []Agg, outName string) *t
 // slots plus accumulator state against gov's memory budget for the duration
 // of the operator. A nil gov means ungoverned and adds no overhead.
 func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string) (*table.Table, error) {
+	out, _, err := groupByHashSized(gov, t, groupCols, aggs, outName, 0)
+	return out, err
+}
+
+// groupByHashSized is the hash-aggregate core behind GroupByHashGov and the
+// adaptive dispatch. sizeHint, when > 0, presizes the group table for that
+// many expected groups (satellite fix: the table no longer always starts at
+// 1024 buckets when statistics already predict the NDV); the stats record how
+// many rehash doublings the presize avoided.
+func groupByHashSized(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, sizeHint int) (*table.Table, KernelStats, error) {
+	ks := KernelStats{Kind: KernelHash, Workers: 1}
 	if err := validateRequest(t, groupCols, aggs); err != nil {
-		return nil, err
+		return nil, ks, err
 	}
 	n := t.NumRows()
 	image, stride := t.RowImage()
@@ -39,7 +50,7 @@ func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outNa
 		rd.offs[i] = 4 * c
 	}
 	budget := gov.Budget()
-	ht := newGroupHash(rd, budget)
+	ht := newGroupHashSized(rd, budget, sizeHint)
 	defer func() { budget.Release(ht.charged) }()
 	accs := make([]accumulator, len(aggs))
 	for i, a := range aggs {
@@ -50,7 +61,7 @@ func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outNa
 		if row&(cancelCheckRows-1) == 0 {
 			Testing.Fire("exec.hash.batch")
 			if err := gov.Err(); err != nil {
-				return nil, err
+				return nil, ks, err
 			}
 		}
 		g, isNew := ht.groupOf(row)
@@ -64,7 +75,9 @@ func GroupByHashGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outNa
 	accBytes := accStateBytes(len(firstRows), len(accs))
 	budget.Add(accBytes)
 	defer budget.Release(accBytes)
-	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName), nil
+	ks.Groups = len(firstRows)
+	ks.RehashesAvoided = ht.rehashesAvoided()
+	return emitGroups(t, groupCols, aggs, accs, firstRows, nil, outName), ks, nil
 }
 
 // GroupBySort computes the same result by sorting row ids and streaming over
@@ -380,6 +393,11 @@ type groupHash struct {
 	// finishes.
 	budget  *MemBudget
 	charged int64
+
+	// initSize is the slot count the table was created with, kept so
+	// rehashesAvoided can compare against the growth path a default-sized
+	// table would have walked.
+	initSize int
 }
 
 // slotBytes is the per-slot memory of a groupHash (hash 8 + group 4 + row 4).
@@ -392,17 +410,61 @@ const slotBytes = 16
 // per query; across a shared scan that was hundreds of MB of dead memory.)
 const groupHashInitSize = 1024
 
+// groupHashMaxPresize caps how many slots an NDV estimate may preallocate: a
+// wildly high estimate must not turn into a giant dead allocation.
+const groupHashMaxPresize = 1 << 22
+
 func newGroupHash(rd rowReader, budget *MemBudget) *groupHash {
+	return newGroupHashSized(rd, budget, 0)
+}
+
+// newGroupHashSized creates a group table presized for sizeHint expected
+// groups (0 means the default groupHashInitSize). The initial slot count is
+// the smallest power of two keeping sizeHint groups under the 3/4 load
+// factor, clamped by groupHashMaxPresize and halved until the budget admits
+// it — a tight budget degrades the presize back toward the default rather
+// than failing admission.
+func newGroupHashSized(rd rowReader, budget *MemBudget, sizeHint int) *groupHash {
+	size := groupHashInitSize
+	if sizeHint > 0 {
+		for size < groupHashMaxPresize && uint64(sizeHint+1)*4 > uint64(size)*3 {
+			size <<= 1
+		}
+		for size > groupHashInitSize && budget.WouldExceed(int64(size)*slotBytes) {
+			size >>= 1
+		}
+	}
 	h := &groupHash{
 		rd:        rd,
-		mask:      uint64(groupHashInitSize - 1),
-		slotHash:  make([]uint64, groupHashInitSize),
-		slotGroup: make([]int32, groupHashInitSize),
-		slotRow:   make([]int32, groupHashInitSize),
+		mask:      uint64(size - 1),
+		slotHash:  make([]uint64, size),
+		slotGroup: make([]int32, size),
+		slotRow:   make([]int32, size),
 		budget:    budget,
+		initSize:  size,
 	}
-	h.charge(groupHashInitSize * slotBytes)
+	h.charge(int64(size) * slotBytes)
 	return h
+}
+
+// rehashesAvoided reports how many grow() doublings the presize saved: the
+// doublings a default-sized table would have needed to reach the smaller of
+// (a) the presized start and (b) the size the final group count actually
+// required. A presize larger than the data needed does not inflate the count.
+func (h *groupHash) rehashesAvoided() int {
+	needed := groupHashInitSize
+	for uint64(h.groups+1)*4 > uint64(needed)*3 {
+		needed <<= 1
+	}
+	saved := h.initSize
+	if needed < saved {
+		saved = needed
+	}
+	n := 0
+	for s := groupHashInitSize; s < saved; s <<= 1 {
+		n++
+	}
+	return n
 }
 
 // charge accounts n bytes of slot memory against the budget.

@@ -1,0 +1,687 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gbmqo/internal/table"
+)
+
+// KernelKind enumerates the physical aggregation kernels the adaptive layer
+// chooses among (see ChooseKernel): the open-addressing hash aggregate, the
+// sort-based low-memory fallback, the dense accumulator-array kernel for
+// small group-code domains, and the radix-partitioned parallel hash kernel
+// for high-NDV parallel aggregation.
+type KernelKind int
+
+// Kernel kinds, in ladder order (hash is the default and the reference).
+const (
+	KernelHash KernelKind = iota
+	KernelSort
+	KernelDense
+	KernelRadix
+)
+
+// String names the kernel as reported in ExecReport attribution.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelHash:
+		return "hash"
+	case KernelSort:
+		return "sort"
+	case KernelDense:
+		return "dense"
+	case KernelRadix:
+		return "radix"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// KernelFallback records one kernel the chooser preferred but could not admit
+// under the memory budget before falling down the ladder.
+type KernelFallback struct {
+	Kind   KernelKind
+	Detail string
+}
+
+// KernelStats describes how one aggregation kernel executed.
+type KernelStats struct {
+	// Kind is the kernel that actually ran.
+	Kind KernelKind
+	// Workers is the number of goroutines that scanned input rows
+	// (1 = sequential).
+	Workers int
+	// Groups is the number of output groups.
+	Groups int
+	// Partitions is the radix fan-out (0 for non-radix kernels).
+	Partitions int
+	// RehashesAvoided counts hash-table doublings skipped because the group
+	// table was presized from the statistics NDV estimate.
+	RehashesAvoided int
+	// Merge is the wall time spent combining per-worker (or per-partition)
+	// state into the final result.
+	Merge time.Duration
+	// Reason is the chooser's explanation for picking this kernel (empty when
+	// the kernel was invoked directly rather than via GroupByAdaptiveGov).
+	Reason string
+	// Fallbacks lists preferred kernels rejected by budget admission before
+	// this one ran.
+	Fallbacks []KernelFallback
+}
+
+// denseMaxDomain caps the dense kernel's group-code domain: the per-scan
+// group-id array costs 4 bytes per domain slot, so 1<<20 bounds it at 4 MiB.
+const denseMaxDomain = 1 << 20
+
+// denseBatch is the number of rows one batched probe pass converts at a time
+// (key codes decoded column-major from the row-store scan image into a dense
+// code vector). It equals cancelCheckRows so the cancellation cadence matches
+// the other kernels.
+const denseBatch = cancelCheckRows
+
+// DenseDomain returns the size of the dense group-code domain for grouping t
+// by groupCols — Π(dictSize_k+1), the +1 covering the NULL code — or 0 when
+// there are no group columns or the product exceeds denseMaxDomain.
+func DenseDomain(t *table.Table, groupCols []int) int {
+	if len(groupCols) == 0 {
+		return 0
+	}
+	domain := 1
+	for _, c := range groupCols {
+		d := t.Col(c).DictSize() + 1
+		if domain > denseMaxDomain/d {
+			return 0
+		}
+		domain *= d
+	}
+	return domain
+}
+
+// denseMults returns the mixed-radix multipliers mapping a code tuple to its
+// dense group code: dc = Σ codes[k]·mult[k] with mult[k] = Π_{j<k}(dict_j+1).
+// Only valid when DenseDomain returned non-zero.
+func denseMults(t *table.Table, groupCols []int) []int32 {
+	mults := make([]int32, len(groupCols))
+	m := int32(1)
+	for k, c := range groupCols {
+		mults[k] = m
+		m *= int32(t.Col(c).DictSize() + 1)
+	}
+	return mults
+}
+
+// keyReader builds the row-image reader for a set of key columns. All
+// kernels scan key codes through the table's row-major image, never through
+// raw column vectors: touching any column of a row pulls the whole row's
+// bytes, so every kernel pays the same width-proportional scan cost as the
+// row store the paper modeled (see table.RowImage). Kernel wins must come
+// from probe mechanics, not from quietly turning the storage engine columnar.
+func keyReader(t *table.Table, cols []int) rowReader {
+	image, stride := t.RowImage()
+	rd := rowReader{image: image, stride: stride, offs: make([]int, len(cols)), seed: hashSeed.Load()}
+	for i, c := range cols {
+		rd.offs[i] = 4 * c
+	}
+	return rd
+}
+
+// denseState is one scan's dense-kernel aggregation state: a code-indexed
+// group-id array plus accumulators. dcodes remembers each group's dense code
+// in group-id order — the merge key of the parallel path.
+type denseState struct {
+	gid       []int32 // dense code → group+1; 0 = empty
+	accs      []accumulator
+	firstRows []int32
+	dcodes    []int32
+}
+
+// denseScan aggregates rows [lo,hi): each batch decodes the key columns'
+// codes from the row-store scan image into a dense-code vector column-major
+// (the vectorized probe — one tight multiply-add loop per key column), then
+// probes the flat group-id array and feeds the accumulators. stop, when
+// non-nil, aborts at the next batch boundary after a sibling worker failed.
+func denseScan(gov *Gov, st *denseState, rd rowReader, mults []int32, lo, hi int, stop *atomic.Bool) error {
+	dc := make([]int32, denseBatch)
+	img, stride := rd.image, rd.stride
+	for base := lo; base < hi; base += denseBatch {
+		Testing.Fire("exec.dense.batch")
+		if err := gov.Err(); err != nil {
+			return err
+		}
+		if stop != nil && stop.Load() {
+			return nil
+		}
+		end := base + denseBatch
+		if end > hi {
+			end = hi
+		}
+		chunk := dc[:end-base]
+		for k, mk := range mults {
+			p := base*stride + rd.offs[k]
+			if k == 0 {
+				for i := range chunk {
+					code := uint32(img[p]) | uint32(img[p+1])<<8 | uint32(img[p+2])<<16 | uint32(img[p+3])<<24
+					chunk[i] = int32(code) * mk
+					p += stride
+				}
+			} else {
+				for i := range chunk {
+					code := uint32(img[p]) | uint32(img[p+1])<<8 | uint32(img[p+2])<<16 | uint32(img[p+3])<<24
+					chunk[i] += int32(code) * mk
+					p += stride
+				}
+			}
+		}
+		for i, code := range chunk {
+			g := st.gid[code]
+			if g == 0 {
+				st.firstRows = append(st.firstRows, int32(base+i))
+				st.dcodes = append(st.dcodes, code)
+				g = int32(len(st.firstRows))
+				st.gid[code] = g
+			}
+			row := base + i
+			for _, acc := range st.accs {
+				acc.observe(int(g-1), row)
+			}
+		}
+	}
+	return nil
+}
+
+// GroupByDenseGov computes the group-by with the dense accumulator-array
+// kernel: each row's key codes fold into one dense integer (mixed-radix over
+// the key columns' dictionary sizes) indexing a flat group-id array, so the
+// probe is a single array access with no hashing or collision chain. It is
+// only applicable when the domain Π(dictSize+1) is small (see DenseDomain);
+// an inapplicable request returns an error, so callers should route through
+// ChooseKernel / GroupByAdaptiveGov. workers > 1 splits the row range into
+// static per-worker shares merged in worker order, which preserves the global
+// first-appearance output order exactly; like the morsel path, SUM/AVG over
+// TFloat64 may round differently in parallel because partial sums combine in
+// a different order.
+func GroupByDenseGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, KernelStats, error) {
+	if err := validateRequest(t, groupCols, aggs); err != nil {
+		return nil, KernelStats{}, err
+	}
+	domain := DenseDomain(t, groupCols)
+	if domain == 0 {
+		return nil, KernelStats{}, fmt.Errorf("exec: dense kernel inapplicable: group-code domain of %v over %q empty or above %d", groupCols, t.Name(), denseMaxDomain)
+	}
+	n := t.NumRows()
+	w := effectiveWorkers(n, workers)
+	rd := keyReader(t, groupCols)
+	mults := denseMults(t, groupCols)
+	budget := gov.Budget()
+	if w <= 1 {
+		stateBytes := int64(domain)*4 + denseBatch*4
+		budget.Add(stateBytes)
+		defer budget.Release(stateBytes)
+		st := &denseState{gid: make([]int32, domain), accs: make([]accumulator, len(aggs))}
+		for i, a := range aggs {
+			st.accs[i] = newAccumulator(a, t)
+		}
+		if err := denseScan(gov, st, rd, mults, 0, n, nil); err != nil {
+			return nil, KernelStats{}, err
+		}
+		accBytes := accStateBytes(len(st.firstRows), len(st.accs))
+		budget.Add(accBytes)
+		defer budget.Release(accBytes)
+		out := emitGroups(t, groupCols, aggs, st.accs, st.firstRows, nil, outName)
+		return out, KernelStats{Kind: KernelDense, Workers: 1, Groups: len(st.firstRows)}, nil
+	}
+
+	// Parallel: build the final accumulators in this goroutine before fan-out —
+	// their constructors force lazily-built dictionary state (rank tables) that
+	// the worker clones then share read-only.
+	final := &denseState{gid: make([]int32, domain), accs: make([]accumulator, len(aggs))}
+	for i, a := range aggs {
+		final.accs[i] = newAccumulator(a, t)
+	}
+	stateBytes := int64(w+1) * (int64(domain)*4 + denseBatch*4)
+	budget.Add(stateBytes)
+	defer budget.Release(stateBytes)
+	states := make([]*denseState, w)
+	var failed atomic.Bool
+	var workerErr atomic.Pointer[ExecError]
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					failed.Store(true)
+					workerErr.CompareAndSwap(nil, &ExecError{
+						Step: fmt.Sprintf("dense worker %d", wi),
+						Err:  recoveredError(p),
+					})
+				}
+			}()
+			st := &denseState{gid: make([]int32, domain), accs: cloneAccs(final.accs)}
+			states[wi] = st
+			if err := denseScan(gov, st, rd, mults, wi*n/w, (wi+1)*n/w, &failed); err != nil {
+				failed.Store(true) // context error; surfaced below via gov.Err
+			}
+		}(wi)
+	}
+	wg.Wait()
+	if e := workerErr.Load(); e != nil {
+		return nil, KernelStats{Kind: KernelDense, Workers: w}, e
+	}
+	if err := gov.Err(); err != nil {
+		return nil, KernelStats{Kind: KernelDense, Workers: w}, err
+	}
+
+	// Merge workers in index order: worker row ranges ascend, so taking each
+	// worker's groups in local first-appearance order and keeping the first
+	// sighting per dense code reproduces the global first-appearance order,
+	// with the recorded firstRow being the true global first row.
+	mergeStart := time.Now()
+	for _, st := range states {
+		for lg, code := range st.dcodes {
+			g := final.gid[code]
+			if g == 0 {
+				final.firstRows = append(final.firstRows, st.firstRows[lg])
+				final.dcodes = append(final.dcodes, code)
+				g = int32(len(final.firstRows))
+				final.gid[code] = g
+			}
+			for ai, acc := range final.accs {
+				acc.mergePartial(int(g-1), st.accs[ai], lg)
+			}
+		}
+	}
+	accBytes := accStateBytes(len(final.firstRows), len(final.accs))
+	budget.Add(accBytes)
+	defer budget.Release(accBytes)
+	out := emitGroups(t, groupCols, aggs, final.accs, final.firstRows, nil, outName)
+	return out, KernelStats{Kind: KernelDense, Workers: w, Groups: len(final.firstRows), Merge: time.Since(mergeStart)}, nil
+}
+
+// radixMaxPartitions caps the radix fan-out. Four partitions per worker give
+// the partition-pulling phase slack to balance skewed partition sizes.
+const radixMaxPartitions = 256
+
+// radixPartitions picks the partition count (a power of two, ~4 per worker)
+// and the right-shift that maps a 64-bit hash to its partition.
+func radixPartitions(w int) (parts int, shift uint) {
+	parts = 1
+	for parts < 4*w && parts < radixMaxPartitions {
+		parts <<= 1
+	}
+	shift = 64
+	for p := parts; p > 1; p >>= 1 {
+		shift--
+	}
+	return parts, shift
+}
+
+// radixPart is one partition's private aggregation state: an open-addressing
+// group table keyed by the precomputed row hashes, plus cloned accumulators.
+// Rows within a partition arrive in ascending global row order, so group ids
+// fall out in global first-appearance order and firstRows are exact global
+// first rows.
+type radixPart struct {
+	rd        rowReader
+	hashes    []uint64
+	mask      uint64
+	slotHash  []uint64
+	slotGroup []int32 // group+1; 0 = empty
+	slotRow   []int32
+	accs      []accumulator
+	firstRows []int32
+	budget    *MemBudget
+	charged   int64
+}
+
+// newRadixPart sizes the partition table for segLen rows (radix is chosen for
+// high-NDV keys, where most rows open new groups).
+func newRadixPart(rd rowReader, hashes []uint64, segLen int, proto []accumulator, budget *MemBudget) *radixPart {
+	size := 64
+	for uint64(size)*3 < uint64(segLen+1)*4 && size < denseMaxDomain {
+		size <<= 1
+	}
+	st := &radixPart{
+		rd:        rd,
+		hashes:    hashes,
+		mask:      uint64(size - 1),
+		slotHash:  make([]uint64, size),
+		slotGroup: make([]int32, size),
+		slotRow:   make([]int32, size),
+		accs:      cloneAccs(proto),
+		budget:    budget,
+	}
+	st.charge(int64(size) * slotBytes)
+	return st
+}
+
+func (st *radixPart) charge(n int64) {
+	if st.budget == nil {
+		return
+	}
+	st.budget.Add(n)
+	st.charged += n
+}
+
+// observe feeds one row into the partition's group table and accumulators.
+func (st *radixPart) observe(row int) {
+	if uint64(len(st.firstRows)+1)*4 > (st.mask+1)*3 {
+		st.grow()
+	}
+	h := st.hashes[row]
+	slot := h & st.mask
+	var g int32
+	for {
+		sg := st.slotGroup[slot]
+		if sg == 0 {
+			st.slotHash[slot] = h
+			st.slotRow[slot] = int32(row)
+			st.firstRows = append(st.firstRows, int32(row))
+			g = int32(len(st.firstRows))
+			st.slotGroup[slot] = g
+			break
+		}
+		if st.slotHash[slot] == h && st.rowsEqual(int(st.slotRow[slot]), row) {
+			g = sg
+			break
+		}
+		slot = (slot + 1) & st.mask
+	}
+	for _, acc := range st.accs {
+		acc.observe(int(g-1), row)
+	}
+}
+
+func (st *radixPart) rowsEqual(a, b int) bool {
+	for k := range st.rd.offs {
+		if st.rd.code(a, k) != st.rd.code(b, k) {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *radixPart) grow() {
+	oldHash, oldGroup, oldRow := st.slotHash, st.slotGroup, st.slotRow
+	size := (int(st.mask) + 1) << 1
+	st.charge(int64(size-len(oldGroup)) * slotBytes)
+	st.mask = uint64(size - 1)
+	st.slotHash = make([]uint64, size)
+	st.slotGroup = make([]int32, size)
+	st.slotRow = make([]int32, size)
+	for i, sg := range oldGroup {
+		if sg == 0 {
+			continue
+		}
+		slot := oldHash[i] & st.mask
+		for st.slotGroup[slot] != 0 {
+			slot = (slot + 1) & st.mask
+		}
+		st.slotHash[slot] = oldHash[i]
+		st.slotGroup[slot] = sg
+		st.slotRow[slot] = oldRow[i]
+	}
+}
+
+// groupRef locates one output group of the radix kernel: its global first
+// row (the sort key restoring first-appearance order) and where its state
+// lives (partition, local group id).
+type groupRef struct {
+	row  int32
+	part int32
+	lg   int32
+}
+
+// GroupByRadixParallelGov computes the group-by with the radix-partitioned
+// parallel hash kernel. Phase 1 computes every row's key hash (the same mix
+// as the sequential hash kernel) and histograms the top hash bits per worker;
+// phase 2 scatters row ids into per-partition segments, each globally
+// ascending by row id; phase 3 hands whole partitions to workers, which build
+// one private group table per partition — workers own disjoint group-key
+// partitions, so there is no worker-local-table merge afterwards (contrast
+// groupByMultiMorsel). Because each partition's rows stay in ascending global
+// row order, every group observes its rows in exactly the sequential order:
+// output is byte-identical to GroupByHashGov including float SUM/AVG
+// rounding, and groups are emitted in global first-appearance order. Inputs
+// below the parallel size cutoff run the sequential hash kernel.
+func GroupByRadixParallelGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, KernelStats, error) {
+	if err := validateRequest(t, groupCols, aggs); err != nil {
+		return nil, KernelStats{}, err
+	}
+	n := t.NumRows()
+	w := effectiveWorkers(n, workers)
+	if w <= 1 || len(groupCols) == 0 {
+		return groupByHashSized(gov, t, groupCols, aggs, outName, 0)
+	}
+	parts, shift := radixPartitions(w)
+	budget := gov.Budget()
+	scanBytes := int64(n) * 12 // 8B hash + 4B scattered row id per row
+	budget.Add(scanBytes)
+	defer budget.Release(scanBytes)
+	rd := keyReader(t, groupCols)
+	// Force lazily-built dictionary state before fan-out (see dense kernel).
+	protoAccs := make([]accumulator, len(aggs))
+	for i, a := range aggs {
+		protoAccs[i] = newAccumulator(a, t)
+	}
+
+	hashes := make([]uint64, n)
+	hist := make([][]int32, w)
+	bound := func(wi int) int { return wi * n / w }
+
+	var failed atomic.Bool
+	var workerErr atomic.Pointer[ExecError]
+	runPhase := func(step string, body func(wi int) error) {
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						failed.Store(true)
+						workerErr.CompareAndSwap(nil, &ExecError{
+							Step: fmt.Sprintf("%s %d", step, wi),
+							Err:  recoveredError(p),
+						})
+					}
+				}()
+				if err := body(wi); err != nil {
+					failed.Store(true) // context error; surfaced via gov.Err
+				}
+			}(wi)
+		}
+		wg.Wait()
+	}
+	checkPhase := func() error {
+		if e := workerErr.Load(); e != nil {
+			return e
+		}
+		return gov.Err()
+	}
+
+	// Phase 1: hash every row and histogram partitions per worker.
+	runPhase("radix hash worker", func(wi int) error {
+		counts := make([]int32, parts)
+		hist[wi] = counts
+		lo, hi := bound(wi), bound(wi+1)
+		for base := lo; base < hi; base += cancelCheckRows {
+			Testing.Fire("exec.radix.scatter")
+			if err := gov.Err(); err != nil {
+				return err
+			}
+			if failed.Load() {
+				return nil
+			}
+			end := base + cancelCheckRows
+			if end > hi {
+				end = hi
+			}
+			for row := base; row < end; row++ {
+				h := hashRow(rd, row)
+				hashes[row] = h
+				counts[h>>shift]++
+			}
+		}
+		return nil
+	})
+	if err := checkPhase(); err != nil {
+		return nil, KernelStats{Kind: KernelRadix, Workers: w, Partitions: parts}, err
+	}
+
+	// Partition-major prefix sums: partition p's segment is
+	// rowIds[pstart[p]:pstart[p+1]] with workers' shares in worker order, so
+	// each segment stays ascending by global row id.
+	pstart := make([]int32, parts+1)
+	cursor := make([][]int32, w)
+	for wi := 0; wi < w; wi++ {
+		cursor[wi] = make([]int32, parts)
+	}
+	off := int32(0)
+	for p := 0; p < parts; p++ {
+		pstart[p] = off
+		for wi := 0; wi < w; wi++ {
+			cursor[wi][p] = off
+			off += hist[wi][p]
+		}
+	}
+	pstart[parts] = off
+
+	// Phase 2: scatter row ids into their partition segments.
+	rowIds := make([]int32, n)
+	runPhase("radix scatter worker", func(wi int) error {
+		cur := cursor[wi]
+		lo, hi := bound(wi), bound(wi+1)
+		for base := lo; base < hi; base += cancelCheckRows {
+			Testing.Fire("exec.radix.scatter")
+			if err := gov.Err(); err != nil {
+				return err
+			}
+			if failed.Load() {
+				return nil
+			}
+			end := base + cancelCheckRows
+			if end > hi {
+				end = hi
+			}
+			for row := base; row < end; row++ {
+				p := hashes[row] >> shift
+				rowIds[cur[p]] = int32(row)
+				cur[p]++
+			}
+		}
+		return nil
+	})
+	if err := checkPhase(); err != nil {
+		return nil, KernelStats{Kind: KernelRadix, Workers: w, Partitions: parts}, err
+	}
+
+	// Phase 3: workers pull whole partitions off an atomic counter and build
+	// private group tables — disjoint group ownership, no merge.
+	partStates := make([]*radixPart, parts)
+	defer func() {
+		var freed int64
+		for _, st := range partStates {
+			if st != nil {
+				freed += st.charged
+			}
+		}
+		budget.Release(freed)
+	}()
+	var nextPart atomic.Int64
+	runPhase("radix build worker", func(wi int) error {
+		for {
+			if failed.Load() {
+				return nil
+			}
+			if err := gov.Err(); err != nil {
+				return err
+			}
+			Testing.Fire("exec.radix.build")
+			p := int(nextPart.Add(1)) - 1
+			if p >= parts {
+				return nil
+			}
+			seg := rowIds[pstart[p]:pstart[p+1]]
+			if len(seg) == 0 {
+				continue
+			}
+			st := newRadixPart(rd, hashes, len(seg), protoAccs, budget)
+			partStates[p] = st
+			for i, row := range seg {
+				if i&(cancelCheckRows-1) == cancelCheckRows-1 {
+					if err := gov.Err(); err != nil {
+						return err
+					}
+				}
+				st.observe(int(row))
+			}
+		}
+	})
+	if err := checkPhase(); err != nil {
+		return nil, KernelStats{Kind: KernelRadix, Workers: w, Partitions: parts}, err
+	}
+
+	// Emit groups sorted by global first appearance across partitions.
+	mergeStart := time.Now()
+	total := 0
+	for _, st := range partStates {
+		if st != nil {
+			total += len(st.firstRows)
+		}
+	}
+	refs := make([]groupRef, 0, total)
+	for p, st := range partStates {
+		if st == nil {
+			continue
+		}
+		for lg, row := range st.firstRows {
+			refs = append(refs, groupRef{row: row, part: int32(p), lg: int32(lg)})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].row < refs[j].row })
+	accBytes := accStateBytes(total, len(aggs))
+	budget.Add(accBytes)
+	defer budget.Release(accBytes)
+	out := emitGroupRefs(t, groupCols, aggs, partStates, refs, outName)
+	return out, KernelStats{Kind: KernelRadix, Workers: w, Groups: total, Partitions: parts, Merge: time.Since(mergeStart)}, nil
+}
+
+// emitGroupRefs assembles the radix kernel's output: refs are (firstRow,
+// partition, local group) sorted by global first appearance; key columns copy
+// codes from each group's first row, aggregate columns read each partition's
+// accumulators.
+func emitGroupRefs(t *table.Table, groupCols []int, aggs []Agg, parts []*radixPart, refs []groupRef, outName string) *table.Table {
+	cols := make([]*table.Column, 0, len(groupCols)+len(aggs))
+	for _, c := range groupCols {
+		src := t.Col(c)
+		srcCodes := src.Codes()
+		out := src.EmptyLike(src.Name())
+		codes := make([]uint32, len(refs))
+		for i, ref := range refs {
+			codes[i] = srcCodes[ref.row]
+		}
+		out.AppendCodes(codes)
+		cols = append(cols, out)
+	}
+	for ai := range aggs {
+		var typ table.Type
+		if len(refs) > 0 {
+			typ = parts[refs[0].part].accs[ai].outType()
+		} else {
+			// No groups: derive the type from a throwaway accumulator.
+			typ = newAccumulator(aggs[ai], t).outType()
+		}
+		out := table.NewColumn(table.ColumnDef{Name: aggs[ai].Name, Typ: typ})
+		for _, ref := range refs {
+			out.Append(parts[ref.part].accs[ai].result(int(ref.lg)))
+		}
+		cols = append(cols, out)
+	}
+	return table.FromColumns(outName, cols)
+}

@@ -29,6 +29,9 @@ type ParStats struct {
 	// Merge is the wall time spent merging worker-local hash tables into the
 	// final result.
 	Merge time.Duration
+	// RehashesAvoided counts hash-table grow() doublings skipped because the
+	// group tables were presized from an NDV estimate.
+	RehashesAvoided int
 }
 
 // ResolveWorkers turns a parallelism knob into a concrete worker budget:
@@ -86,12 +89,18 @@ func GroupByHashParallel(t *table.Table, groupCols []int, aggs []Agg, outName st
 // one worker surfaces as a *ExecError from this call instead of crashing
 // the process.
 func GroupByHashParallelGov(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, workers int) (*table.Table, ParStats, error) {
+	return groupByHashParallelSized(gov, t, groupCols, aggs, outName, workers, 0)
+}
+
+// groupByHashParallelSized is GroupByHashParallelGov with a presize hint for
+// the group tables (0 = default sizing), used by the adaptive dispatch.
+func groupByHashParallelSized(gov *Gov, t *table.Table, groupCols []int, aggs []Agg, outName string, workers, sizeHint int) (*table.Table, ParStats, error) {
 	w := effectiveWorkers(t.NumRows(), workers)
 	if w <= 1 {
-		out, err := GroupByHashGov(gov, t, groupCols, aggs, outName)
-		return out, ParStats{Workers: 1}, err
+		out, ks, err := groupByHashSized(gov, t, groupCols, aggs, outName, sizeHint)
+		return out, ParStats{Workers: 1, RehashesAvoided: ks.RehashesAvoided}, err
 	}
-	queries := []MultiQuery{{GroupCols: groupCols, Aggs: aggs, OutName: outName}}
+	queries := []MultiQuery{{GroupCols: groupCols, Aggs: aggs, OutName: outName, SizeHint: sizeHint}}
 	outs, st, err := groupByMultiMorsel(gov, t, queries, w, morselRows)
 	if err != nil {
 		return nil, st, err
@@ -196,6 +205,11 @@ func groupByMultiMorsel(gov *Gov, t *table.Table, queries []MultiQuery, w, morse
 			states := make([]*queryState, len(queries))
 			locals[wi] = states
 			for qi, q := range queries {
+				// A worker sees ~1/w of the rows, so its local table holds at
+				// most that many groups — clamp the presize hint accordingly.
+				if lim := n/w + 1; q.SizeHint > lim {
+					q.SizeHint = lim
+				}
 				states[qi] = newQueryState(t, image, stride, q, budget)
 			}
 			for {
@@ -230,6 +244,7 @@ func groupByMultiMorsel(gov *Gov, t *table.Table, queries []MultiQuery, w, morse
 
 	mergeStart := time.Now()
 	out := make([]*table.Table, len(queries))
+	rehashes := 0
 	for qi, q := range queries {
 		final := finals[qi]
 		for _, states := range locals {
@@ -255,6 +270,7 @@ func groupByMultiMorsel(gov *Gov, t *table.Table, queries []MultiQuery, w, morse
 			return final.firstRows[order[a]] < final.firstRows[order[b]]
 		})
 		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, final.accs, final.firstRows, order, q.OutName)
+		rehashes += final.ht.rehashesAvoided()
 	}
-	return out, ParStats{Workers: w, Morsels: morsels, Merge: time.Since(mergeStart)}, nil
+	return out, ParStats{Workers: w, Morsels: morsels, Merge: time.Since(mergeStart), RehashesAvoided: rehashes}, nil
 }

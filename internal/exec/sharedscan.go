@@ -10,6 +10,9 @@ type MultiQuery struct {
 	GroupCols []int
 	Aggs      []Agg
 	OutName   string
+	// SizeHint, when > 0, presizes this query's group table for that many
+	// expected groups (see newGroupHashSized).
+	SizeHint int
 }
 
 // queryState is one query's aggregation state during a (shared) scan: its
@@ -29,7 +32,7 @@ func newQueryState(t *table.Table, image []byte, stride int, q MultiQuery, budge
 	for i, c := range q.GroupCols {
 		rd.offs[i] = 4 * c
 	}
-	st := &queryState{ht: newGroupHash(rd, budget), accs: make([]accumulator, len(q.Aggs))}
+	st := &queryState{ht: newGroupHashSized(rd, budget, q.SizeHint), accs: make([]accumulator, len(q.Aggs))}
 	for i, a := range q.Aggs {
 		st.accs[i] = newAccumulator(a, t)
 	}
@@ -69,11 +72,19 @@ func GroupByHashMulti(t *table.Table, queries []MultiQuery) ([]*table.Table, err
 // GroupByHashMultiGov is the governed shared scan: context polled every
 // cancelCheckRows rows, per-query hash state charged against the budget.
 func GroupByHashMultiGov(gov *Gov, t *table.Table, queries []MultiQuery) ([]*table.Table, error) {
+	outs, _, err := GroupByHashMultiStatsGov(gov, t, queries)
+	return outs, err
+}
+
+// GroupByHashMultiStatsGov is GroupByHashMultiGov returning per-query kernel
+// stats (group counts and rehashes avoided by SizeHint presizing), so the
+// engine can attribute shared-scan nodes in its execution report.
+func GroupByHashMultiStatsGov(gov *Gov, t *table.Table, queries []MultiQuery) ([]*table.Table, []KernelStats, error) {
 	if len(queries) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err := validateMulti(t, queries); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := t.NumRows()
 	image, stride := t.RowImage()
@@ -92,7 +103,7 @@ func GroupByHashMultiGov(gov *Gov, t *table.Table, queries []MultiQuery) ([]*tab
 		if row&(cancelCheckRows-1) == 0 {
 			Testing.Fire("exec.hash.batch")
 			if err := gov.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		for _, st := range states {
@@ -106,10 +117,17 @@ func GroupByHashMultiGov(gov *Gov, t *table.Table, queries []MultiQuery) ([]*tab
 	budget.Add(accBytes)
 	defer budget.Release(accBytes)
 	out := make([]*table.Table, len(queries))
+	stats := make([]KernelStats, len(queries))
 	for qi, q := range queries {
 		out[qi] = emitGroups(t, q.GroupCols, q.Aggs, states[qi].accs, states[qi].firstRows, nil, q.OutName)
+		stats[qi] = KernelStats{
+			Kind:            KernelHash,
+			Workers:         1,
+			Groups:          len(states[qi].firstRows),
+			RehashesAvoided: states[qi].ht.rehashesAvoided(),
+		}
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // validateMulti rejects malformed shared-scan requests with an error the

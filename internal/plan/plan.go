@@ -118,7 +118,17 @@ type Plan struct {
 	ColNames []string
 	// Roots are the sub-plan roots, each computed directly from R.
 	Roots []*Node
+
+	// notes holds per-node display annotations keyed by the node's Set.String()
+	// (see Annotate); String renders them after the node. The executor uses
+	// this to show which physical kernel ran each node.
+	notes map[string]string
 }
+
+// Annotate attaches display annotations to nodes, keyed by Set.String().
+// Subsequent String calls render each matching node with its annotation
+// appended in angle brackets. A nil map clears annotations.
+func (p *Plan) Annotate(notes map[string]string) { p.notes = notes }
 
 // Naive builds the §4.2 starting point: every required set computed directly
 // from R.
@@ -361,6 +371,9 @@ func (p *Plan) writeNode(b *strings.Builder, n *Node, depth int) {
 	}
 	if n.IsIntermediate() {
 		b.WriteString(" [materialized]")
+	}
+	if note, ok := p.notes[n.Set.String()]; ok {
+		fmt.Fprintf(b, " <%s>", note)
 	}
 	b.WriteByte('\n')
 	for _, c := range n.Children {

@@ -27,6 +27,12 @@ type Options struct {
 	// Context cancels or deadlines execution (see engine.ExecOptions.Context).
 	// Nil means context.Background().
 	Context context.Context
+	// Parallel executes independent sub-plans concurrently (see
+	// engine.Request.Parallel).
+	Parallel bool
+	// Parallelism caps morsel workers inside one Group By operator (see
+	// engine.Request.Parallelism; negative = GOMAXPROCS, 0 = sequential).
+	Parallelism int
 	// MemBudget bounds execution working memory in bytes with graceful
 	// degradation (see engine.ExecOptions.MemBudget). 0 means unlimited.
 	MemBudget int64
@@ -51,6 +57,9 @@ type Result struct {
 	Plan *plan.Plan
 	// Search reports optimizer effort when GB-MQO planned the query.
 	Search core.SearchStats
+	// Report accounts the plan execution (nil for non-grouped queries):
+	// governance counters, degradations, and per-node kernel attribution.
+	Report *engine.ExecReport
 }
 
 // tempSeq numbers ephemeral tables registered during execution.
@@ -255,6 +264,9 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 		MemBudget: opts.MemBudget,
 		UseCache:  opts.UseCache,
 		Retry:     opts.Retry,
+
+		Parallel:    opts.Parallel,
+		Parallelism: opts.Parallelism,
 	}
 	run, err := eng.Run(req)
 	if err != nil {
@@ -264,7 +276,7 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Table: out, Plan: run.Plan, Search: run.Search}, nil
+	return &Result{Table: out, Plan: run.Plan, Search: run.Search, Report: run.Report}, nil
 }
 
 // bindAggregates turns the select list's aggregate items into exec.Agg specs.

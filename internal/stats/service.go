@@ -180,6 +180,29 @@ func (s *Service) NDV(t *table.Table, set colset.Set) float64 {
 	return est
 }
 
+// CachedNDV is the non-creating lookup NDV: it answers from already-built
+// statistics and never profiles. Execution-time consumers (the adaptive
+// kernel chooser) use it so a statistic the optimizer did not need is not
+// built mid-query. An empty set answers 1; a single column answers exactly
+// from the dictionary (free — no sample involved); anything else misses with
+// (0, false) unless the optimizer already built it.
+func (s *Service) CachedNDV(t *table.Table, set colset.Set) (float64, bool) {
+	if set.IsEmpty() {
+		return 1, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if byTable, ok := s.ndv[t.Name()]; ok {
+		if v, ok := byTable[set]; ok {
+			return v, true
+		}
+	}
+	if set.Len() == 1 {
+		return float64(t.Col(set.Min()).DictSize()), true
+	}
+	return 0, false
+}
+
 func (s *Service) estimate(t *table.Table, set colset.Set, byTable map[colset.Set]float64) float64 {
 	if s.estimator == Exact {
 		return float64(ExactNDV(t, set))

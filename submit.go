@@ -386,6 +386,12 @@ func (db *DB) registerMetrics() {
 	degr := r.Counter("gbmqo_exec_degradations_total", "graceful-degradation decisions taken under MemBudget")
 	retries := r.Counter("gbmqo_exec_retries_total", "transiently failed attempts retried with backoff")
 	peak := r.Gauge("gbmqo_exec_peak_mem_bytes", "high-water mark of governed execution memory over all runs")
+	kernels := map[string]*obs.Counter{}
+	for _, kind := range []string{"hash", "sort", "dense", "radix"} {
+		kernels[kind] = r.Counter(fmt.Sprintf("gbmqo_exec_kernel_total{kind=%q}", kind),
+			"plan nodes executed, by physical aggregation kernel")
+	}
+	rehashes := r.Counter("gbmqo_exec_rehashes_avoided_total", "hash-table growth doublings skipped by NDV-based presizing")
 	db.eng.SetRunObserver(func(res *engine.RunResult, err error) {
 		if err != nil {
 			errs.Inc()
@@ -404,6 +410,12 @@ func (db *DB) registerMetrics() {
 		degr.Add(float64(len(rep.Degradations)))
 		retries.Add(float64(len(rep.Retries)))
 		peak.SetMax(float64(rep.PeakMem))
+		for _, ku := range rep.Kernels {
+			if c, ok := kernels[ku.Kernel]; ok {
+				c.Inc()
+			}
+		}
+		rehashes.Add(float64(rep.RehashesAvoided))
 	})
 	c := db.eng.ResultCache()
 	if c == nil {
