@@ -53,6 +53,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry in Prometheus text format after running")
 		par       = flag.Int("par", 0, "intra-operator parallelism: morsel workers per large aggregate (-1 = GOMAXPROCS, 0 = off)")
 		kernels   = flag.Bool("explain-kernels", false, "with -sql: print which physical aggregation kernel ran each plan node and why")
+		shards    = flag.Int("shards", 0, "partition tables into N hash shards and scatter-gather queries across them (0 = unsharded)")
+		partialOK = flag.Bool("allow-partial", false, "with -shards: serve partial results when a shard fails terminally instead of erroring")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -81,7 +83,12 @@ func main() {
 		fmt.Printf("loaded %s: %d rows\n", t.Name(), t.NumRows())
 	}
 
-	opts := gbmqo.QueryOptions{Parallelism: *par}
+	if *shards > 0 {
+		fail(db.EnableSharding(gbmqo.ShardOptions{Shards: *shards}))
+		fmt.Printf("sharding: %d hash shards\n", db.Sharding())
+	}
+
+	opts := gbmqo.QueryOptions{Parallelism: *par, AllowPartial: *partialOK}
 	switch strings.ToLower(*strategy) {
 	case "gbmqo":
 		opts.Strategy = gbmqo.GBMQO

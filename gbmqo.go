@@ -36,6 +36,7 @@ import (
 	"gbmqo/internal/obs"
 	"gbmqo/internal/plan"
 	"gbmqo/internal/sched"
+	"gbmqo/internal/shard"
 	"gbmqo/internal/sql"
 	"gbmqo/internal/stats"
 	"gbmqo/internal/table"
@@ -214,6 +215,11 @@ type DB struct {
 	batchMu   sync.Mutex
 	batcher   *sched.Batcher
 	batchOpts BatchOptions
+
+	// shardMu guards the scatter-gather coordinator (see DB.EnableSharding in
+	// sharding.go).
+	shardMu sync.Mutex
+	shards  *shard.Coordinator
 }
 
 // Open creates an empty DB. A nil config selects sampling-based statistics
@@ -341,17 +347,25 @@ type QueryOptions struct {
 	// RetryBackoff is the base backoff before the first retry, doubled per
 	// attempt with jitter (default 1ms, capped at 100ms).
 	RetryBackoff time.Duration
+	// AllowPartial opts this query into partial results under sharded
+	// execution (see DB.EnableSharding): when a shard is open or exhausts its
+	// retries, the surviving shards' merged result is returned with the gap
+	// attributed in ExecReport.ShardsFailed and ExecReport.ShardCoverage
+	// instead of failing the query. Without it a shard failure surfaces as a
+	// typed *ShardError. No effect when sharding is not enabled.
+	AllowPartial bool
 }
 
 func (db *DB) sqlOptions(o QueryOptions) sql.Options {
 	opts := sql.Options{
-		Strategy:    o.Strategy,
-		Context:     o.Context,
-		MemBudget:   o.MemBudget,
-		UseCache:    !o.NoCache,
-		Retry:       engine.RetryPolicy{MaxAttempts: o.MaxAttempts, BaseBackoff: o.RetryBackoff},
-		Parallel:    o.Parallel,
-		Parallelism: o.Parallelism,
+		Strategy:     o.Strategy,
+		Context:      o.Context,
+		MemBudget:    o.MemBudget,
+		UseCache:     !o.NoCache,
+		Retry:        engine.RetryPolicy{MaxAttempts: o.MaxAttempts, BaseBackoff: o.RetryBackoff},
+		Parallel:     o.Parallel,
+		Parallelism:  o.Parallelism,
+		AllowPartial: o.AllowPartial,
 	}
 	if o.UseCardinalityModel {
 		opts.Model = engine.ModelCardinality
@@ -447,19 +461,20 @@ func (db *DB) ExecuteQueries(tableName string, queries []GroupQuery, o QueryOpti
 	}
 	opts := db.sqlOptions(o)
 	run, err := db.eng.Run(engine.Request{
-		Table:       tableName,
-		Sets:        sets,
-		Strategy:    o.Strategy,
-		Model:       opts.Model,
-		Core:        opts.Core,
-		SharedScan:  o.SharedScan,
-		Parallel:    o.Parallel,
-		Parallelism: o.Parallelism,
-		Context:     o.Context,
-		MemBudget:   o.MemBudget,
-		UseCache:    !o.NoCache,
-		Retry:       opts.Retry,
-		PerSetAggs:  perSet,
+		Table:        tableName,
+		Sets:         sets,
+		Strategy:     o.Strategy,
+		Model:        opts.Model,
+		Core:         opts.Core,
+		SharedScan:   o.SharedScan,
+		Parallel:     o.Parallel,
+		Parallelism:  o.Parallelism,
+		Context:      o.Context,
+		MemBudget:    o.MemBudget,
+		UseCache:     !o.NoCache,
+		Retry:        opts.Retry,
+		PerSetAggs:   perSet,
+		AllowPartial: o.AllowPartial,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -497,18 +512,19 @@ func (db *DB) buildRequest(tableName string, queries [][]string, o QueryOptions)
 	}
 	opts := db.sqlOptions(o)
 	return engine.Request{
-		Table:       tableName,
-		Sets:        sets,
-		Strategy:    o.Strategy,
-		Model:       opts.Model,
-		Core:        opts.Core,
-		SharedScan:  o.SharedScan,
-		Parallel:    o.Parallel,
-		Parallelism: o.Parallelism,
-		Context:     o.Context,
-		MemBudget:   o.MemBudget,
-		UseCache:    !o.NoCache,
-		Retry:       opts.Retry,
+		Table:        tableName,
+		Sets:         sets,
+		Strategy:     o.Strategy,
+		Model:        opts.Model,
+		Core:         opts.Core,
+		SharedScan:   o.SharedScan,
+		Parallel:     o.Parallel,
+		Parallelism:  o.Parallelism,
+		Context:      o.Context,
+		MemBudget:    o.MemBudget,
+		UseCache:     !o.NoCache,
+		Retry:        opts.Retry,
+		AllowPartial: o.AllowPartial,
 	}, nil
 }
 

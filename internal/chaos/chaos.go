@@ -36,6 +36,10 @@ var Sites = []string{
 	"engine.retain",
 	"cache.admit",
 	"sched.window.close",
+	"shard.scatter",
+	"shard.exec",
+	"shard.merge",
+	"shard.hedge",
 	"server.handler",
 }
 

@@ -212,8 +212,42 @@ type ExecReport struct {
 	// Populated by Engine.Run; direct Executor calls leave it nil (everything
 	// an executor produces is OriginComputed by construction).
 	Origins map[colset.Set]SetOrigin
+	// ShardsTotal is the number of shards the request was scattered over.
+	// 0 means the request was not sharded (single-engine execution).
+	ShardsTotal int
+	// Partial reports that the result was merged from surviving shards only
+	// (Request.AllowPartial). ShardsFailed attributes the gap.
+	Partial bool
+	// ShardsFailed names each shard that contributed nothing to a partial
+	// result and why. Nil on full (or unsharded) results.
+	ShardsFailed []ShardFailure
+	// ShardCoverage is the fraction of base-table rows held by the shards
+	// that contributed to the result (1 on a full sharded result, 0 when not
+	// sharded).
+	ShardCoverage float64
+	// ShardRetries counts shard-scope retry attempts taken across all shards
+	// during the gather (distinct from Retries, the engine-boundary loop).
+	ShardRetries int
+	// HedgesFired and HedgesWon count hedged duplicate shard requests
+	// launched against stragglers, and how many of them beat the primary.
+	HedgesFired int
+	HedgesWon   int
 	// Results holds the output table per required grouping set.
 	Results map[colset.Set]*table.Table
+}
+
+// ShardFailure attributes one shard's absence from a partial result.
+type ShardFailure struct {
+	// Shard is the failed shard's index.
+	Shard int
+	// Err is the final error that exhausted the shard (open breaker, retries
+	// spent, deadline).
+	Err error
+}
+
+// String renders the attribution compactly.
+func (f ShardFailure) String() string {
+	return fmt.Sprintf("shard %d: %v", f.Shard, f.Err)
 }
 
 // Executor runs plans over a base table resolved through a catalog.

@@ -87,6 +87,14 @@ func degradeForAttempt(req Request, n int) (Request, []string) {
 	return cur, modes
 }
 
+// DegradeForAttempt exposes the retry degradation ladder to coordinators that
+// own their retry loops (internal/shard): attempt n (1-based, so n ≥ 2 is a
+// retry) returns the request with the ladder's modes applied plus their
+// names, exactly as the engine's own retry loop would run it.
+func DegradeForAttempt(req Request, n int) (Request, []string) {
+	return degradeForAttempt(req, n)
+}
+
 // runSafe is e.run behind a panic barrier. ExecutePlanWith already recovers
 // operator panics, but the surrounding machinery — cache admission, promotion
 // hooks, report assembly — runs outside that boundary; a panic there becomes
@@ -115,7 +123,21 @@ func (e *Engine) runWithRetry(req Request) (*RunResult, error) {
 	var attempts []RetryAttempt
 	cur := req
 	for attempt := 1; ; attempt++ {
-		res, err := e.runSafe(cur)
+		// A shard router, when installed, is offered each attempt first: it
+		// owns scatter-gather resilience inside the attempt (per-shard
+		// retries, hedging, partial results), while coordinator-level
+		// transient failures still descend this request-scope loop. Returning
+		// handled=false (request not shardable) falls through to the local
+		// engine.
+		var res *RunResult
+		var err error
+		handled := false
+		if rp := e.router.Load(); rp != nil {
+			res, err, handled = (*rp)(cur)
+		}
+		if !handled {
+			res, err = e.runSafe(cur)
+		}
 		if err == nil {
 			br.Record(false)
 			res.Report.Attempts = attempt
@@ -124,7 +146,7 @@ func (e *Engine) runWithRetry(req Request) (*RunResult, error) {
 		}
 		class := exec.Classify(err)
 		if class != exec.ClassCaller {
-			br.Record(true)
+			br.RecordErr(err)
 		}
 		if class != exec.ClassTransient || attempt >= req.Retry.MaxAttempts {
 			return nil, err

@@ -116,6 +116,13 @@ type Request struct {
 	// degradation ladder sets it so a fault in retention or promotion cannot
 	// recur on the retry.
 	NoRetain bool
+	// AllowPartial opts this request into partial results under sharded
+	// execution: when a shard is open or exhausts its retries, the coordinator
+	// merges the surviving shards and attributes the gap in
+	// ExecReport.ShardsFailed/ShardCoverage instead of failing the whole
+	// request. Ignored (full results or error) when no shard router is
+	// installed or the request is not sharded.
+	AllowPartial bool
 }
 
 // RunResult bundles the chosen plan, its execution report, and search effort.
@@ -152,6 +159,28 @@ type Engine struct {
 	// breakers, when set, holds the per-table circuit breakers every Run
 	// consults (see EnableBreakers). Atomic for the same reason as runObs.
 	breakers atomic.Pointer[breakerSet]
+	// router, when set, is offered every Run before the local attempt loop
+	// (see SetShardRouter). Atomic for the same reason as runObs.
+	router atomic.Pointer[ShardRouter]
+}
+
+// ShardRouter is the hook a sharded scatter-gather coordinator installs via
+// SetShardRouter. It is offered every request after the table's circuit
+// breaker admits it; returning handled=false declines the request (not
+// sharded, unknown table, unsupported shape) and execution falls through to
+// the engine's own attempt loop. When handled=true the router owns the whole
+// execution — retries, hedging and partial-result policy included — and the
+// engine only records the outcome against the table's breaker.
+type ShardRouter func(Request) (*RunResult, error, bool)
+
+// SetShardRouter installs (or, with nil, removes) the shard router consulted
+// by every Run. Safe to call concurrently with in-flight runs.
+func (e *Engine) SetShardRouter(fn ShardRouter) {
+	if fn == nil {
+		e.router.Store(nil)
+		return
+	}
+	e.router.Store(&fn)
 }
 
 // New creates an engine over a fresh catalog with the given statistics

@@ -25,6 +25,10 @@ type TestingHooks struct {
 //	engine.retain        — before a temp table is retained
 //	cache.admit          — at the top of every cache admission (Offer)
 //	sched.window.close   — at the start of every batch dispatch
+//	shard.scatter        — at the start of every sharded gather
+//	shard.exec           — before each shard execution (hedges included)
+//	shard.merge          — before shard partials are merged
+//	shard.hedge          — when a hedged duplicate request is launched
 //	server.handler       — before every HTTP request is routed
 var Testing TestingHooks
 

@@ -113,6 +113,10 @@ type Snapshot struct {
 	Samples  int
 	// RetryAfter is the remaining fail-fast time (open state only).
 	RetryAfter time.Duration
+	// LastFailure is the message of the most recent failure recorded via
+	// RecordErr — the "why" behind an open breaker. Empty when no failure has
+	// been recorded (or failures were recorded via plain Record).
+	LastFailure string
 }
 
 // Breaker is one resource's circuit breaker. Safe for concurrent use.
@@ -126,7 +130,8 @@ type Breaker struct {
 	idx, n   int
 	fails    int
 	openedAt time.Time
-	probes   int // half-open probe slots remaining
+	probes   int    // half-open probe slots remaining
+	lastErr  string // most recent failure reason (RecordErr)
 }
 
 // New creates a closed breaker guarding name.
@@ -206,6 +211,24 @@ func (b *Breaker) Record(failure bool) {
 	}
 }
 
+// RecordErr records a failure outcome and remembers err's message as the
+// breaker's last-failure reason (surfaced in Snapshot.LastFailure and from
+// there in /healthz). A nil err records a success, exactly like
+// Record(false).
+func (b *Breaker) RecordErr(err error) {
+	if b == nil {
+		return
+	}
+	if err == nil {
+		b.Record(false)
+		return
+	}
+	b.mu.Lock()
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+	b.Record(true)
+}
+
 // trip opens the breaker. Callers hold b.mu.
 func (b *Breaker) trip() {
 	b.state = StateOpen
@@ -228,7 +251,8 @@ func (b *Breaker) Snapshot() Snapshot {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	s := Snapshot{Name: b.name, State: b.state, Failures: b.fails, Samples: b.n}
+	s := Snapshot{Name: b.name, State: b.state, Failures: b.fails, Samples: b.n,
+		LastFailure: b.lastErr}
 	if b.state == StateOpen {
 		if left := b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt); left > 0 {
 			s.RetryAfter = left

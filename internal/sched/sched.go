@@ -81,6 +81,11 @@ type BatchInfo struct {
 	// reference). Their ratio is the modeled benefit of batching.
 	PlanCostShared float64
 	PlanCostSolo   float64
+	// Partial reports that the batch ran sharded with AllowPartial and lost
+	// ShardsFailed shards; the result covers only the surviving shards (see
+	// engine.ExecReport.Partial).
+	Partial      bool
+	ShardsFailed int
 }
 
 // Config tunes a Batcher. Zero values select the documented defaults.
@@ -717,6 +722,10 @@ func (b *Batcher) scatter(w *window, groups []*group, res *engine.RunResult, err
 		info.PlanCostSolo = res.Search.NaiveCost
 		if info.PlanCostSolo == 0 {
 			info.PlanCostSolo = res.PlanCostSeq
+		}
+		if res.Report != nil {
+			info.Partial = res.Report.Partial
+			info.ShardsFailed = len(res.Report.ShardsFailed)
 		}
 		b.met.costShared.Add(res.PlanCostSeq)
 		b.met.costSolo.Add(info.PlanCostSolo)

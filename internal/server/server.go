@@ -142,6 +142,8 @@ type batchJSON struct {
 	Deduped       bool    `json:"deduped"`
 	QueueWaitMS   float64 `json:"queue_wait_ms"`
 	Origin        string  `json:"origin"`
+	Partial       bool    `json:"partial,omitempty"`
+	ShardsFailed  int     `json:"shards_failed,omitempty"`
 }
 
 // tableJSON is a result set on the wire.
@@ -197,6 +199,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Deduped:       info.Deduped,
 				QueueWaitMS:   float64(info.QueueWait) / float64(time.Millisecond),
 				Origin:        info.Origin.String(),
+				Partial:       info.Partial,
+				ShardsFailed:  info.ShardsFailed,
 			}
 		}(i, gq)
 	}
@@ -321,6 +325,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			}
 			if b.RetryAfter > 0 {
 				e["retry_after_ms"] = float64(b.RetryAfter) / float64(time.Millisecond)
+			}
+			if b.LastFailure != "" {
+				e["last_failure"] = b.LastFailure
 			}
 			list[i] = e
 		}

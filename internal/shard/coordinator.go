@@ -1,0 +1,496 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gbmqo/internal/catalog"
+	"gbmqo/internal/engine"
+	"gbmqo/internal/exec"
+	"gbmqo/internal/fault"
+	"gbmqo/internal/obs"
+)
+
+// Options tunes a Coordinator. Zero values select the documented defaults.
+type Options struct {
+	// Shards is the number of hash shards (default 4).
+	Shards int
+	// Keys optionally names the hash column per table; tables absent from the
+	// map are partitioned by row-index hash. Naming an unknown table or
+	// column is an error at New time.
+	Keys map[string]string
+	// MaxAttempts is each shard's attempt budget per gather, including the
+	// first try (default 2). Retries descend the engine's degradation
+	// ladder, exactly like the request-scope retry loop.
+	MaxAttempts int
+	// RetryBackoff is the base sleep before a shard retry, doubling per
+	// attempt with jitter (default 1ms). MaxBackoff caps it (default 100ms).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// HedgeAfter, when positive, launches a hedged duplicate request against
+	// any shard still running after this long; the first result wins and the
+	// loser is cancelled and discarded. 0 disables hedging.
+	HedgeAfter time.Duration
+	// MergeReserve caps the slice of the caller's deadline held back from the
+	// shard budget for the merge phase (default 100ms; at most 10% of the
+	// remaining budget is reserved).
+	MergeReserve time.Duration
+	// Breaker configures the per-shard circuit breakers (defaults as in
+	// fault.Config).
+	Breaker fault.Config
+	// Registry, when set, receives the gbmqo_shard_* metrics; nil keeps them
+	// on a private registry.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 100 * time.Millisecond
+	}
+	if o.MergeReserve <= 0 {
+		o.MergeReserve = 100 * time.Millisecond
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// Error is the typed failure a gather returns when a shard fails and partial
+// results are not allowed (or no shard survived). It names the shard so
+// callers and logs can attribute the fault domain.
+type Error struct {
+	// Table is the base relation the gather ran over.
+	Table string
+	// Shard is the failing shard's index; Shards the total count.
+	Shard  int
+	Shards int
+	// Err is the shard's final error (open breaker, exhausted retries,
+	// deadline).
+	Err error
+}
+
+// Error renders the attribution.
+func (e *Error) Error() string {
+	return fmt.Sprintf("shard: %s: shard %d/%d failed: %v", e.Table, e.Shard, e.Shards, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As (so classification still sees
+// transient *exec.ExecError or fail-fast *fault.OpenError underneath).
+func (e *Error) Unwrap() error { return e.Err }
+
+// Coordinator owns the scatter-gather loop over a fixed set of shards built
+// from one catalog snapshot. Safe for concurrent Execute calls.
+type Coordinator struct {
+	opts     Options
+	cat      *catalog.Catalog
+	shards   []Shard
+	breakers []*fault.Breaker
+	info     map[string]tableInfo
+	met      metrics
+}
+
+// New hash-partitions every shardable table in cat into opts.Shards
+// in-process shards and returns the coordinator. The partition is a snapshot:
+// tables registered or replaced afterwards are detected by catalog version at
+// Route time and simply stay unsharded.
+func New(cat *catalog.Catalog, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	shards, info, err := buildShards(cat, opts.Shards, opts.Keys)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{opts: opts, cat: cat, shards: shards, info: info, met: newMetrics(opts.Registry, opts.Shards)}
+	c.breakers = make([]*fault.Breaker, opts.Shards)
+	for i := range c.breakers {
+		c.breakers[i] = fault.New(fmt.Sprintf("shard-%d", i), opts.Breaker)
+	}
+	return c, nil
+}
+
+// Shards reports the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// BreakerStates snapshots every per-shard circuit breaker, in shard order.
+func (c *Coordinator) BreakerStates() []fault.Snapshot {
+	out := make([]fault.Snapshot, len(c.breakers))
+	for i, b := range c.breakers {
+		out[i] = b.Snapshot()
+	}
+	return out
+}
+
+// Breaker exposes shard i's circuit breaker (tests force shards open/closed
+// through it).
+func (c *Coordinator) Breaker(i int) *fault.Breaker { return c.breakers[i] }
+
+// Route is the engine.ShardRouter hook: it accepts requests the sharded path
+// can serve byte-identically and declines everything else (handled=false), so
+// unshardable shapes transparently fall back to the unsharded engine —
+// unknown or re-registered tables, ephemeral "__" derived tables, empty or
+// out-of-range grouping sets, and non-mergeable aggregates (AVG does not
+// decompose over shards without rewriting; the public API does not expose it,
+// so declining costs nothing).
+func (c *Coordinator) Route(req engine.Request) (*engine.RunResult, error, bool) {
+	ti, ok := c.info[req.Table]
+	if !ok || len(req.Sets) == 0 {
+		return nil, nil, false
+	}
+	if c.cat.Version(req.Table) != ti.version {
+		return nil, nil, false
+	}
+	for _, s := range req.Sets {
+		if s.IsEmpty() || s.Max() >= ti.rowOrd {
+			return nil, nil, false
+		}
+	}
+	if !aggsMergeable(req.Aggs) {
+		return nil, nil, false
+	}
+	for _, aggs := range req.PerSetAggs {
+		if !aggsMergeable(aggs) {
+			return nil, nil, false
+		}
+	}
+	res, err := c.Execute(req)
+	return res, err, true
+}
+
+// aggsMergeable reports whether every aggregate merges across shard partials
+// and none collides with the hidden names.
+func aggsMergeable(aggs []exec.Agg) bool {
+	for _, a := range aggs {
+		switch a.Kind {
+		case exec.AggCountStar, exec.AggCount, exec.AggSum, exec.AggMin, exec.AggMax:
+		default:
+			return false
+		}
+		if a.Name == FirstAgg || a.Name == RowColumn {
+			return false
+		}
+	}
+	return true
+}
+
+// outcome is one shard's final result within a gather.
+type outcome struct {
+	res      *engine.RunResult
+	err      error
+	retries  int
+	hedged   bool
+	hedgeWon bool
+}
+
+// Execute scatters req over every shard, gathers the partials, and merges
+// them into a result byte-identical to unsharded execution. Per-shard
+// failures are retried (bounded, descending the degradation ladder) behind
+// per-shard breakers; stragglers may be hedged. When a shard still fails:
+// with req.AllowPartial the surviving shards are merged and the gap
+// attributed in the report, otherwise the gather fails fast with *Error.
+// All shard goroutines are barriered before return — nothing outlives the
+// gather, and a late hedge loser is never merged.
+func (c *Coordinator) Execute(req engine.Request) (res *engine.RunResult, err error) {
+	start := time.Now()
+	ctx := req.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if pnc := recover(); pnc != nil {
+			res, err = nil, &exec.ExecError{Step: "shard.gather", Err: fmt.Errorf("panic: %v", pnc)}
+		}
+	}()
+	exec.Testing.Fire("shard.scatter")
+	c.met.gathers.Inc()
+
+	ti := c.info[req.Table]
+	sub, own := c.shardRequest(req, ti)
+
+	// Carve the shard deadline budget out of the caller's, reserving a slice
+	// for the merge so a straggler shard cannot spend the whole budget.
+	shardCtx := ctx
+	if dl, ok := ctx.Deadline(); ok {
+		reserve := time.Until(dl) / 10
+		if reserve > c.opts.MergeReserve {
+			reserve = c.opts.MergeReserve
+		}
+		if reserve > 0 {
+			var cancel context.CancelFunc
+			shardCtx, cancel = context.WithDeadline(ctx, dl.Add(-reserve))
+			defer cancel()
+		}
+	}
+	gctx, gcancel := context.WithCancel(shardCtx)
+	defer gcancel()
+
+	n := len(c.shards)
+	outs := make([]outcome, n)
+	var inner sync.WaitGroup // primary/hedge exec goroutines (panic unwind path)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = c.safeRunShard(gctx, i, sub, &inner)
+			if outs[i].err != nil && !req.AllowPartial && exec.Classify(outs[i].err) != exec.ClassCaller {
+				// Fail fast: a gather that cannot serve partials has no use
+				// for the remaining shards' work.
+				gcancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	inner.Wait()
+
+	var failed []engine.ShardFailure
+	okIdx := make([]int, 0, n)
+	shardRetries, hedges, hedgeWins := 0, 0, 0
+	for i := range outs {
+		o := &outs[i]
+		shardRetries += o.retries
+		if o.hedged {
+			hedges++
+		}
+		if o.hedgeWon {
+			hedgeWins++
+		}
+		if o.err != nil {
+			failed = append(failed, engine.ShardFailure{Shard: i, Err: o.err})
+		} else {
+			okIdx = append(okIdx, i)
+		}
+	}
+	if len(failed) > 0 {
+		if ctx.Err() != nil {
+			// The caller left (or its deadline passed); per-shard errors are
+			// downstream noise of that.
+			return nil, ctx.Err()
+		}
+		if !req.AllowPartial || len(okIdx) == 0 {
+			f := pickFailure(failed)
+			return nil, &Error{Table: req.Table, Shard: f.Shard, Shards: n, Err: f.Err}
+		}
+	}
+
+	exec.Testing.Fire("shard.merge")
+	merged, err := c.merge(req, own, outs, okIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := foldReports(req, outs, okIdx)
+	rep.Results = merged
+	rep.ShardsTotal = n
+	rep.ShardRetries = shardRetries
+	rep.HedgesFired = hedges
+	rep.HedgesWon = hedgeWins
+	rep.Wall = time.Since(start)
+	covered := 0
+	for _, i := range okIdx {
+		covered += ti.perShard[i]
+	}
+	rep.ShardCoverage = 1
+	if ti.total > 0 {
+		rep.ShardCoverage = float64(covered) / float64(ti.total)
+	}
+	if len(failed) > 0 {
+		rep.Partial = true
+		rep.ShardsFailed = failed
+		c.met.partials.Inc()
+	}
+
+	first := outs[okIdx[0]].res
+	return &engine.RunResult{
+		Plan:         first.Plan,
+		Report:       rep,
+		Search:       first.Search,
+		ModelUsd:     first.ModelUsd,
+		PlanCostSeq:  first.PlanCostSeq,
+		PlanCostPar:  first.PlanCostPar,
+		Degradations: rep.Degradations,
+	}, nil
+}
+
+// pickFailure chooses the failure to surface: the lowest-index shard whose
+// error is not caller-class (fail-fast cancellation of the other shards
+// manufactures caller-class errors that would otherwise mask the real one).
+func pickFailure(failed []engine.ShardFailure) engine.ShardFailure {
+	for _, f := range failed {
+		if exec.Classify(f.Err) != exec.ClassCaller {
+			return f
+		}
+	}
+	return failed[0]
+}
+
+// safeRunShard is one shard's bounded retry loop behind its breaker, with a
+// recover barrier so an injected coordinator-side panic (e.g. the shard.hedge
+// failpoint) becomes a typed transient error instead of killing the gather.
+func (c *Coordinator) safeRunShard(ctx context.Context, i int, sub engine.Request, inner *sync.WaitGroup) (o outcome) {
+	defer func() {
+		if pnc := recover(); pnc != nil {
+			o.res, o.err = nil, &exec.ExecError{Step: fmt.Sprintf("shard %d gather", i), Err: fmt.Errorf("panic: %v", pnc)}
+		}
+	}()
+	br := c.breakers[i]
+	for attempt := 1; ; attempt++ {
+		if err := br.Allow(); err != nil {
+			o.err = err
+			return
+		}
+		cur, _ := engine.DegradeForAttempt(sub, attempt)
+		t0 := time.Now()
+		res, hedged, hedgeWon, err := c.execAttempt(ctx, i, cur, inner)
+		c.met.latency.Observe(time.Since(t0).Seconds())
+		c.met.execs[i].Inc()
+		if hedged {
+			o.hedged = true
+		}
+		if hedgeWon {
+			o.hedgeWon = true
+			c.met.hedgeWins.Inc()
+		}
+		if err == nil {
+			br.Record(false)
+			o.res, o.err = res, nil
+			return
+		}
+		c.met.errors[i].Inc()
+		class := exec.Classify(err)
+		if class != exec.ClassCaller {
+			br.RecordErr(err)
+		}
+		if class != exec.ClassTransient || attempt >= c.opts.MaxAttempts {
+			o.err = err
+			return
+		}
+		o.retries++
+		c.met.retries.Inc()
+		c.met.retriesScoped.Inc()
+		select {
+		case <-time.After(c.backoff(attempt)):
+		case <-ctx.Done():
+			o.err = ctx.Err()
+			return
+		}
+	}
+}
+
+// execAttempt runs one attempt against shard i, optionally hedging it with a
+// duplicate request after HedgeAfter. The first success wins; the loser is
+// cancelled and drained before returning, so exactly one result crosses into
+// the merge and no goroutine outlives the attempt.
+func (c *Coordinator) execAttempt(ctx context.Context, i int, req engine.Request, inner *sync.WaitGroup) (res *engine.RunResult, hedged, hedgeWon bool, err error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type reply struct {
+		res   *engine.RunResult
+		err   error
+		hedge bool
+	}
+	ch := make(chan reply, 2) // primary + at most one hedge; sends never block
+	launch := func(isHedge bool) {
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			defer func() {
+				if pnc := recover(); pnc != nil {
+					ch <- reply{err: &exec.ExecError{Step: fmt.Sprintf("shard %d exec", i), Err: fmt.Errorf("panic: %v", pnc)}, hedge: isHedge}
+				}
+			}()
+			r, e := c.shards[i].Exec(actx, req)
+			ch <- reply{res: r, err: e, hedge: isHedge}
+		}()
+	}
+	launch(false)
+	inflight := 1
+	var timerC <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		t := time.NewTimer(c.opts.HedgeAfter)
+		defer t.Stop()
+		timerC = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				cancel()
+				for inflight > 0 { // drain the loser; its result is discarded
+					<-ch
+					inflight--
+				}
+				return r.res, hedged, r.hedge, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return nil, hedged, false, firstErr
+			}
+		case <-timerC:
+			timerC = nil
+			exec.Testing.Fire("shard.hedge")
+			hedged = true
+			c.met.hedgesFired.Inc()
+			c.met.retriesHedge.Inc()
+			launch(true)
+			inflight++
+		}
+	}
+}
+
+// backoff computes the jittered exponential sleep after failed attempt n.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBackoff
+	for i := 1; i < attempt && d < c.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// metrics are the coordinator's gbmqo_shard_* series plus its scoped slices
+// of gbmqo_exec_retries_total. Counter registration is idempotent per series
+// name, so sharing a registry with the DB merges cleanly.
+type metrics struct {
+	gathers, partials, retries  *obs.Counter
+	hedgesFired, hedgeWins      *obs.Counter
+	retriesScoped, retriesHedge *obs.Counter
+	latency                     *obs.Histogram
+	execs, errors               []*obs.Counter
+}
+
+func newMetrics(r *obs.Registry, n int) metrics {
+	scopedHelp := "retried attempts by scope: request = engine retry loop, shard = per-shard gather retries, hedge = hedged duplicate shard requests"
+	m := metrics{
+		gathers:       r.Counter("gbmqo_shard_gathers_total", "sharded scatter-gather executions"),
+		partials:      r.Counter("gbmqo_shard_partials_total", "partial results served from surviving shards (AllowPartial)"),
+		retries:       r.Counter("gbmqo_shard_retries_total", "shard-scope retry attempts across all shards"),
+		hedgesFired:   r.Counter("gbmqo_shard_hedges_fired_total", "hedged duplicate shard requests launched against stragglers"),
+		hedgeWins:     r.Counter("gbmqo_shard_hedges_won_total", "hedged duplicates that beat the primary request"),
+		retriesScoped: r.Counter(`gbmqo_exec_retries_total{scope="shard"}`, scopedHelp),
+		retriesHedge:  r.Counter(`gbmqo_exec_retries_total{scope="hedge"}`, scopedHelp),
+		latency:       r.Histogram("gbmqo_shard_latency_seconds", "shard execution attempt latency within a gather", obs.DurationBuckets),
+	}
+	for i := 0; i < n; i++ {
+		m.execs = append(m.execs, r.Counter(fmt.Sprintf("gbmqo_shard_exec_total{shard=\"%d\"}", i), "shard execution attempts by shard"))
+		m.errors = append(m.errors, r.Counter(fmt.Sprintf("gbmqo_shard_errors_total{shard=\"%d\"}", i), "failed shard execution attempts by shard"))
+	}
+	return m
+}

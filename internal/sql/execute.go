@@ -44,6 +44,10 @@ type Options struct {
 	// Retry retries transient execution failures with backoff and degradation
 	// (see engine.Request.Retry). The zero value disables retry.
 	Retry engine.RetryPolicy
+	// AllowPartial opts into partial results under sharded execution: when a
+	// shard fails terminally the merged survivors are returned with the loss
+	// attributed in the report (see engine.Request.AllowPartial).
+	AllowPartial bool
 }
 
 // Result is the outcome of executing a query.
@@ -265,8 +269,9 @@ func executeGrouping(eng *engine.Engine, src *table.Table, q *Query, opts Option
 		UseCache:  opts.UseCache,
 		Retry:     opts.Retry,
 
-		Parallel:    opts.Parallel,
-		Parallelism: opts.Parallelism,
+		Parallel:     opts.Parallel,
+		Parallelism:  opts.Parallelism,
+		AllowPartial: opts.AllowPartial,
 	}
 	run, err := eng.Run(req)
 	if err != nil {

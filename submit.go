@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -203,19 +204,20 @@ func (db *DB) runBatch(ctx context.Context, tableName string, sets []colset.Set,
 	db.batchMu.Unlock()
 	opts := db.sqlOptions(o)
 	return db.eng.Run(engine.Request{
-		Table:       tableName,
-		Sets:        sets,
-		PerSetAggs:  perSet,
-		Strategy:    o.Strategy,
-		Model:       opts.Model,
-		Core:        opts.Core,
-		SharedScan:  o.SharedScan,
-		Parallel:    o.Parallel,
-		Parallelism: o.Parallelism,
-		Context:     ctx,
-		MemBudget:   o.MemBudget,
-		UseCache:    !o.NoCache,
-		Retry:       opts.Retry,
+		Table:        tableName,
+		Sets:         sets,
+		PerSetAggs:   perSet,
+		Strategy:     o.Strategy,
+		Model:        opts.Model,
+		Core:         opts.Core,
+		SharedScan:   o.SharedScan,
+		Parallel:     o.Parallel,
+		Parallelism:  o.Parallelism,
+		Context:      ctx,
+		MemBudget:    o.MemBudget,
+		UseCache:     !o.NoCache,
+		Retry:        opts.Retry,
+		AllowPartial: o.AllowPartial,
 	})
 }
 
@@ -263,9 +265,18 @@ func (db *DB) EnableBreakers(cfg BreakerConfig) { db.eng.EnableBreakers(cfg) }
 // DisableBreakers removes circuit breaking (and forgets breaker history).
 func (db *DB) DisableBreakers() { db.eng.DisableBreakers() }
 
-// BreakerStates snapshots every armed table breaker, sorted by table name.
-// Empty when EnableBreakers was never called.
-func (db *DB) BreakerStates() []BreakerSnapshot { return db.eng.BreakerStates() }
+// BreakerStates snapshots every armed breaker — per-table ones (see
+// EnableBreakers) and, when sharding is enabled, the per-shard ones guarding
+// each fault domain (named "shard-<i>") — sorted by name. Empty when neither
+// layer is armed.
+func (db *DB) BreakerStates() []BreakerSnapshot {
+	out := db.eng.BreakerStates()
+	if co := db.shardCoordinator(); co != nil {
+		out = append(out, co.BreakerStates()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // Submit hands one Group By request to the micro-batching scheduler and
 // blocks until its result is ready, ctx expires, or the scheduler rejects
@@ -384,7 +395,13 @@ func (db *DB) registerMetrics() {
 	queries := r.Counter("gbmqo_exec_queries_total", "Group By statements executed, covered cube/rollup levels included")
 	spills := r.Counter("gbmqo_exec_spill_fallbacks_total", "hash aggregations degraded to sort under MemBudget")
 	degr := r.Counter("gbmqo_exec_degradations_total", "graceful-degradation decisions taken under MemBudget")
-	retries := r.Counter("gbmqo_exec_retries_total", "transiently failed attempts retried with backoff")
+	retryHelp := "transiently failed attempts retried with backoff, by scope: request = engine retry loop, shard = per-shard gather retries, hedge = hedged duplicate shard requests"
+	retries := r.Counter(`gbmqo_exec_retries_total{scope="request"}`, retryHelp)
+	// Pre-register the shard and hedge scopes so the family renders complete
+	// even before sharding is enabled (the coordinator resolves the same
+	// series idempotently).
+	r.Counter(`gbmqo_exec_retries_total{scope="shard"}`, retryHelp)
+	r.Counter(`gbmqo_exec_retries_total{scope="hedge"}`, retryHelp)
 	peak := r.Gauge("gbmqo_exec_peak_mem_bytes", "high-water mark of governed execution memory over all runs")
 	kernels := map[string]*obs.Counter{}
 	for _, kind := range []string{"hash", "sort", "dense", "radix"} {
