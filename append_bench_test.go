@@ -1,0 +1,116 @@
+package gbmqo
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkAppendMaintain measures what incremental cache maintenance buys on
+// a streaming-ingest workload. Each iteration appends a batch of rows and then
+// replays a warm multi-Group-By batch:
+//
+//   - "maintain" uses DB.Append — cached entries are rolled forward by delta
+//     aggregation + merge, so the replay is served from the cache.
+//   - "invalidate" is the full-invalidation baseline — the same rows arrive
+//     via table replacement (version bump), every cached entry dies, and the
+//     replay recomputes from scratch.
+//
+// The parent benchmark writes the measured ratio to BENCH_append.json, the
+// artifact checked in with the repo.
+func BenchmarkAppendMaintain(b *testing.B) {
+	const (
+		rows      = 100_000
+		batchRows = 2_000
+	)
+	queries := [][]string{
+		{"l_returnflag"}, {"l_linestatus"}, {"l_shipmode"},
+		{"l_returnflag", "l_linestatus"}, {"l_shipmode", "l_returnflag"},
+	}
+	li, err := GenerateDataset("lineitem", rows, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := GenerateDataset("lineitem", 10_000, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][][]Value, 0, pool.NumRows()/batchRows)
+	for off := 0; off+batchRows <= pool.NumRows(); off += batchRows {
+		batches = append(batches, tableRows(pool, off, off+batchRows))
+	}
+
+	var maintainNs, invalidateNs int64
+	var maintainMisses, invalidateMisses int
+
+	b.Run("maintain", func(b *testing.B) {
+		db := Open(&Config{CacheBytes: 64 << 20})
+		db.Register(li)
+		if _, _, err := db.Execute("lineitem", queries, QueryOptions{}); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Append("lineitem", batches[i%len(batches)]); err != nil {
+				b.Fatal(err)
+			}
+			_, rep, err := db.Execute("lineitem", queries, QueryOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			maintainMisses += rep.Cache.Misses
+		}
+		maintainNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	b.Run("invalidate", func(b *testing.B) {
+		db := Open(&Config{CacheBytes: 64 << 20})
+		db.Register(li)
+		cur := li
+		if _, _, err := db.Execute("lineitem", queries, QueryOptions{}); err != nil {
+			b.Fatal(err) // prime
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Same data growth, no maintenance: replacement bumps the version
+			// and every cached entry is invalidated.
+			cur = cur.Append(batches[i%len(batches)])
+			db.Register(cur)
+			_, rep, err := db.Execute("lineitem", queries, QueryOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			invalidateMisses += rep.Cache.Misses
+		}
+		invalidateNs = b.Elapsed().Nanoseconds() / int64(b.N)
+	})
+
+	if maintainNs == 0 || invalidateNs == 0 {
+		return // sub-benchmark filtered out; nothing to report
+	}
+	if maintainMisses != 0 {
+		b.Fatalf("maintained replay missed %d times; roll-forward did not happen", maintainMisses)
+	}
+	if invalidateMisses == 0 {
+		b.Fatal("baseline never missed; invalidation did not happen")
+	}
+	speedup := float64(invalidateNs) / float64(maintainNs)
+	art := map[string]any{
+		"bench":                "AppendMaintain",
+		"rows":                 rows,
+		"batch_rows":           batchRows,
+		"queries":              len(queries),
+		"maintain_ns_per_op":   maintainNs,
+		"invalidate_ns_per_op": invalidateNs,
+		"speedup":              speedup,
+		"command":              "go test -bench BenchmarkAppendMaintain -benchtime 5x",
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_append.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH append maintain: maintain %d ns/op, invalidate %d ns/op, %.1fx", maintainNs, invalidateNs, speedup)
+}

@@ -25,6 +25,7 @@ import (
 
 	"gbmqo"
 	"gbmqo/internal/server"
+	"gbmqo/internal/table"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 		kernels   = flag.Bool("explain-kernels", false, "with -sql: print which physical aggregation kernel ran each plan node and why")
 		shards    = flag.Int("shards", 0, "partition tables into N hash shards and scatter-gather queries across them (0 = unsharded)")
 		partialOK = flag.Bool("allow-partial", false, "with -shards: serve partial results when a shard fails terminally instead of erroring")
+		appendCSV = flag.String("append-csv", "", "append rows from a CSV file (matching the target table's schema, header row required) as a streaming delta")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -88,6 +90,39 @@ func main() {
 		fmt.Printf("sharding: %d hash shards\n", db.Sharding())
 	}
 
+	if *appendCSV != "" {
+		name := *tableN
+		if _, ok := db.Table(name); !ok && len(db.Tables()) == 1 {
+			name = db.Tables()[0]
+		}
+		t, ok := db.Table(name)
+		if !ok {
+			fail(fmt.Errorf("-append-csv needs a registered target table (-gen or -csv)"))
+		}
+		defs := make([]gbmqo.ColumnDef, t.NumCols())
+		for i := range defs {
+			defs[i] = gbmqo.ColumnDef{Name: t.Col(i).Name(), Typ: t.Col(i).Type()}
+		}
+		f, err := os.Open(*appendCSV)
+		fail(err)
+		delta, err := table.ReadCSV("__append_csv", defs, f)
+		f.Close()
+		fail(err)
+		rows := make([][]gbmqo.Value, delta.NumRows())
+		for r := range rows {
+			row := make([]gbmqo.Value, delta.NumCols())
+			for c := range row {
+				row[c] = delta.Col(c).Value(r)
+			}
+			rows[r] = row
+		}
+		rep, err := db.Append(name, rows)
+		fail(err)
+		fmt.Printf("appended %d rows to %s (now %d rows, epoch v%d.%d): cache refreshed=%d dropped=%d invalidated=%d in %s\n",
+			rep.Rows, rep.Table, rep.TotalRows, rep.Version, rep.Delta,
+			rep.Refreshed, rep.Dropped, rep.Invalidated, rep.RefreshWall)
+	}
+
 	opts := gbmqo.QueryOptions{Parallelism: *par, AllowPartial: *partialOK}
 	switch strings.ToLower(*strategy) {
 	case "gbmqo":
@@ -102,7 +137,7 @@ func main() {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	ran := false
+	ran := *appendCSV != ""
 	if *sqlStmt != "" {
 		ran = true
 		var res *gbmqo.QueryResult

@@ -43,6 +43,11 @@ type Key struct {
 	// computed; a mutated (re-registered) table gets a new version, so stale
 	// entries can never be returned.
 	Version uint64
+	// Delta is the append-epoch minor counter within Version: each streaming
+	// append bumps it. Entries at an older delta are not served directly, but
+	// unlike a version bump they are candidates for roll-forward (Refresh)
+	// rather than unconditional invalidation.
+	Delta uint64
 	// Set is the grouping column set (base-table ordinals).
 	Set colset.Set
 	// AggSig is the canonical signature of the aggregate list the cached
@@ -52,12 +57,13 @@ type Key struct {
 
 // String renders the key (also the singleflight key for this result).
 func (k Key) String() string {
-	return fmt.Sprintf("%s@v%d|%s|%s", k.Table, k.Version, k.Set, k.AggSig)
+	return fmt.Sprintf("%s@v%d.%d|%s|%s", k.Table, k.Version, k.Delta, k.Set, k.AggSig)
 }
 
-// KeyOf builds the key for a query's grouping set and aggregate list.
-func KeyOf(tableName string, version uint64, set colset.Set, aggs []exec.Agg) Key {
-	return Key{Table: tableName, Version: version, Set: set, AggSig: AggSignature(aggs)}
+// KeyOf builds the key for a query's grouping set and aggregate list at an
+// append epoch (version major, delta minor).
+func KeyOf(tableName string, version, delta uint64, set colset.Set, aggs []exec.Agg) Key {
+	return Key{Table: tableName, Version: version, Delta: delta, Set: set, AggSig: AggSignature(aggs)}
 }
 
 // AggSignature canonicalizes an aggregate list: kind, source ordinal and
@@ -105,6 +111,9 @@ type Stats struct {
 	// Invalidations counts entries swept because their table version went
 	// stale.
 	Invalidations int64
+	// Refreshes counts entries rolled forward in place to a new append epoch
+	// by delta maintenance instead of being invalidated.
+	Refreshes int64
 	// Corruptions counts hits whose stored checksum no longer matched the
 	// entry's bytes; each one evicted and quarantined the entry instead of
 	// serving a corrupt result.
@@ -177,11 +186,12 @@ type Cache struct {
 
 	clock atomic.Uint64
 
-	hits, ancHits, misses           atomic.Int64
-	admissions, rejections          atomic.Int64
-	evictions, invalidations        atomic.Int64
-	corruptions                     atomic.Int64
-	flightLeads, flightSharedCalls  atomic.Int64
+	hits, ancHits, misses          atomic.Int64
+	admissions, rejections         atomic.Int64
+	evictions, invalidations       atomic.Int64
+	refreshes                      atomic.Int64
+	corruptions                    atomic.Int64
+	flightLeads, flightSharedCalls atomic.Int64
 
 	flight flightGroup
 }
@@ -269,7 +279,7 @@ type Ancestor struct {
 // grouping, and aggregate coverage. The caller (the engine) picks the
 // cheapest candidate with its cost model — the paper's compute-from-the-
 // smallest-parent rule applied to the cache.
-func (c *Cache) Ancestors(tableName string, version uint64, set colset.Set, queryAggs []exec.Agg) []Ancestor {
+func (c *Cache) Ancestors(tableName string, version, delta uint64, set colset.Set, queryAggs []exec.Agg) []Ancestor {
 	if c == nil || !Rollupable(queryAggs) {
 		return nil
 	}
@@ -277,13 +287,13 @@ func (c *Cache) Ancestors(tableName string, version uint64, set colset.Set, quer
 	defer c.mu.RUnlock()
 	var out []Ancestor
 	for k, e := range c.entries {
-		if k.Table != tableName || k.Version != version {
+		if k.Table != tableName || k.Version != version || k.Delta != delta {
 			continue
 		}
 		if !set.SubsetOf(k.Set) {
 			continue
 		}
-		if !coversAggs(e.aggs, queryAggs) {
+		if !CoversAggs(e.aggs, queryAggs) {
 			continue
 		}
 		out = append(out, Ancestor{Key: k, Set: k.Set, Table: e.tbl, Aggs: e.aggs})
@@ -291,9 +301,11 @@ func (c *Cache) Ancestors(tableName string, version uint64, set colset.Set, quer
 	return out
 }
 
-// coversAggs reports whether the entry's aggregate list contains every query
+// CoversAggs reports whether the entry's aggregate list contains every query
 // aggregate (same kind, output name, and — except COUNT(*) — source column).
-func coversAggs(have, want []exec.Agg) bool {
+// The append-maintenance path uses it to decide whether one resident entry
+// subsumes another when picking the finest ancestors to refresh eagerly.
+func CoversAggs(have, want []exec.Agg) bool {
 	for _, w := range want {
 		found := false
 		for _, h := range have {
@@ -443,10 +455,11 @@ func (c *Cache) ShrinkTo(maxBytes int64) int64 {
 	return freed
 }
 
-// InvalidateBelow sweeps every entry of the table whose version differs from
-// current — a mutated base relation invalidates all dependent results.
-// Returns the number of entries removed.
-func (c *Cache) InvalidateBelow(tableName string, current uint64) int {
+// InvalidateBelow sweeps every entry of the table whose epoch differs from
+// (version, delta) — a mutated base relation invalidates all dependent
+// results, and append maintenance sweeps the old-epoch leftovers it chose not
+// to (or failed to) roll forward. Returns the number of entries removed.
+func (c *Cache) InvalidateBelow(tableName string, version, delta uint64) int {
 	if c == nil {
 		return 0
 	}
@@ -454,13 +467,128 @@ func (c *Cache) InvalidateBelow(tableName string, current uint64) int {
 	defer c.mu.Unlock()
 	n := 0
 	for k, e := range c.entries {
-		if k.Table == tableName && k.Version != current {
+		if k.Table == tableName && (k.Version != version || k.Delta != delta) {
 			c.evictLocked(e)
 			c.invalidations.Add(1)
 			n++
 		}
 	}
 	return n
+}
+
+// Resident describes one resident entry of a table at a given epoch, with
+// everything append maintenance needs to decide refresh vs. drop: the full
+// key, grouping set, aggregate list, and the cached table itself.
+type Resident struct {
+	Key   Key
+	Set   colset.Set
+	Aggs  []exec.Agg
+	Table *table.Table
+}
+
+// ResidentsAt lists the entries of tableName at exactly (version, delta).
+// The append path calls it with the pre-append epoch to find the entries
+// eligible for roll-forward.
+func (c *Cache) ResidentsAt(tableName string, version, delta uint64) []Resident {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Resident
+	for k, e := range c.entries {
+		if k.Table == tableName && k.Version == version && k.Delta == delta {
+			out = append(out, Resident{Key: k, Set: k.Set, Aggs: e.aggs, Table: e.tbl})
+		}
+	}
+	return out
+}
+
+// Invalidate removes one entry by exact key, reporting whether it was
+// resident. Append maintenance uses it for targeted invalidation of
+// non-mergeable entries (AVG) and of entries it deliberately leaves to lazy
+// re-derivation.
+func (c *Cache) Invalidate(key Key) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.evictLocked(e)
+	c.invalidations.Add(1)
+	return true
+}
+
+// Refresh replaces the entry at oldKey with a rolled-forward table under
+// newKey, preserving the entry's benefit, observed usage weight and recency —
+// the entry is the *same* result advanced one append epoch, so its eviction
+// standing carries over. The table's scan image is forced and re-checksummed
+// (the merged table is new bytes). If the refreshed entry grew past the byte
+// budget, strictly lower-scored entries are evicted to make room, exactly as
+// in Offer; if room cannot be made, the old entry is dropped and the refresh
+// reported as false (the caller falls back to invalidation semantics — the
+// sweep has nothing left to do either way). A quarantined newKey is never
+// admitted.
+func (c *Cache) Refresh(oldKey, newKey Key, t *table.Table) bool {
+	if c == nil || t == nil {
+		return false
+	}
+	exec.Testing.Fire("cache.refresh")
+	t.RowImage()
+	sum := checksumTable(t)
+	bytes := t.MemSize()
+	if bytes < 1 {
+		bytes = 1
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.entries[oldKey]
+	if !ok {
+		return false
+	}
+	c.evictLocked(old)
+	if c.quarantined[newKey] {
+		c.invalidations.Add(1)
+		return false
+	}
+	if _, exists := c.entries[newKey]; exists {
+		// Someone already computed the new epoch directly; keep theirs.
+		c.invalidations.Add(1)
+		return false
+	}
+	if bytes > c.cfg.MaxBytes {
+		c.invalidations.Add(1)
+		return false
+	}
+	score := old.benefit * float64(max64(old.uses.Load(), 1)) / float64(bytes)
+	for c.bytes+bytes > c.cfg.MaxBytes {
+		victim := c.victimLocked()
+		if victim == nil || victim.score() >= score {
+			c.invalidations.Add(1)
+			return false
+		}
+		c.evictLocked(victim)
+		c.evictions.Add(1)
+	}
+	e := &entry{key: newKey, aggs: old.aggs, tbl: t, bytes: bytes, benefit: old.benefit, sum: sum}
+	e.uses.Store(old.uses.Load())
+	e.lastUsed.Store(c.clock.Add(1))
+	c.entries[newKey] = e
+	c.bytes += bytes
+	c.refreshes.Add(1)
+	return true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // DropTable removes every entry of the named table regardless of version.
@@ -514,6 +642,7 @@ func (c *Cache) Snapshot() Stats {
 		Rejections:    c.rejections.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Refreshes:     c.refreshes.Load(),
 		Corruptions:   c.corruptions.Load(),
 		FlightLeads:   c.flightLeads.Load(),
 		FlightShared:  c.flightSharedCalls.Load(),

@@ -64,7 +64,7 @@ func TestRollupable(t *testing.T) {
 func TestExactHit(t *testing.T) {
 	c := New(Config{MaxBytes: 1 << 20})
 	tbl := testTable("t1", 10)
-	key := KeyOf("base", 1, colset.Of(0), countStar())
+	key := KeyOf("base", 1, 0, colset.Of(0), countStar())
 	if _, ok := c.Get(key); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -83,7 +83,7 @@ func TestExactHit(t *testing.T) {
 		t.Fatalf("Bytes = %d, want %d", st.Bytes, tbl.MemSize())
 	}
 	// A different version is a different key.
-	if _, ok := c.Get(KeyOf("base", 2, colset.Of(0), countStar())); ok {
+	if _, ok := c.Get(KeyOf("base", 2, 0, colset.Of(0), countStar())); ok {
 		t.Fatal("hit across table versions")
 	}
 }
@@ -92,7 +92,7 @@ func TestOfferRejectsOversizeAndDuplicates(t *testing.T) {
 	tbl := testTable("t1", 100)
 	tbl.RowImage()
 	c := New(Config{MaxBytes: tbl.MemSize() - 1})
-	key := KeyOf("base", 1, colset.Of(0), countStar())
+	key := KeyOf("base", 1, 0, colset.Of(0), countStar())
 	if c.Offer(key, countStar(), tbl, 100) {
 		t.Fatal("admitted a table larger than the whole budget")
 	}
@@ -108,7 +108,7 @@ func TestOfferRejectsOversizeAndDuplicates(t *testing.T) {
 func TestEvictionIsBenefitPerByteOrdered(t *testing.T) {
 	size := entrySize(50)
 	c := New(Config{MaxBytes: 2 * size})
-	keyOf := func(i int) Key { return KeyOf("base", 1, colset.Of(i), countStar()) }
+	keyOf := func(i int) Key { return KeyOf("base", 1, 0, colset.Of(i), countStar()) }
 	if !c.Offer(keyOf(0), countStar(), testTable("a", 50), 10) {
 		t.Fatal("offer a")
 	}
@@ -139,9 +139,9 @@ func TestEvictionIsBenefitPerByteOrdered(t *testing.T) {
 func TestDemandWeightsAdmission(t *testing.T) {
 	size := entrySize(50)
 	c := New(Config{MaxBytes: 2 * size})
-	hot := KeyOf("base", 1, colset.Of(0), countStar())
-	cold1 := KeyOf("base", 1, colset.Of(1), countStar())
-	cold2 := KeyOf("base", 1, colset.Of(2), countStar())
+	hot := KeyOf("base", 1, 0, colset.Of(0), countStar())
+	cold1 := KeyOf("base", 1, 0, colset.Of(1), countStar())
+	cold2 := KeyOf("base", 1, 0, colset.Of(2), countStar())
 	c.Offer(cold1, countStar(), testTable("c1", 50), 10)
 	c.Offer(cold2, countStar(), testTable("c2", 50), 10)
 	// Three unanswered requests for hot: its demand weight amortizes the same
@@ -161,7 +161,7 @@ func TestAncestors(t *testing.T) {
 	c := New(Config{MaxBytes: 1 << 20})
 	aggs := []exec.Agg{exec.CountStar(), {Kind: exec.AggSum, Col: 1, Name: "s"}}
 	super := colset.Of(0, 1, 2)
-	key := KeyOf("base", 1, super, aggs)
+	key := KeyOf("base", 1, 0, super, aggs)
 	tb := table.New("anc", []table.ColumnDef{
 		{Name: "a", Typ: table.TInt64}, {Name: "b", Typ: table.TInt64},
 		{Name: "c", Typ: table.TInt64}, {Name: "cnt", Typ: table.TInt64},
@@ -172,23 +172,23 @@ func TestAncestors(t *testing.T) {
 		t.Fatal("offer")
 	}
 
-	got := c.Ancestors("base", 1, colset.Of(0, 2), countStar())
+	got := c.Ancestors("base", 1, 0, colset.Of(0, 2), countStar())
 	if len(got) != 1 || got[0].Set != super || got[0].Table != tb {
 		t.Fatalf("Ancestors = %+v", got)
 	}
-	if len(c.Ancestors("base", 1, colset.Of(0, 3), countStar())) != 0 {
+	if len(c.Ancestors("base", 1, 0, colset.Of(0, 3), countStar())) != 0 {
 		t.Fatal("non-subset query matched an ancestor")
 	}
-	if len(c.Ancestors("base", 2, colset.Of(0), countStar())) != 0 {
+	if len(c.Ancestors("base", 2, 0, colset.Of(0), countStar())) != 0 {
 		t.Fatal("stale version matched an ancestor")
 	}
-	if len(c.Ancestors("other", 1, colset.Of(0), countStar())) != 0 {
+	if len(c.Ancestors("other", 1, 0, colset.Of(0), countStar())) != 0 {
 		t.Fatal("wrong table matched an ancestor")
 	}
-	if len(c.Ancestors("base", 1, colset.Of(0), []exec.Agg{{Kind: exec.AggMin, Col: 2, Name: "m"}})) != 0 {
+	if len(c.Ancestors("base", 1, 0, colset.Of(0), []exec.Agg{{Kind: exec.AggMin, Col: 2, Name: "m"}})) != 0 {
 		t.Fatal("uncovered aggregate matched an ancestor")
 	}
-	if len(c.Ancestors("base", 1, colset.Of(0), []exec.Agg{{Kind: exec.AggAvg, Col: 1, Name: "v"}})) != 0 {
+	if len(c.Ancestors("base", 1, 0, colset.Of(0), []exec.Agg{{Kind: exec.AggAvg, Col: 1, Name: "v"}})) != 0 {
 		t.Fatal("AVG query must never take the ancestor path")
 	}
 	c.TouchAncestor(got[0].Key)
@@ -199,10 +199,10 @@ func TestAncestors(t *testing.T) {
 
 func TestInvalidateBelow(t *testing.T) {
 	c := New(Config{MaxBytes: 1 << 20})
-	c.Offer(KeyOf("base", 1, colset.Of(0), countStar()), countStar(), testTable("a", 10), 10)
-	c.Offer(KeyOf("base", 2, colset.Of(1), countStar()), countStar(), testTable("b", 10), 10)
-	c.Offer(KeyOf("other", 1, colset.Of(0), countStar()), countStar(), testTable("c", 10), 10)
-	if n := c.InvalidateBelow("base", 2); n != 1 {
+	c.Offer(KeyOf("base", 1, 0, colset.Of(0), countStar()), countStar(), testTable("a", 10), 10)
+	c.Offer(KeyOf("base", 2, 0, colset.Of(1), countStar()), countStar(), testTable("b", 10), 10)
+	c.Offer(KeyOf("other", 1, 0, colset.Of(0), countStar()), countStar(), testTable("c", 10), 10)
+	if n := c.InvalidateBelow("base", 2, 0); n != 1 {
 		t.Fatalf("invalidated %d entries, want 1", n)
 	}
 	if c.Len() != 2 {
@@ -221,7 +221,7 @@ func TestShrinkTo(t *testing.T) {
 	size := entrySize(50)
 	c := New(Config{MaxBytes: 4 * size})
 	for i := 0; i < 4; i++ {
-		c.Offer(KeyOf("base", 1, colset.Of(i), countStar()), countStar(),
+		c.Offer(KeyOf("base", 1, 0, colset.Of(i), countStar()), countStar(),
 			testTable(fmt.Sprintf("t%d", i), 50), float64(10*(i+1)))
 	}
 	freed := c.ShrinkTo(2 * size)
@@ -233,7 +233,7 @@ func TestShrinkTo(t *testing.T) {
 	}
 	// The two lowest-benefit entries went first.
 	for i, wantLive := range []bool{false, false, true, true} {
-		_, ok := c.Get(KeyOf("base", 1, colset.Of(i), countStar()))
+		_, ok := c.Get(KeyOf("base", 1, 0, colset.Of(i), countStar()))
 		if ok != wantLive {
 			t.Fatalf("entry %d live = %v, want %v", i, ok, wantLive)
 		}
@@ -357,7 +357,7 @@ func TestDoPanicPropagatesToLeaderAndWaiters(t *testing.T) {
 // (no re-admission), and a bumped Corruptions counter.
 func TestChecksumDetectsCorruption(t *testing.T) {
 	c := New(Config{MaxBytes: 1 << 20})
-	key := KeyOf("t", 1, colset.Of(0), countStar())
+	key := KeyOf("t", 1, 0, colset.Of(0), countStar())
 	tb := testTable("t_a", 32)
 	if !c.Offer(key, countStar(), tb, 100) {
 		t.Fatal("offer rejected")
@@ -389,7 +389,7 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 		t.Fatal("quarantined key re-admitted")
 	}
 	// Other keys are unaffected.
-	other := KeyOf("t", 1, colset.Of(1), countStar())
+	other := KeyOf("t", 1, 0, colset.Of(1), countStar())
 	if !c.Offer(other, countStar(), testTable("t_b", 32), 100) {
 		t.Fatal("unrelated key rejected after quarantine")
 	}
@@ -403,13 +403,13 @@ func TestNilCacheIsInert(t *testing.T) {
 	if c.Offer(Key{}, countStar(), testTable("t", 1), 1) {
 		t.Fatal("nil cache admitted")
 	}
-	if c.Ancestors("x", 1, colset.Of(0), countStar()) != nil {
+	if c.Ancestors("x", 1, 0, colset.Of(0), countStar()) != nil {
 		t.Fatal("nil cache ancestors")
 	}
 	c.NoteMiss()
 	c.TouchAncestor(Key{})
 	c.ShrinkTo(0)
-	c.InvalidateBelow("x", 1)
+	c.InvalidateBelow("x", 1, 0)
 	c.DropTable("x")
 	if c.Bytes() != 0 || c.Len() != 0 {
 		t.Fatal("nil cache residency")

@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gbmqo/internal/colset"
 	"gbmqo/internal/index"
@@ -34,8 +35,23 @@ type HypoTable struct {
 	RowWidth float64
 }
 
-// Catalog registers tables, indexes and hypothetical tables.
+// Epoch identifies one observable state of a table's contents. Version is the
+// major counter: it bumps on Register (create or replace) and Drop, i.e. any
+// mutation that can rewrite or re-encode existing rows, and invalidates every
+// derivation. Delta is the minor counter within a Version: it bumps on
+// RegisterDelta (an append-only snapshot swap), under which existing rows and
+// their dictionary codes are guaranteed stable — which is what lets the cache
+// roll cached aggregates forward instead of discarding them.
+type Epoch struct {
+	Version uint64
+	Delta   uint64
+}
+
+// Catalog registers tables, indexes and hypothetical tables. All methods are
+// safe for concurrent use: queries resolve tables while the append path swaps
+// in new snapshots.
 type Catalog struct {
+	mu      sync.RWMutex
 	tables  map[string]*table.Table
 	indexes map[string][]*index.Index
 	hypos   map[string]*HypoTable
@@ -43,7 +59,9 @@ type Catalog struct {
 	// versions counts mutations per table name: every Register (create or
 	// replace) and Drop bumps the counter, so any cached derivation keyed by
 	// (name, version) goes stale the moment the table's contents may differ.
+	// Appends bump deltas instead (see Epoch).
 	versions map[string]uint64
+	deltas   map[string]uint64
 }
 
 // New creates an empty catalog backed by the given statistics service.
@@ -54,6 +72,7 @@ func New(svc *stats.Service) *Catalog {
 		hypos:    make(map[string]*HypoTable),
 		stats:    svc,
 		versions: make(map[string]uint64),
+		deltas:   make(map[string]uint64),
 	}
 }
 
@@ -61,8 +80,11 @@ func New(svc *stats.Service) *Catalog {
 func (c *Catalog) Stats() *stats.Service { return c.stats }
 
 // Register adds or replaces a table. Replacing drops the old table's indexes
-// and invalidates its statistics.
+// and invalidates its statistics. The delta counter resets: a replace starts a
+// fresh Version whose contents have no append lineage.
 func (c *Catalog) Register(t *table.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, existed := c.tables[t.Name()]; existed {
 		delete(c.indexes, t.Name())
 		if c.stats != nil {
@@ -70,23 +92,68 @@ func (c *Catalog) Register(t *table.Table) {
 		}
 	}
 	c.versions[t.Name()]++
+	delete(c.deltas, t.Name())
 	c.tables[t.Name()] = t
+}
+
+// RegisterDelta swaps in an append-only snapshot of an existing table,
+// bumping the Delta counter but not the Version: rows [0, old.NumRows) and
+// all dictionary codes are unchanged, so derivations from the previous epoch
+// remain mergeable rather than merely stale. Indexes on the table are dropped
+// — they were built over the old row range and an index fast path would
+// silently miss appended rows. Statistics are NOT invalidated here; the
+// stats service self-heals on snapshot-pointer mismatch so the append path
+// can refresh them lazily.
+func (c *Catalog) RegisterDelta(t *table.Table) (Epoch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name()]; !ok {
+		return Epoch{}, fmt.Errorf("catalog: RegisterDelta on unknown table %q", t.Name())
+	}
+	delete(c.indexes, t.Name())
+	c.deltas[t.Name()]++
+	c.tables[t.Name()] = t
+	return Epoch{Version: c.versions[t.Name()], Delta: c.deltas[t.Name()]}, nil
 }
 
 // Version returns the table's mutation counter. It changes whenever the
 // table is registered (created or replaced) or dropped, so results derived
 // from one version can be recognized as stale after any mutation. Unknown
-// tables report 0.
-func (c *Catalog) Version(name string) uint64 { return c.versions[name] }
+// tables report 0. Appends do not change it — see Epoch.
+func (c *Catalog) Version(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[name]
+}
+
+// Epoch returns the table's full (Version, Delta) epoch.
+func (c *Catalog) Epoch(name string) Epoch {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Epoch{Version: c.versions[name], Delta: c.deltas[name]}
+}
+
+// TableEpoch resolves a table and its epoch in one consistent read, so a
+// caller never pairs a new snapshot with a stale epoch (or vice versa).
+func (c *Catalog) TableEpoch(name string) (*table.Table, Epoch, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, Epoch{Version: c.versions[name], Delta: c.deltas[name]}, ok
+}
 
 // Table resolves a table by name.
 func (c *Catalog) Table(name string) (*table.Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	return t, ok
 }
 
 // MustTable resolves a table or panics; for callers that already validated.
 func (c *Catalog) MustTable(name string) *table.Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
 		panic(fmt.Sprintf("catalog: unknown table %q", name))
@@ -97,8 +164,11 @@ func (c *Catalog) MustTable(name string) *table.Table {
 // Drop removes a table, its indexes, and its statistics. Dropping an unknown
 // table is a no-op (temp-table cleanup paths may race with earlier drops).
 func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, existed := c.tables[name]; existed {
 		c.versions[name]++
+		delete(c.deltas, name)
 	}
 	delete(c.tables, name)
 	delete(c.indexes, name)
@@ -109,6 +179,8 @@ func (c *Catalog) Drop(name string) {
 
 // TableNames lists registered tables in sorted order.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
@@ -119,6 +191,8 @@ func (c *Catalog) TableNames() []string {
 
 // AddIndex registers an index for its table. The table must exist.
 func (c *Catalog) AddIndex(ix *index.Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[ix.TableName()]; !ok {
 		return fmt.Errorf("catalog: index %q references unknown table %q", ix.Name(), ix.TableName())
 	}
@@ -131,20 +205,39 @@ func (c *Catalog) AddIndex(ix *index.Index) error {
 	return nil
 }
 
-// Indexes returns the indexes registered for a table (nil when none).
-func (c *Catalog) Indexes(tableName string) []*index.Index { return c.indexes[tableName] }
+// Indexes returns the indexes registered for a table (nil when none). Callers
+// must not mutate the returned slice.
+func (c *Catalog) Indexes(tableName string) []*index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexes[tableName]
+}
 
 // DropIndexes removes every index on a table.
-func (c *Catalog) DropIndexes(tableName string) { delete(c.indexes, tableName) }
+func (c *Catalog) DropIndexes(tableName string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.indexes, tableName)
+}
 
 // RegisterHypo adds or replaces a hypothetical table.
-func (c *Catalog) RegisterHypo(h *HypoTable) { c.hypos[h.Name] = h }
+func (c *Catalog) RegisterHypo(h *HypoTable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hypos[h.Name] = h
+}
 
 // Hypo resolves a hypothetical table.
 func (c *Catalog) Hypo(name string) (*HypoTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	h, ok := c.hypos[name]
 	return h, ok
 }
 
 // DropHypo removes a hypothetical table.
-func (c *Catalog) DropHypo(name string) { delete(c.hypos, name) }
+func (c *Catalog) DropHypo(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.hypos, name)
+}

@@ -1,0 +1,95 @@
+package catalog
+
+import (
+	"testing"
+
+	"gbmqo/internal/index"
+	"gbmqo/internal/stats"
+	"gbmqo/internal/table"
+)
+
+func epochTable(t *testing.T, n int) *table.Table {
+	t.Helper()
+	tb := table.New("t", []table.ColumnDef{{Name: "a", Typ: table.TInt64}})
+	for i := 0; i < n; i++ {
+		tb.AppendRow(table.Int(int64(i % 3)))
+	}
+	return tb
+}
+
+func TestRegisterDeltaAdvancesEpoch(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	base := epochTable(t, 4)
+	c.Register(base)
+	ep0 := c.Epoch("t")
+	if ep0.Delta != 0 {
+		t.Fatalf("fresh registration delta = %d", ep0.Delta)
+	}
+	next := base.Append([][]table.Value{{table.Int(9)}})
+	ep1, err := c.RegisterDelta(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1.Version != ep0.Version || ep1.Delta != 1 {
+		t.Fatalf("epoch after delta = %+v, want version %d delta 1", ep1, ep0.Version)
+	}
+	got, ep, ok := c.TableEpoch("t")
+	if !ok || got != next || ep != ep1 {
+		t.Fatalf("TableEpoch = (%v, %+v, %v)", got, ep, ok)
+	}
+}
+
+func TestRegisterDeltaUnknownTable(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	if _, err := c.RegisterDelta(epochTable(t, 1)); err == nil {
+		t.Fatal("RegisterDelta on an unregistered table should error")
+	}
+}
+
+func TestRegisterResetsDelta(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	base := epochTable(t, 4)
+	c.Register(base)
+	if _, err := c.RegisterDelta(base.Append([][]table.Value{{table.Int(9)}})); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Epoch("t").Version
+	c.Register(epochTable(t, 4)) // full replacement
+	ep := c.Epoch("t")
+	if ep.Version <= v1 || ep.Delta != 0 {
+		t.Fatalf("re-registration epoch = %+v, want version > %d, delta 0", ep, v1)
+	}
+}
+
+func TestDropResetsDelta(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	base := epochTable(t, 4)
+	c.Register(base)
+	if _, err := c.RegisterDelta(base.Append([][]table.Value{{table.Int(9)}})); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop("t")
+	c.Register(epochTable(t, 4))
+	if ep := c.Epoch("t"); ep.Delta != 0 {
+		t.Fatalf("delta survived drop: %+v", ep)
+	}
+}
+
+func TestRegisterDeltaDropsIndexes(t *testing.T) {
+	c := New(stats.NewService(stats.Exact, 0, 1))
+	base := epochTable(t, 6)
+	c.Register(base)
+	if err := c.AddIndex(index.Build(base, "ix", []int{0}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Indexes("t")) != 1 {
+		t.Fatal("index not registered")
+	}
+	if _, err := c.RegisterDelta(base.Append([][]table.Value{{table.Int(9)}})); err != nil {
+		t.Fatal(err)
+	}
+	// A stale index fast path would silently miss the delta rows.
+	if len(c.Indexes("t")) != 0 {
+		t.Fatal("indexes survived a delta registration")
+	}
+}

@@ -40,6 +40,8 @@ var Sites = []string{
 	"shard.exec",
 	"shard.merge",
 	"shard.hedge",
+	"table.append",
+	"cache.refresh",
 	"server.handler",
 }
 

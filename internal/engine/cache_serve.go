@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gbmqo/internal/cache"
+	"gbmqo/internal/catalog"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/cost"
 	"gbmqo/internal/exec"
@@ -30,6 +31,9 @@ type CacheCounters struct {
 	// deduplicated onto a concurrent identical request — the work counters of
 	// the report are then zero, because another run did the work.
 	FlightShared bool
+	// Refreshes is the cache's cumulative count of entries rolled forward by
+	// append maintenance (Refresh) after the request.
+	Refreshes int64
 	// Evictions is the cache's cumulative eviction count after the request;
 	// Bytes and Entries are its residency after the request.
 	Evictions int64
@@ -47,13 +51,17 @@ type CacheCounters struct {
 // once, and on success its results and dropped temp tables are offered to the
 // cache. Nothing is admitted on a cancelled or failed run.
 func (e *Engine) runCached(req Request) (*RunResult, error) {
-	base, ok := e.cat.Table(req.Table)
+	base, ep, ok := e.cat.TableEpoch(req.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", req.Table)
 	}
 	start := time.Now()
-	ver := e.cat.Version(req.Table)
-	e.cache.InvalidateBelow(req.Table, ver)
+	if n := e.cache.InvalidateBelow(req.Table, ep.Version, ep.Delta); n > 0 {
+		// Entries died with their epoch; statistics built over the dead
+		// snapshot are reclaimed in the same breath (they self-heal on lookup
+		// anyway, but sweeping here bounds the leak under version churn).
+		e.cat.Stats().DropStale(req.Table, base)
+	}
 
 	env := cost.NewEnv(base, e.cat.Stats(), e.cat.Indexes(req.Table))
 	var model cost.Model
@@ -78,14 +86,14 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 	var missed []colset.Set
 	for _, s := range req.Sets {
 		aggs := requestAggs(req, s)
-		key := cache.KeyOf(req.Table, ver, s, aggs)
+		key := cache.KeyOf(req.Table, ep.Version, ep.Delta, s, aggs)
 		if t, ok := e.cache.Get(key); ok {
 			served[s] = t
 			origins[s] = OriginCacheHit
 			counters.Hits++
 			continue
 		}
-		t, admissions, err := e.deriveFromAncestor(req, base, ver, s, aggs, model)
+		t, admissions, err := e.deriveFromAncestor(req, base, ep, s, aggs, model)
 		if err != nil {
 			return nil, err
 		}
@@ -94,6 +102,7 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 			origins[s] = OriginCacheAncestor
 			counters.AncestorHits++
 			counters.Admissions += admissions
+			e.noteLazyServed(req.Table)
 			continue
 		}
 		e.cache.NoteMiss()
@@ -103,13 +112,13 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 
 	var lead *residualOutcome
 	if len(missed) > 0 {
-		rkey := residualKey(req, ver, missed)
+		rkey := residualKey(req, ep, missed)
 		sub := req
 		sub.Sets = missed
 		sub.UseCache = false
 		sub.MemBudget = execBudget
 		val, err, shared := e.cache.Do(rkey, func() (any, error) {
-			return e.runResidual(sub, ver, model)
+			return e.runResidual(sub, ep, model)
 		})
 		if err != nil {
 			return nil, err
@@ -160,6 +169,7 @@ func (e *Engine) runCached(req Request) (*RunResult, error) {
 	report.Origins = origins
 	snap := e.cache.Snapshot()
 	counters.Evictions = snap.Evictions
+	counters.Refreshes = snap.Refreshes
 	counters.Bytes = snap.Bytes
 	counters.Entries = snap.Entries
 	report.Cache = counters
@@ -182,7 +192,7 @@ type residualOutcome struct {
 // of computing that set from the base relation. Collecting candidates during
 // the run but admitting after it is what guarantees a cancelled or
 // over-budget run never leaves a partially admitted entry.
-func (e *Engine) runResidual(sub Request, ver uint64, model cost.Model) (*residualOutcome, error) {
+func (e *Engine) runResidual(sub Request, ep catalog.Epoch, model cost.Model) (*residualOutcome, error) {
 	type promo struct {
 		set  colset.Set
 		aggs []exec.Agg
@@ -205,12 +215,12 @@ func (e *Engine) runResidual(sub Request, ver uint64, model cost.Model) (*residu
 			continue
 		}
 		aggs := requestAggs(sub, s)
-		if e.offer(sub.Table, ver, s, aggs, t, model) {
+		if e.offer(sub.Table, ep, s, aggs, t, model) {
 			outcome.admissions++
 		}
 	}
 	for _, p := range promos {
-		if e.offer(sub.Table, ver, p.set, p.aggs, p.t, model) {
+		if e.offer(sub.Table, ep, p.set, p.aggs, p.t, model) {
 			outcome.admissions++
 		}
 	}
@@ -218,10 +228,16 @@ func (e *Engine) runResidual(sub Request, ver uint64, model cost.Model) (*residu
 }
 
 // offer submits one table for admission, with benefit = the cost of computing
-// its grouping set from the base relation (what a future exact hit saves).
-func (e *Engine) offer(tbl string, ver uint64, s colset.Set, aggs []exec.Agg, t *table.Table, model cost.Model) bool {
+// its grouping set from the base relation (what a future exact hit saves). A
+// result computed over an epoch the table has since left is not offered — the
+// sweep would remove it immediately anyway, and skipping the admission avoids
+// checksumming a table nobody can ever hit.
+func (e *Engine) offer(tbl string, ep catalog.Epoch, s colset.Set, aggs []exec.Agg, t *table.Table, model cost.Model) bool {
+	if e.cat.Epoch(tbl) != ep {
+		return false
+	}
 	benefit := model.EdgeCost(cost.Edge{ParentIsBase: true, V: s, NAggs: len(aggs)})
-	return e.cache.Offer(cache.KeyOf(tbl, ver, s, aggs), aggs, t, benefit)
+	return e.cache.Offer(cache.KeyOf(tbl, ep.Version, ep.Delta, s, aggs), aggs, t, benefit)
 }
 
 // deriveFromAncestor answers one grouping set from the cheapest cached
@@ -232,8 +248,8 @@ func (e *Engine) offer(tbl string, ver uint64, s colset.Set, aggs []exec.Agg, t 
 // set re-aggregates once, and the derived result is itself offered to the
 // cache so the next request is an exact hit. Returns (nil, 0, nil) when no
 // profitable ancestor exists.
-func (e *Engine) deriveFromAncestor(req Request, base *table.Table, ver uint64, s colset.Set, aggs []exec.Agg, model cost.Model) (*table.Table, int, error) {
-	cands := e.cache.Ancestors(req.Table, ver, s, aggs)
+func (e *Engine) deriveFromAncestor(req Request, base *table.Table, ep catalog.Epoch, s colset.Set, aggs []exec.Agg, model cost.Model) (*table.Table, int, error) {
+	cands := e.cache.Ancestors(req.Table, ep.Version, ep.Delta, s, aggs)
 	if len(cands) == 0 {
 		return nil, 0, nil
 	}
@@ -254,7 +270,7 @@ func (e *Engine) deriveFromAncestor(req Request, base *table.Table, ver uint64, 
 	if best == nil {
 		return nil, 0, nil
 	}
-	key := cache.KeyOf(req.Table, ver, s, aggs)
+	key := cache.KeyOf(req.Table, ep.Version, ep.Delta, s, aggs)
 	admissions := 0
 	val, err, shared := e.cache.Do("derive|"+key.String(), func() (any, error) {
 		out, err := e.reaggregate(base, best.Table, s, aggs, req)
@@ -321,10 +337,10 @@ func requestAggs(req Request, s colset.Set) []exec.Agg {
 // output and side effects, so singleflight only collapses requests that are
 // truly interchangeable. The caller's context is deliberately excluded — the
 // leader's context governs the shared computation.
-func residualKey(req Request, ver uint64, missed []colset.Set) string {
+func residualKey(req Request, ep catalog.Epoch, missed []colset.Set) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run|%s@v%d|%s|%d|ss%t|par%t|dop%d|mb%d|nr%t|core%t,%t,%t,%t,%d,%g",
-		req.Table, ver, req.Strategy, req.Model, req.SharedScan, req.Parallel,
+	fmt.Fprintf(&b, "run|%s@v%d.%d|%s|%d|ss%t|par%t|dop%d|mb%d|nr%t|core%t,%t,%t,%t,%d,%g",
+		req.Table, ep.Version, ep.Delta, req.Strategy, req.Model, req.SharedScan, req.Parallel,
 		req.Parallelism, req.MemBudget, req.NoRetain,
 		req.Core.BinaryOnly, req.Core.PruneSubsumption, req.Core.PruneMonotonic,
 		req.Core.ConsiderCubeRollup, req.Core.MaxCubeCols, req.Core.StorageBudget)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"gbmqo/internal/cache"
 	"gbmqo/internal/catalog"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/exec"
@@ -465,6 +466,9 @@ func shareableRun(steps []plan.Step, run *planRun) []*plan.Node {
 		}
 		if parent == nil && index.BestFor(run.ex.cat.Indexes(run.base.Name()), s.Node.Set) != nil {
 			break // let the index path handle it individually
+		}
+		if parent != nil && !cache.Rollupable(run.aggsFor(s.Node)) {
+			break // AVG node: must re-derive from base, not the shared temp
 		}
 		batch = append(batch, s.Node)
 	}
@@ -910,6 +914,12 @@ func (r *planRun) fromTemp(n *plan.Node, parentSet colset.Set) (*table.Table, er
 			return r.fromBase(n)
 		}
 		return nil, fmt.Errorf("engine: intermediate %s not materialized", parentSet)
+	}
+	if !cache.Rollupable(r.aggsFor(n)) {
+		// AVG does not roll up through an intermediate: re-derive this node
+		// from the base relation (same fallback as a skipped temp) instead of
+		// letting the planner's sharing decision break the aggregate.
+		return r.fromBase(n)
 	}
 	return r.groupFromTable(parent, n.Set, r.aggsFor(n))
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gbmqo/internal/baseline"
@@ -162,6 +163,19 @@ type Engine struct {
 	// router, when set, is offered every Run before the local attempt loop
 	// (see SetShardRouter). Atomic for the same reason as runObs.
 	router atomic.Pointer[ShardRouter]
+
+	// appendMu serializes Append per engine: appends extend shared dictionary
+	// and code backing in place, which is only safe when exactly one append
+	// per lineage runs at a time and always extends the newest snapshot.
+	appendMu sync.Mutex
+	// lazyMu guards pendingLazy, the per-table count of cached entries append
+	// maintenance dropped for lazy re-derivation that have not yet been
+	// re-derived (the /healthz refresh lag).
+	lazyMu      sync.Mutex
+	pendingLazy map[string]int
+	// appendObs, when set, observes every Append outcome (see
+	// SetAppendObserver). Atomic for the same reason as runObs.
+	appendObs atomic.Pointer[func(*AppendReport, error)]
 }
 
 // ShardRouter is the hook a sharded scatter-gather coordinator installs via

@@ -29,6 +29,8 @@ type TestingHooks struct {
 //	shard.exec           — before each shard execution (hedges included)
 //	shard.merge          — before shard partials are merged
 //	shard.hedge          — when a hedged duplicate request is launched
+//	table.append         — before an append mutates any shared state
+//	cache.refresh        — before a cached entry is rolled forward (Refresh)
 //	server.handler       — before every HTTP request is routed
 var Testing TestingHooks
 

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gbmqo/internal/table"
+)
+
+// Mergeable reports whether every aggregate's final output values can be
+// combined group-wise with another aggregation of the same shape over disjoint
+// rows. COUNT/SUM add, MIN/MAX compare; AVG's output is a ratio whose (sum,
+// count) pair is gone by emission time, so it cannot merge and must be
+// recomputed (the cache falls back to targeted invalidation for it).
+func Mergeable(aggs []Agg) bool {
+	for _, a := range aggs {
+		if a.Kind == AggAvg {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeAppendedGroups rolls a materialized Group By result forward over an
+// appended delta segment: cached is the result computed over the base rows,
+// deltaAgg the same grouping and aggregate list computed over only the
+// appended rows (both tables laid out as nKeys key columns followed by
+// len(aggs) aggregate columns, the emitGroups shape). Group keys match by
+// dictionary code tuple — appends extend dictionaries in place, so a code
+// means the same value in both inputs.
+//
+// The output preserves cached's row order and appends delta-only groups in
+// deltaAgg's row order. Because appended rows follow all base rows, that is
+// exactly global first-appearance order — the order every group-by kernel
+// emits — so the merged table is identical to recomputing the aggregation
+// cold over the full appended table (float SUM/AVG aside, where addition
+// order can round differently, same caveat as the parallel merge).
+//
+// Key columns of the output share deltaAgg's dictionaries (the extended ones,
+// which cover both inputs' codes). Aggregate columns are fresh.
+func MergeAppendedGroups(cached, deltaAgg *table.Table, nKeys int, aggs []Agg, outName string) (*table.Table, error) {
+	if !Mergeable(aggs) {
+		return nil, fmt.Errorf("exec: aggregate list is not mergeable")
+	}
+	if cached.NumCols() != nKeys+len(aggs) || deltaAgg.NumCols() != nKeys+len(aggs) {
+		return nil, fmt.Errorf("exec: merge shape mismatch: cached %d cols, delta %d cols, want %d keys + %d aggs",
+			cached.NumCols(), deltaAgg.NumCols(), nKeys, len(aggs))
+	}
+
+	// Index delta groups by key code tuple.
+	dRows := deltaAgg.NumRows()
+	dIdx := make(map[string]int, dRows)
+	var keyBuf []byte
+	deltaKey := func(t *table.Table, row int) string {
+		keyBuf = keyBuf[:0]
+		for k := 0; k < nKeys; k++ {
+			keyBuf = binary.LittleEndian.AppendUint32(keyBuf, t.Col(k).Code(row))
+		}
+		return string(keyBuf)
+	}
+	for r := 0; r < dRows; r++ {
+		dIdx[deltaKey(deltaAgg, r)] = r
+	}
+
+	cRows := cached.NumRows()
+	outRows := cRows
+	consumed := make([]bool, dRows)
+
+	// Key columns share the delta's (extended) dictionaries.
+	cols := make([]*table.Column, 0, nKeys+len(aggs))
+	for k := 0; k < nKeys; k++ {
+		src := deltaAgg.Col(k)
+		out := src.EmptyLike(src.Name())
+		out.AppendCodes(cached.Col(k).Codes())
+		cols = append(cols, out)
+	}
+	aggCols := make([]*table.Column, len(aggs))
+	for i := range aggs {
+		def := cached.Col(nKeys + i).Def()
+		if dt := deltaAgg.Col(nKeys + i).Type(); dt != def.Typ {
+			return nil, fmt.Errorf("exec: merge aggregate %q type mismatch: cached %s, delta %s", def.Name, def.Typ, dt)
+		}
+		aggCols[i] = table.NewColumn(def)
+	}
+
+	// Pass 1: cached rows in order, merged with their delta counterpart.
+	for r := 0; r < cRows; r++ {
+		dr, hit := dIdx[deltaKey(cached, r)]
+		if hit {
+			consumed[dr] = true
+		}
+		for i, a := range aggs {
+			cv := cached.Col(nKeys + i).Value(r)
+			if !hit {
+				aggCols[i].Append(cv)
+				continue
+			}
+			aggCols[i].Append(mergeAggValue(a.Kind, cv, deltaAgg.Col(nKeys+i).Value(dr)))
+		}
+	}
+	// Pass 2: delta-only groups, in delta order (= first-appearance order).
+	for dr := 0; dr < dRows; dr++ {
+		if consumed[dr] {
+			continue
+		}
+		for k := 0; k < nKeys; k++ {
+			cols[k].AppendCode(deltaAgg.Col(k).Code(dr))
+		}
+		for i := range aggs {
+			aggCols[i].Append(deltaAgg.Col(nKeys + i).Value(dr))
+		}
+		outRows++
+	}
+	cols = append(cols, aggCols...)
+	return table.FromColumns(outName, cols), nil
+}
+
+// mergeAggValue combines one group's final aggregate value from the base-side
+// aggregation with the same group's value from the delta-side aggregation.
+func mergeAggValue(kind AggKind, base, delta table.Value) table.Value {
+	switch kind {
+	case AggCountStar, AggCount:
+		return table.Int(base.I + delta.I)
+	case AggSum:
+		// SQL SUM ignores NULLs and is NULL only when every input was NULL.
+		if base.Null {
+			return delta
+		}
+		if delta.Null {
+			return base
+		}
+		if base.Typ == table.TFloat64 {
+			return table.Float(base.F + delta.F)
+		}
+		v := table.Value{Typ: base.Typ, I: base.I + delta.I}
+		return v
+	case AggMin, AggMax:
+		if base.Null {
+			return delta
+		}
+		if delta.Null {
+			return base
+		}
+		if lessValue(delta, base) == (kind == AggMin) {
+			return delta
+		}
+		return base
+	default:
+		panic(fmt.Sprintf("exec: mergeAggValue on non-mergeable kind %v", kind))
+	}
+}
+
+// lessValue orders two non-null values of the same type.
+func lessValue(a, b table.Value) bool {
+	switch a.Typ {
+	case table.TFloat64:
+		return a.F < b.F
+	case table.TString:
+		return a.S < b.S
+	default:
+		return a.I < b.I
+	}
+}

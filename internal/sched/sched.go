@@ -480,6 +480,17 @@ func (b *Batcher) closeLocked(w *window, reason string) {
 	}()
 }
 
+// FlushTable closes tbl's open window immediately, if any. The append path
+// uses it to fence batching against an epoch bump: queries batched before an
+// append dispatch against the pre-append snapshot instead of straddling it.
+func (b *Batcher) FlushTable(tbl string) {
+	b.mu.Lock()
+	if w, ok := b.windows[tbl]; ok {
+		b.closeLocked(w, "flush")
+	}
+	b.mu.Unlock()
+}
+
 // Flush closes every open window immediately (shutdown and tests).
 func (b *Batcher) Flush() {
 	b.mu.Lock()

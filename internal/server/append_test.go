@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"gbmqo"
+	"gbmqo/internal/table"
+)
+
+// jsonRows converts rows [lo,hi) of tbl to the JSON cell encoding the
+// /append endpoint accepts (numbers as float64, strings, nil for NULL).
+func jsonRows(t *testing.T, tbl *gbmqo.Table, lo, hi int) [][]any {
+	t.Helper()
+	rows := make([][]any, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		row := make([]any, tbl.NumCols())
+		for c := 0; c < tbl.NumCols(); c++ {
+			v := tbl.Col(c).Value(r)
+			switch {
+			case v.Null:
+				row[c] = nil
+			case v.Typ == table.TString:
+				row[c] = v.S
+			case v.Typ == table.TFloat64:
+				row[c] = v.F
+			default: // BIGINT, DATE
+				row[c] = float64(v.I)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	db, ts := newTestServer(t)
+	tbl, _ := db.Table("sales")
+	before := tbl.NumRows()
+
+	resp, out := postJSON(t, ts.URL+"/append", map[string]any{
+		"table": "sales",
+		"rows":  jsonRows(t, tbl, 0, 25),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%v)", resp.StatusCode, out)
+	}
+	if out["rows"].(float64) != 25 || out["total_rows"].(float64) != float64(before+25) {
+		t.Fatalf("response = %v", out)
+	}
+	if out["delta"].(float64) != 1 {
+		t.Fatalf("epoch delta = %v", out["delta"])
+	}
+	cur, _ := db.Table("sales")
+	if cur.NumRows() != before+25 {
+		t.Fatalf("table has %d rows, want %d", cur.NumRows(), before+25)
+	}
+
+	// The append surfaces in /healthz refresh-lag reporting.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hout map[string]any
+	json.NewDecoder(hresp.Body).Decode(&hout)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hresp.StatusCode)
+	}
+	appends, ok := hout["appends"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz lacks appends section: %v", hout)
+	}
+	sales, ok := appends["sales"].(map[string]any)
+	if !ok || sales["delta"].(float64) != 1 || sales["rows"].(float64) != float64(before+25) {
+		t.Fatalf("healthz appends = %v", appends)
+	}
+}
+
+func TestAppendEndpointErrors(t *testing.T) {
+	db, ts := newTestServer(t)
+	tbl, _ := db.Table("sales")
+	good := jsonRows(t, tbl, 0, 1)
+
+	cases := []struct {
+		name string
+		body map[string]any
+		code int
+	}{
+		{"unknown table", map[string]any{"table": "nope", "rows": good}, http.StatusNotFound},
+		{"missing rows", map[string]any{"table": "sales"}, http.StatusBadRequest},
+		{"bad arity", map[string]any{"table": "sales", "rows": [][]any{good[0][:2]}}, http.StatusBadRequest},
+	}
+	// Type mismatch: a string into column 0 (BIGINT in the sales schema).
+	bad := append([]any(nil), good[0]...)
+	bad[0] = "not-a-number"
+	cases = append(cases, struct {
+		name string
+		body map[string]any
+		code int
+	}{"string in BIGINT", map[string]any{"table": "sales", "rows": [][]any{bad}}, http.StatusBadRequest})
+	// Non-integral float into an integral column.
+	frac := append([]any(nil), good[0]...)
+	frac[0] = 1.5
+	cases = append(cases, struct {
+		name string
+		body map[string]any
+		code int
+	}{"non-integral in BIGINT", map[string]any{"table": "sales", "rows": [][]any{frac}}, http.StatusBadRequest})
+
+	before := tbl.NumRows()
+	for _, tc := range cases {
+		resp, out := postJSON(t, ts.URL+"/append", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status = %d, want %d (%v)", tc.name, resp.StatusCode, tc.code, out)
+		}
+	}
+	if cur, _ := db.Table("sales"); cur.NumRows() != before {
+		t.Fatalf("failed appends changed the table: %d rows, want %d", cur.NumRows(), before)
+	}
+}

@@ -63,6 +63,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /sql", s.handleSQL)
+	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /tables", s.handleTables)
@@ -291,6 +292,100 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"parts": enc})
 }
 
+// appendRequest is the POST /append body: rows of JSON cells in schema
+// order. Cells bind by column type — numbers to BIGINT/FLOAT/DATE (days since
+// epoch), strings to VARCHAR, null to NULL of the column's type.
+type appendRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req appendRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "table and rows are required")
+		return
+	}
+	t, ok := s.db.Table(req.Table)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", req.Table))
+		return
+	}
+	rows := make([][]table.Value, len(req.Rows))
+	for ri, raw := range req.Rows {
+		if len(raw) != t.NumCols() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("row %d has %d values, want %d", ri, len(raw), t.NumCols()))
+			return
+		}
+		row := make([]table.Value, len(raw))
+		for ci, cell := range raw {
+			v, err := bindValue(cell, t.Col(ci).Type())
+			if err != nil {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("row %d column %q: %v", ri, t.Col(ci).Name(), err))
+				return
+			}
+			row[ci] = v
+		}
+		rows[ri] = row
+	}
+	rep, err := s.db.Append(req.Table, rows)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"table":       rep.Table,
+		"rows":        rep.Rows,
+		"total_rows":  rep.TotalRows,
+		"version":     rep.Version,
+		"delta":       rep.Delta,
+		"refreshed":   rep.Refreshed,
+		"dropped":     rep.Dropped,
+		"invalidated": rep.Invalidated,
+		"refresh_ms":  float64(rep.RefreshWall) / float64(time.Millisecond),
+	})
+}
+
+// bindValue converts one JSON cell to a typed table value. JSON numbers
+// arrive as float64; integral columns require an integral value.
+func bindValue(cell any, typ table.Type) (table.Value, error) {
+	if cell == nil {
+		return table.Null(typ), nil
+	}
+	switch c := cell.(type) {
+	case float64:
+		switch typ {
+		case table.TFloat64:
+			return table.Float(c), nil
+		case table.TInt64, table.TDate:
+			i := int64(c)
+			if float64(i) != c {
+				return table.Value{}, fmt.Errorf("non-integral value %v in %s column", c, typ)
+			}
+			if typ == table.TDate {
+				return table.Date(i), nil
+			}
+			return table.Int(i), nil
+		}
+		return table.Value{}, fmt.Errorf("number in %s column", typ)
+	case string:
+		if typ != table.TString {
+			return table.Value{}, fmt.Errorf("string in %s column", typ)
+		}
+		return table.Str(c), nil
+	}
+	return table.Value{}, fmt.Errorf("unsupported JSON value %T", cell)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.db.WriteMetrics(w)
@@ -313,6 +408,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"shed":         st.Shed,
 			"panics":       st.Panics,
 		}
+	}
+	if as := s.db.AppendStats(); len(as) > 0 {
+		// Refresh lag per appended table: epoch position plus the cached
+		// entries still pending lazy re-derivation from a maintained ancestor.
+		ap := make(map[string]any, len(as))
+		for name, st := range as {
+			ap[name] = map[string]any{
+				"version":      st.Version,
+				"delta":        st.Delta,
+				"rows":         st.Rows,
+				"pending_lazy": st.PendingLazy,
+			}
+		}
+		resp["appends"] = ap
 	}
 	if br := s.db.BreakerStates(); len(br) > 0 {
 		list := make([]map[string]any, len(br))

@@ -12,6 +12,7 @@ import (
 	"gbmqo/internal/exec"
 	"gbmqo/internal/fault"
 	"gbmqo/internal/obs"
+	"gbmqo/internal/table"
 )
 
 // Options tunes a Coordinator. Zero values select the documented defaults.
@@ -92,14 +93,21 @@ func (e *Error) Error() string {
 func (e *Error) Unwrap() error { return e.Err }
 
 // Coordinator owns the scatter-gather loop over a fixed set of shards built
-// from one catalog snapshot. Safe for concurrent Execute calls.
+// from one catalog snapshot. Safe for concurrent Execute calls; streaming
+// appends are propagated into the partitions by NoteAppend under the write
+// half of mu, so a gather always sees every shard at one consistent epoch.
 type Coordinator struct {
 	opts     Options
 	cat      *catalog.Catalog
 	shards   []Shard
 	breakers []*fault.Breaker
-	info     map[string]tableInfo
 	met      metrics
+
+	// mu guards info and the shard partition tables it describes: gathers
+	// hold the read half end to end (scatter through merge), NoteAppend the
+	// write half while it swaps extended partitions in.
+	mu   sync.RWMutex
+	info map[string]tableInfo
 }
 
 // New hash-partitions every shardable table in cat into opts.Shards
@@ -144,11 +152,10 @@ func (c *Coordinator) Breaker(i int) *fault.Breaker { return c.breakers[i] }
 // decompose over shards without rewriting; the public API does not expose it,
 // so declining costs nothing).
 func (c *Coordinator) Route(req engine.Request) (*engine.RunResult, error, bool) {
+	c.mu.RLock()
 	ti, ok := c.info[req.Table]
+	c.mu.RUnlock()
 	if !ok || len(req.Sets) == 0 {
-		return nil, nil, false
-	}
-	if c.cat.Version(req.Table) != ti.version {
 		return nil, nil, false
 	}
 	for _, s := range req.Sets {
@@ -164,8 +171,9 @@ func (c *Coordinator) Route(req engine.Request) (*engine.RunResult, error, bool)
 			return nil, nil, false
 		}
 	}
-	res, err := c.Execute(req)
-	return res, err, true
+	// The authoritative epoch check happens inside Execute, under the same
+	// read lock as the gather itself — checking here would race NoteAppend.
+	return c.Execute(req)
 }
 
 // aggsMergeable reports whether every aggregate merges across shard partials
@@ -201,7 +209,29 @@ type outcome struct {
 // attributed in the report, otherwise the gather fails fast with *Error.
 // All shard goroutines are barriered before return — nothing outlives the
 // gather, and a late hedge loser is never merged.
-func (c *Coordinator) Execute(req engine.Request) (res *engine.RunResult, err error) {
+//
+// The whole gather runs under the read half of c.mu, so every shard serves
+// the same append epoch and a concurrent NoteAppend can never tear a
+// cross-shard read. handled=false means the partitions do not match the
+// table's current catalog epoch (re-registered, or an append the coordinator
+// was never told about) and the caller must fall back to unsharded execution.
+func (c *Coordinator) Execute(req engine.Request) (*engine.RunResult, error, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ti, ok := c.info[req.Table]
+	if !ok {
+		return nil, nil, false
+	}
+	if ep := c.cat.Epoch(req.Table); ep.Version != ti.version || ep.Delta != ti.delta {
+		return nil, nil, false
+	}
+	res, err := c.executeLocked(req, ti)
+	return res, err, true
+}
+
+// executeLocked is the gather body; the caller holds c.mu.RLock and has
+// verified ti is current.
+func (c *Coordinator) executeLocked(req engine.Request, ti tableInfo) (res *engine.RunResult, err error) {
 	start := time.Now()
 	ctx := req.Context
 	if ctx == nil {
@@ -215,7 +245,6 @@ func (c *Coordinator) Execute(req engine.Request) (res *engine.RunResult, err er
 	exec.Testing.Fire("shard.scatter")
 	c.met.gathers.Inc()
 
-	ti := c.info[req.Table]
 	sub, own := c.shardRequest(req, ti)
 
 	// Carve the shard deadline budget out of the caller's, reserving a slice
@@ -453,6 +482,110 @@ func (c *Coordinator) execAttempt(ctx context.Context, i int, req engine.Request
 	}
 }
 
+// NoteAppend propagates one streaming append into the shard partitions: the
+// delta rows of newT (the snapshot the engine just registered at epoch ep)
+// are routed to shards with the same hash the original build used and each
+// partition is extended in place — codes copied, dictionaries shared with
+// newT so group keys stay comparable across shards, the hidden RowColumn
+// carrying each new row's global index so merge ordering stays byte-identical
+// to unsharded execution.
+//
+// The swap runs under the write half of c.mu, so no gather ever sees a torn
+// mix of old and new partitions. Any failure — epoch gap (an append the
+// coordinator missed), a non-local shard implementation, a panic while
+// extending — degrades transparently: the table's sharding record is dropped
+// and queries fall back to the unsharded engine, which is always correct.
+func (c *Coordinator) NoteAppend(name string, newT *table.Table, ep catalog.Epoch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ti, ok := c.info[name]
+	if !ok {
+		return
+	}
+	unshard := func() { delete(c.info, name) }
+	defer func() {
+		if recover() != nil {
+			unshard()
+		}
+	}()
+	if ep.Version == ti.version && ep.Delta <= ti.delta {
+		return // duplicate or out-of-order note; already reflected
+	}
+	// Catch-up from ti.total covers multi-append gaps too: every row past the
+	// partitions' total is new to them, and dictionary codes stay valid across
+	// appends, so the extension below works for one delta or several at once.
+	if ep.Version != ti.version || newT.NumRows() < ti.total {
+		unshard()
+		return
+	}
+	n := len(c.shards)
+	locals := make([]*localShard, n)
+	olds := make([]*table.Table, n)
+	for i := range c.shards {
+		ls, ok := c.shards[i].(*localShard)
+		if !ok {
+			unshard()
+			return
+		}
+		old, ok := ls.eng.Catalog().Table(name)
+		if !ok || old.NumRows() != ti.perShard[i] {
+			unshard()
+			return
+		}
+		locals[i], olds[i] = ls, old
+	}
+
+	// Route each delta row with the build's hash: by key-column code when the
+	// table is key-partitioned, by global row index otherwise.
+	routed := make([][]int, n)
+	var keyCodes []uint32
+	if ti.keyOrd >= 0 {
+		keyCodes = newT.Col(ti.keyOrd).Codes()
+	}
+	for r := ti.total; r < newT.NumRows(); r++ {
+		b := mix(uint64(r)) % uint64(n)
+		if keyCodes != nil {
+			b = mix(uint64(keyCodes[r])) % uint64(n)
+		}
+		routed[b] = append(routed[b], r)
+	}
+
+	for i := range locals {
+		idx := routed[i]
+		old := olds[i]
+		cols := make([]*table.Column, 0, newT.NumCols()+1)
+		// Rebuild each data column from newT's columns so the partition picks
+		// up the extended dictionaries (fresh rank tables covering the delta
+		// codes); the base segment is a plain code copy, never re-interned.
+		for j := 0; j < newT.NumCols(); j++ {
+			nc := newT.Col(j).EmptyLike(newT.Col(j).Name())
+			nc.AppendCodes(old.Col(j).Codes())
+			for _, r := range idx {
+				nc.AppendCode(newT.Col(j).Code(r))
+			}
+			cols = append(cols, nc)
+		}
+		// The hidden RowColumn keeps its shard-private dictionary; new global
+		// row indexes are interned under the write lock, which excludes every
+		// reader of the old partition.
+		nrc := old.Col(ti.rowOrd).EmptyLikeExtended(RowColumn)
+		nrc.AppendCodes(old.Col(ti.rowOrd).Codes())
+		for _, r := range idx {
+			nrc.Append(table.Int(int64(r)))
+		}
+		cols = append(cols, nrc)
+		p := table.FromColumns(name, cols)
+		p.RowImage() // immutable + safe for concurrent gathers, as at build
+		locals[i].eng.Catalog().Register(p)
+		locals[i].rows[name] = p.NumRows()
+		ti.perShard[i] += len(idx)
+	}
+	ti.total = newT.NumRows()
+	ti.delta = ep.Delta
+	c.info[name] = ti
+	c.met.appends.Inc()
+}
+
 // backoff computes the jittered exponential sleep after failed attempt n.
 func (c *Coordinator) backoff(attempt int) time.Duration {
 	d := c.opts.RetryBackoff
@@ -472,6 +605,7 @@ type metrics struct {
 	gathers, partials, retries  *obs.Counter
 	hedgesFired, hedgeWins      *obs.Counter
 	retriesScoped, retriesHedge *obs.Counter
+	appends                     *obs.Counter
 	latency                     *obs.Histogram
 	execs, errors               []*obs.Counter
 }
@@ -486,6 +620,7 @@ func newMetrics(r *obs.Registry, n int) metrics {
 		hedgeWins:     r.Counter("gbmqo_shard_hedges_won_total", "hedged duplicates that beat the primary request"),
 		retriesScoped: r.Counter(`gbmqo_exec_retries_total{scope="shard"}`, scopedHelp),
 		retriesHedge:  r.Counter(`gbmqo_exec_retries_total{scope="hedge"}`, scopedHelp),
+		appends:       r.Counter("gbmqo_shard_appends_total", "streaming appends propagated into shard partitions"),
 		latency:       r.Histogram("gbmqo_shard_latency_seconds", "shard execution attempt latency within a gather", obs.DurationBuckets),
 	}
 	for i := 0; i < n; i++ {

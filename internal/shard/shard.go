@@ -73,13 +73,19 @@ func (s *localShard) Rows(tableName string) int { return s.rows[tableName] }
 
 // tableInfo is the coordinator's per-table sharding record.
 type tableInfo struct {
-	// version is the catalog version the partitions were built from; a
-	// mismatch at Route time means the table was re-registered since and the
-	// partitions are stale.
+	// version and delta are the catalog epoch the partitions currently
+	// reflect: version from the registration the partitions were built from,
+	// delta advanced by NoteAppend as streaming appends are propagated into
+	// the partitions. An epoch mismatch at gather time means the partitions
+	// are stale and the query stays unsharded.
 	version uint64
+	delta   uint64
 	// rowOrd is the hidden RowColumn's ordinal in the partition tables
 	// (the original column count).
 	rowOrd int
+	// keyOrd is the hash-key column ordinal (-1 = partition by row index);
+	// NoteAppend routes delta rows with the same hash the build used.
+	keyOrd int
 	// perShard holds each shard's row count; total their sum.
 	perShard []int
 	total    int
@@ -112,7 +118,9 @@ func buildShards(cat *catalog.Catalog, n int, keys map[string]string) ([]Shard, 
 				return nil, nil, fmt.Errorf("shard: table %q has no column %q to hash on", name, col)
 			}
 		}
-		ti := tableInfo{version: cat.Version(name), rowOrd: t.NumCols(), perShard: make([]int, n), total: t.NumRows()}
+		ep := cat.Epoch(name)
+		ti := tableInfo{version: ep.Version, delta: ep.Delta, rowOrd: t.NumCols(), keyOrd: keyOrd,
+			perShard: make([]int, n), total: t.NumRows()}
 		for i, idx := range partitionIdx(t, n, keyOrd) {
 			engines[i].Catalog().Register(buildPartition(t, idx))
 			rows[i][name] = len(idx)

@@ -125,7 +125,13 @@ type Service struct {
 	mu      sync.Mutex
 	samples map[string]*Sample
 	ndv     map[string]map[colset.Set]float64
-	acct    Accounting
+	// built records which table snapshot each cached entry was computed over.
+	// Statistics are memoized by table *name*, but a name can be rebound to a
+	// new snapshot (replace, or an append producing a new *Table): comparing
+	// pointers on every lookup self-heals the cache, so stale NDVs for dead
+	// snapshots can never accumulate or be served.
+	built map[string]*table.Table
+	acct  Accounting
 }
 
 // NewService creates a statistics service. sampleSize <= 0 selects a default
@@ -140,7 +146,19 @@ func NewService(e Estimator, sampleSize int, seed int64) *Service {
 		seed:       seed,
 		samples:    make(map[string]*Sample),
 		ndv:        make(map[string]map[colset.Set]float64),
+		built:      make(map[string]*table.Table),
 	}
+}
+
+// syncLocked wipes cached statistics built over a different snapshot of t's
+// name. Callers hold s.mu.
+func (s *Service) syncLocked(t *table.Table) {
+	if prev, ok := s.built[t.Name()]; ok && prev == t {
+		return
+	}
+	delete(s.samples, t.Name())
+	delete(s.ndv, t.Name())
+	s.built[t.Name()] = t
 }
 
 // Estimator returns the configured estimation method.
@@ -164,6 +182,7 @@ func (s *Service) NDV(t *table.Table, set colset.Set) float64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.syncLocked(t)
 	byTable, ok := s.ndv[t.Name()]
 	if !ok {
 		byTable = make(map[colset.Set]float64)
@@ -192,7 +211,7 @@ func (s *Service) CachedNDV(t *table.Table, set colset.Set) (float64, bool) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if byTable, ok := s.ndv[t.Name()]; ok {
+	if byTable, ok := s.ndv[t.Name()]; ok && s.built[t.Name()] == t {
 		if v, ok := byTable[set]; ok {
 			return v, true
 		}
@@ -286,4 +305,29 @@ func (s *Service) Invalidate(tableName string) {
 	defer s.mu.Unlock()
 	delete(s.samples, tableName)
 	delete(s.ndv, tableName)
+	delete(s.built, tableName)
+}
+
+// DropStale drops cached statistics for a table unless they were built over
+// the given current snapshot. The engine calls it when the result cache sweeps
+// stale versions (cache.InvalidateBelow), so NDVs for dead versions are
+// reclaimed in step with the cached results derived from them rather than
+// accumulating until the next on-demand lookup.
+func (s *Service) DropStale(tableName string, current *table.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.built[tableName]; ok && prev == current {
+		return
+	}
+	delete(s.samples, tableName)
+	delete(s.ndv, tableName)
+	delete(s.built, tableName)
+}
+
+// Retained reports how many tables currently have cached statistics (tests
+// use it to assert the churn leak stays bounded).
+func (s *Service) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ndv)
 }

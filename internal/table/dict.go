@@ -88,6 +88,31 @@ func (d *dict) code(v Value) uint32 {
 	}
 }
 
+// extend returns a copy-on-write extension of this dictionary for an append
+// snapshot. Value slices and lookup maps are shared with the parent — codes
+// assigned so far keep their meaning, and appending new values through the
+// extension grows the shared backing past the parent's slice lengths, which
+// parent readers never index. The rank table is NOT shared: it was computed
+// over the parent's code range, so the extension recomputes it lazily over
+// the grown range (MIN/MAX correctness over appended values).
+//
+// The sharing contract: only the NEWEST snapshot of a lineage may intern new
+// values (the catalog's append path serializes appends per table and always
+// extends the current snapshot), and readers of older snapshots never touch
+// the lookup maps. Violating either corrupts the shared state.
+func (d *dict) extend() *dict {
+	return &dict{
+		typ:      d.typ,
+		ints:     d.ints,
+		floats:   d.floats,
+		strs:     d.strs,
+		lookupI:  d.lookupI,
+		lookupF:  d.lookupF,
+		lookupS:  d.lookupS,
+		strBytes: d.strBytes,
+	}
+}
+
 // value decodes a code back to a Value.
 func (d *dict) value(code uint32) Value {
 	if code == nullCode {

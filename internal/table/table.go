@@ -10,6 +10,7 @@ package table
 
 import (
 	"fmt"
+	"sync"
 
 	"gbmqo/internal/colset"
 )
@@ -137,6 +138,19 @@ func (c *Column) EmptyLike(name string) *Column {
 	return &Column{def: def, dict: c.dict}
 }
 
+// EmptyLikeExtended is EmptyLike over an extended view of the dictionary: the
+// backing value arrays and lookup maps stay shared (existing codes remain
+// valid and comparable) but the rank table is recomputed on demand over the
+// grown code range. Use it instead of EmptyLike when the new column will
+// intern values that a rank table already built for the source column would
+// not cover — the append path's shard-partition extension does this for the
+// hidden row column.
+func (c *Column) EmptyLikeExtended(name string) *Column {
+	def := c.def
+	def.Name = name
+	return &Column{def: def, dict: c.dict.extend()}
+}
+
 // gather builds a new column containing rows idx, sharing this column's
 // dictionary.
 func (c *Column) gather(idx []int32) *Column {
@@ -147,6 +161,15 @@ func (c *Column) gather(idx []int32) *Column {
 	return out
 }
 
+// imgState holds a table's lazily built scan image behind its own lock, as a
+// separate allocation so Table values stay copyable (Rename) and so an
+// appended snapshot can extend its parent's already-built image without
+// racing a concurrent lazy build by a reader of the parent.
+type imgState struct {
+	mu   sync.Mutex
+	data []byte
+}
+
 // Table is a named collection of equal-length columns.
 type Table struct {
 	name  string
@@ -154,15 +177,20 @@ type Table struct {
 	byIdx map[string]int
 	nrows int
 
-	// rowImage is the packed row-major scan image (see RowImage), built
-	// lazily on first scan.
-	rowImage []byte
+	// deltaStart is the append watermark: rows [deltaStart, nrows) arrived in
+	// the Append call that produced this snapshot (0 for tables not produced
+	// by Append). See DeltaView.
+	deltaStart int
+
+	// img is the packed row-major scan image (see RowImage), built lazily on
+	// first scan.
+	img *imgState
 }
 
 // New creates an empty table with the given schema. Column names must be
 // unique and non-empty.
 func New(name string, defs []ColumnDef) *Table {
-	t := &Table{name: name, byIdx: make(map[string]int, len(defs))}
+	t := &Table{name: name, byIdx: make(map[string]int, len(defs)), img: &imgState{}}
 	for i, d := range defs {
 		if d.Name == "" {
 			panic(fmt.Sprintf("table %q: column %d has empty name", name, i))
@@ -178,7 +206,7 @@ func New(name string, defs []ColumnDef) *Table {
 
 // FromColumns assembles a table from pre-built columns of equal length.
 func FromColumns(name string, cols []*Column) *Table {
-	t := &Table{name: name, byIdx: make(map[string]int, len(cols)), cols: cols}
+	t := &Table{name: name, byIdx: make(map[string]int, len(cols)), cols: cols, img: &imgState{}}
 	for i, c := range cols {
 		if _, dup := t.byIdx[c.Name()]; dup {
 			panic(fmt.Sprintf("table %q: duplicate column %q", name, c.Name()))
@@ -298,23 +326,37 @@ func (t *Table) Project(name string, ords []int) *Table {
 // disk-based row store the paper evaluated on. This is what makes computing a
 // narrow Group By from a narrow materialized intermediate much cheaper than
 // from the wide base relation.
+//
+// The build is synchronized: concurrent readers of a shared table (cached
+// entries, shard partitions, append snapshots) may all trigger the first
+// scan, and exactly one of them builds the image.
 func (t *Table) RowImage() (image []byte, stride int) {
 	stride = 4 * len(t.cols)
-	if t.rowImage == nil {
-		img := make([]byte, t.nrows*stride)
-		for ci, c := range t.cols {
-			off := 4 * ci
-			for r, code := range c.codes {
-				p := r*stride + off
-				img[p] = byte(code)
-				img[p+1] = byte(code >> 8)
-				img[p+2] = byte(code >> 16)
-				img[p+3] = byte(code >> 24)
-			}
-		}
-		t.rowImage = img
+	t.img.mu.Lock()
+	defer t.img.mu.Unlock()
+	if t.img.data == nil {
+		t.img.data = packRows(t.cols, 0, t.nrows)
 	}
-	return t.rowImage, stride
+	return t.img.data, stride
+}
+
+// packRows encodes rows [lo, hi) of cols into the packed row-major image
+// form: one little-endian uint32 code per column per row.
+func packRows(cols []*Column, lo, hi int) []byte {
+	stride := 4 * len(cols)
+	img := make([]byte, (hi-lo)*stride)
+	for ci, c := range cols {
+		off := 4 * ci
+		for r := lo; r < hi; r++ {
+			code := c.codes[r]
+			p := (r-lo)*stride + off
+			img[p] = byte(code)
+			img[p+1] = byte(code >> 8)
+			img[p+2] = byte(code >> 16)
+			img[p+3] = byte(code >> 24)
+		}
+	}
+	return img
 }
 
 // WidthBytes returns the average row width in bytes over the given column
@@ -348,7 +390,10 @@ func (t *Table) SizeBytes() float64 {
 // gathered and aggregated tables share them with their parent, so
 // materializing an intermediate costs no extra dictionary memory.
 func (t *Table) MemSize() int64 {
-	return int64(t.nrows)*int64(len(t.cols))*4 + int64(len(t.rowImage))
+	t.img.mu.Lock()
+	imgBytes := len(t.img.data)
+	t.img.mu.Unlock()
+	return int64(t.nrows)*int64(len(t.cols))*4 + int64(imgBytes)
 }
 
 // String summarizes the table.

@@ -434,6 +434,23 @@ func (db *DB) registerMetrics() {
 		}
 		rehashes.Add(float64(rep.RehashesAvoided))
 	})
+	appends := r.Counter("gbmqo_appends_total", "streaming appends committed")
+	appendErrs := r.Counter("gbmqo_append_errors_total", "streaming appends rejected or failed")
+	appendRows := r.Counter("gbmqo_append_rows_total", "rows appended to base tables by streaming appends")
+	refreshed := r.Counter("gbmqo_cache_refreshed_total", "cached entries rolled forward by delta aggregation after an append")
+	lazyDropped := r.Counter("gbmqo_cache_lazy_dropped_total", "cached entries dropped at append time for lazy re-derivation from a maintained ancestor")
+	refreshLat := r.Histogram("gbmqo_append_refresh_seconds", "wall time spent maintaining cached entries per append", obs.DurationBuckets)
+	db.eng.SetAppendObserver(func(rep *engine.AppendReport, err error) {
+		if err != nil {
+			appendErrs.Inc()
+			return
+		}
+		appends.Inc()
+		appendRows.Add(float64(rep.Rows))
+		refreshed.Add(float64(rep.Refreshed))
+		lazyDropped.Add(float64(rep.Dropped))
+		refreshLat.Observe(rep.RefreshWall.Seconds())
+	})
 	c := db.eng.ResultCache()
 	if c == nil {
 		return
