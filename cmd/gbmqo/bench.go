@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gbmqo"
+	"gbmqo/internal/loadgen"
+)
+
+// benchOpts parameterizes one -bench-serve invocation. Everything feeding
+// the schedule is explicit here so the checked-in artifact records how to
+// reproduce itself.
+type benchOpts struct {
+	Table       string
+	Seed        int64
+	Duration    time.Duration
+	Rate        float64
+	ZipfS       float64
+	AppendRatio float64
+	// MaxInFlight bounds concurrently outstanding operations per level
+	// (0 = loadgen default). Excess arrivals count as client-side shed.
+	MaxInFlight int
+	// URL, when set, drives a live HTTP endpoint instead of the in-process
+	// scheduler.
+	URL string
+	// Command is recorded verbatim in the artifact.
+	Command string
+}
+
+// runBenchServe offers two seeded load levels — steady Poisson and on/off
+// bursty at the same mean rate — against the DB (or a live server when
+// opts.URL is set) and returns the artifact for BENCH_load.json. The bursty
+// level reuses the same runner, so /metrics shows cumulative driver counters
+// across both levels.
+func runBenchServe(ctx context.Context, db *gbmqo.DB, opts benchOpts) (*loadgen.Artifact, error) {
+	t, ok := db.Table(opts.Table)
+	if !ok {
+		return nil, fmt.Errorf("-bench-serve: unknown table %q", opts.Table)
+	}
+	cols := loadgen.PickGroupCols(t, 5, 128)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("-bench-serve: table %q has no grouping-friendly columns", opts.Table)
+	}
+	w := &loadgen.Workload{
+		Table:   opts.Table,
+		Queries: loadgen.LatticeWorkload(opts.Table, cols, 3, nil),
+		Proto:   loadgen.ProtoRows(t, 1024, opts.Seed+9),
+	}
+
+	var target loadgen.Target
+	if opts.URL != "" {
+		target = &loadgen.HTTPTarget{URL: opts.URL, Table: opts.Table,
+			Client: loadgen.DefaultHTTPClient(256, 30*time.Second)}
+	} else {
+		target = &loadgen.InProc{DB: db, Table: opts.Table}
+	}
+	runner := loadgen.NewRunner(target, w)
+	if opts.URL == "" {
+		// In-process runs surface live driver counters on the DB's /metrics.
+		// A rerun in the same process keeps the first runner's registration;
+		// the duplicate-name error is not fatal to the bench itself.
+		_ = db.RegisterCollector(runner)
+	}
+
+	levels := []loadgen.Config{
+		{Name: "steady", Seed: opts.Seed, Duration: opts.Duration, Rate: opts.Rate,
+			Arrival: loadgen.ArrivalPoisson, ZipfS: opts.ZipfS, AppendRatio: opts.AppendRatio,
+			MaxInFlight: opts.MaxInFlight},
+		{Name: "bursty", Seed: opts.Seed + 100, Duration: opts.Duration, Rate: opts.Rate,
+			Arrival: loadgen.ArrivalOnOff, BurstFactor: 8, ZipfS: opts.ZipfS,
+			AppendRatio: opts.AppendRatio, MaxInFlight: opts.MaxInFlight},
+	}
+	art := &loadgen.Artifact{
+		Bench:   "LoadServe",
+		Command: opts.Command,
+		Table:   opts.Table,
+		Rows:    t.NumRows(),
+	}
+	for _, cfg := range levels {
+		rep, err := loadgen.Run(ctx, runner, cfg)
+		if err != nil {
+			return nil, err
+		}
+		art.Levels = append(art.Levels, *rep)
+		fmt.Fprintf(os.Stderr,
+			"level %s: offered=%d completed=%d errors=%d shed=%d p50=%.2fms p95=%.2fms p99=%.2fms %.0f ops/s\n",
+			rep.Level, rep.Offered, rep.Completed, rep.Errors, rep.Shed+rep.ClientShed,
+			rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.ThroughputOpsS)
+	}
+	return art, nil
+}
+
+// writeArtifact renders the artifact as indented JSON to path ("-" = stdout).
+func writeArtifact(art *loadgen.Artifact, path string) error {
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

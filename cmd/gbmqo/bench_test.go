@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gbmqo"
+	"gbmqo/internal/loadgen"
+)
+
+// TestBenchServeSmoke drives a short seeded harness run end to end through
+// the in-process target: zero errors, a cache-assisted origin mix, and an
+// artifact that round-trips through ParseArtifact — the same assertions the
+// CI load-smoke job makes against the real binary.
+func TestBenchServeSmoke(t *testing.T) {
+	db := gbmqo.Open(&gbmqo.Config{CacheBytes: 16 << 20})
+	li, err := gbmqo.GenerateDataset("lineitem", 20_000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(li)
+	db.StartBatching(gbmqo.BatchOptions{MaxWait: 2 * time.Millisecond,
+		Exec: gbmqo.QueryOptions{SharedScan: true, Parallel: true}})
+	defer db.StopBatching()
+
+	// A rate the slowest CI runner absorbs under -race: overload from the 8x
+	// bursty windows must land in client-shed (bounded in-flight), never in
+	// timeout errors.
+	smoke := benchOpts{
+		Table: "lineitem", Seed: 42, Duration: 600 * time.Millisecond,
+		Rate: 80, ZipfS: 1.0, AppendRatio: 0.02, MaxInFlight: 32, Command: "test",
+	}
+	art, err := runBenchServe(context.Background(), db, smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Levels) != 2 || art.Levels[0].Level != "steady" || art.Levels[1].Level != "bursty" {
+		t.Fatalf("levels = %+v", art.Levels)
+	}
+	var cacheAssisted int64
+	for _, lv := range art.Levels {
+		if lv.Errors != 0 {
+			t.Fatalf("level %s: %d errors", lv.Level, lv.Errors)
+		}
+		if lv.Completed == 0 {
+			t.Fatalf("level %s completed nothing", lv.Level)
+		}
+		if lv.SequenceFNV == "" {
+			t.Fatalf("level %s has no schedule fingerprint", lv.Level)
+		}
+		cacheAssisted += lv.OriginMix["cache-hit"] + lv.OriginMix["cache-ancestor"] +
+			lv.OriginMix["flight-shared"]
+	}
+	if cacheAssisted == 0 {
+		t.Fatal("no cache-assisted results across both levels")
+	}
+
+	// The artifact must survive a JSON round trip through ParseArtifact.
+	buf, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadgen.ParseArtifact(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "LoadServe" || len(back.Levels) != 2 {
+		t.Fatalf("round-tripped artifact = %+v", back)
+	}
+
+	// Same seed, same config: the offered sequence must be identical.
+	art2, err := runBenchServe(context.Background(), db, smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range art.Levels {
+		if art.Levels[i].SequenceFNV != art2.Levels[i].SequenceFNV {
+			t.Fatalf("level %s fingerprint changed across same-seed reruns", art.Levels[i].Level)
+		}
+	}
+}

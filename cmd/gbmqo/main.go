@@ -57,6 +57,16 @@ func main() {
 		shards    = flag.Int("shards", 0, "partition tables into N hash shards and scatter-gather queries across them (0 = unsharded)")
 		partialOK = flag.Bool("allow-partial", false, "with -shards: serve partial results when a shard fails terminally instead of erroring")
 		appendCSV = flag.String("append-csv", "", "append rows from a CSV file (matching the target table's schema, header row required) as a streaming delta")
+
+		benchServe  = flag.Bool("bench-serve", false, "run the seeded open-loop load harness (steady + bursty levels) against the in-process scheduler, or against -load-url, and write a BENCH_load artifact")
+		loadSeed    = flag.Int64("load-seed", 42, "load harness seed: same seed, same offered operation sequence")
+		loadDur     = flag.Duration("load-duration", 5*time.Second, "offered-load window per level")
+		loadRate    = flag.Float64("load-rate", 400, "mean offered rate in operations per second")
+		loadZipf    = flag.Float64("load-zipf-s", 1.0, "Zipf skew of query popularity over the group-by lattice (0 = uniform)")
+		loadAppend  = flag.Float64("load-append-ratio", 0.02, "fraction of operations that are streaming appends")
+		loadURL     = flag.String("load-url", "", "drive a live gbmqo server at this base URL instead of the in-process scheduler")
+		benchOut    = flag.String("bench-out", "BENCH_load.json", "load artifact output path (\"-\" = stdout)")
+		metricsDump = flag.Bool("metrics-dump", false, "after -bench-serve, dump the metrics registry in Prometheus text format to stderr")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -225,6 +235,47 @@ func main() {
 		fmt.Printf("serving %s on %s (POST /query, POST /sql, GET /metrics)\n",
 			strings.Join(db.Tables(), ", "), ln.Addr())
 		fail(runServe(db, ln, sig, *drainFor))
+	}
+	if *benchServe {
+		ran = true
+		name := *tableN
+		if _, ok := db.Table(name); !ok && len(db.Tables()) == 1 {
+			name = db.Tables()[0]
+		}
+		if *loadURL == "" {
+			if len(db.Tables()) == 0 {
+				fail(fmt.Errorf("-bench-serve needs a table (-gen or -csv) unless -load-url is set"))
+			}
+			sopts := opts
+			sopts.SharedScan = true
+			sopts.Parallel = true
+			sopts.MaxAttempts = 3
+			db.StartBatching(gbmqo.BatchOptions{
+				MaxBatch:          *batchMax,
+				MaxWait:           *batchWait,
+				IdleWait:          *batchIdle,
+				ShedLatencyTarget: *shedAt,
+				Exec:              sopts,
+			})
+		}
+		art, err := runBenchServe(context.Background(), db, benchOpts{
+			Table:       name,
+			Seed:        *loadSeed,
+			Duration:    *loadDur,
+			Rate:        *loadRate,
+			ZipfS:       *loadZipf,
+			AppendRatio: *loadAppend,
+			URL:         *loadURL,
+			Command:     strings.Join(os.Args, " "),
+		})
+		fail(err)
+		fail(writeArtifact(art, *benchOut))
+		if *metricsDump {
+			db.WriteMetrics(os.Stderr)
+		}
+		if *loadURL == "" {
+			db.StopBatching()
+		}
 	}
 	if *metrics {
 		ran = true

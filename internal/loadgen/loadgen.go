@@ -1,0 +1,230 @@
+// Package loadgen is the deterministic open-loop workload driver for the
+// serving stack: it generates a seeded arrival schedule (Poisson or on/off
+// bursty), draws query popularity from a Zipf distribution over the group-by
+// lattice, mixes in streaming appends that exercise the incremental cache
+// maintenance path, fires the schedule at a Target (in-process DB.Submit or
+// a live HTTP endpoint) without waiting for responses (open loop: offered
+// load does not shrink when the server slows down), and reduces the run to a
+// closed-form LevelReport — latency quantiles, throughput, shed rate, origin
+// mix — suitable for checking in as a benchmark artifact.
+//
+// Everything before the wall clock is pure: Schedule(cfg, population) is a
+// deterministic function of the seed, so two runs with the same seed offer
+// the identical operation sequence (fingerprinted by SequenceFNV) and load
+// results are comparable across commits.
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival process names for Config.Arrival.
+const (
+	// ArrivalPoisson draws independent exponential inter-arrival gaps at
+	// Config.Rate — the memoryless steady-state baseline.
+	ArrivalPoisson = "poisson"
+	// ArrivalOnOff alternates bursty ON windows at Rate*BurstFactor with
+	// quiet OFF windows at Rate/BurstFactor (gaps still exponential inside
+	// each window) — the flash-crowd shape that stresses admission control.
+	ArrivalOnOff = "onoff"
+)
+
+// Config describes one load level. The zero value is not runnable; use
+// (Config).withDefaults via Schedule/Runner, which fill the documented
+// defaults.
+type Config struct {
+	// Name labels the level in reports ("steady", "bursty", ...).
+	Name string
+	// Seed derives every random stream: arrivals use Seed, popularity uses
+	// Seed+1, the read/append mix uses Seed+2. Same seed, same schedule.
+	Seed int64
+	// Duration is the offered-load window.
+	Duration time.Duration
+	// Rate is the mean offered rate in operations per second.
+	Rate float64
+	// Arrival selects the arrival process (default ArrivalPoisson).
+	Arrival string
+	// BurstFactor scales Rate inside ON windows (and divides it in OFF
+	// windows) when Arrival is ArrivalOnOff (default 8).
+	BurstFactor float64
+	// BurstOn / BurstOff are the ON / OFF window lengths for ArrivalOnOff
+	// (defaults 200ms / 600ms).
+	BurstOn  time.Duration
+	BurstOff time.Duration
+	// ZipfS is the Zipf skew of query popularity over the workload's query
+	// population: weight(rank r) ∝ 1/(r+1)^s. 0 is uniform; 1 (the default)
+	// is the classic web-workload skew that makes the result cache earn its
+	// keep.
+	ZipfS float64
+	// AppendRatio is the fraction of operations that are streaming appends
+	// instead of queries (default 0 — read-only).
+	AppendRatio float64
+	// AppendRows is the number of rows per append operation (default 64).
+	AppendRows int
+	// MaxInFlight bounds concurrently outstanding operations; an arrival
+	// finding no free slot is counted as client-side shed rather than
+	// queueing (open-loop backpressure accounting, default 256).
+	MaxInFlight int
+	// Timeout bounds each individual operation (default 5s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "level"
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Arrival == "" {
+		c.Arrival = ArrivalPoisson
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 8
+	}
+	if c.BurstOn <= 0 {
+		c.BurstOn = 200 * time.Millisecond
+	}
+	if c.BurstOff <= 0 {
+		c.BurstOff = 600 * time.Millisecond
+	}
+	if c.AppendRows <= 0 {
+		c.AppendRows = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// Op is one scheduled operation: fire at offset At from the run's start;
+// either an append or the Query-th member of the workload's population.
+type Op struct {
+	Seq    int
+	At     time.Duration
+	Append bool
+	Query  int
+}
+
+// Schedule expands cfg into the full deterministic operation sequence over a
+// query population of the given size. Three independent seeded streams feed
+// it — arrival gaps (Seed), Zipf popularity draws (Seed+1), and the
+// read/append mix (Seed+2) — so changing, say, AppendRatio does not perturb
+// which queries the read stream issues.
+func Schedule(cfg Config, population int) []Op {
+	cfg = cfg.withDefaults()
+	if population < 1 {
+		population = 1
+	}
+	arrival := rand.New(rand.NewSource(cfg.Seed))
+	popular := rand.New(rand.NewSource(cfg.Seed + 1))
+	mix := rand.New(rand.NewSource(cfg.Seed + 2))
+	zipf := newZipfPicker(population, cfg.ZipfS)
+
+	var ops []Op
+	t := time.Duration(0)
+	for {
+		t += gap(cfg, arrival, t)
+		if t >= cfg.Duration {
+			break
+		}
+		op := Op{Seq: len(ops), At: t}
+		if cfg.AppendRatio > 0 && mix.Float64() < cfg.AppendRatio {
+			op.Append = true
+		} else {
+			op.Query = zipf.pick(popular)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// gap draws the next exponential inter-arrival gap at the rate in force at
+// offset t (constant for Poisson; phase-dependent for on/off).
+func gap(cfg Config, rng *rand.Rand, t time.Duration) time.Duration {
+	rate := cfg.Rate
+	if cfg.Arrival == ArrivalOnOff {
+		period := cfg.BurstOn + cfg.BurstOff
+		if t%period < cfg.BurstOn {
+			rate = cfg.Rate * cfg.BurstFactor
+		} else {
+			rate = cfg.Rate / cfg.BurstFactor
+		}
+	}
+	g := rng.ExpFloat64() / rate
+	return time.Duration(g * float64(time.Second))
+}
+
+// zipfPicker samples ranks 0..n-1 with weight(r) ∝ 1/(r+1)^s by inverse-CDF
+// binary search over precomputed cumulative weights. rand.Zipf would serve,
+// but the explicit CDF keeps the distribution identical across Go versions
+// and lets s = 0 degrade to exactly uniform.
+type zipfPicker struct {
+	cum []float64 // cumulative normalized weights, cum[n-1] == 1
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / pow(float64(r+1), s)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// pow is math.Pow with the two exponents the picker actually uses fast-pathed
+// (s=0 uniform, s=1 harmonic), so the common configurations cost no libm
+// call per rank when setting up large populations.
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 0:
+		return 1
+	case 1:
+		return base
+	}
+	return math.Pow(base, exp)
+}
+
+// SequenceFNV fingerprints a schedule: FNV-1a over every op's offset, kind
+// and query index. Two runs with equal fingerprints offered the identical
+// operation sequence — the reproducibility witness checked into BENCH_load.
+func SequenceFNV(ops []Op) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, op := range ops {
+		put(uint64(op.At))
+		if op.Append {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint64(op.Query))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

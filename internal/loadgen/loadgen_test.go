@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"gbmqo"
+	"gbmqo/internal/obs"
+)
+
+// TestScheduleDeterministic: same seed, same config → byte-identical
+// operation sequences (the reproducibility contract BENCH_load relies on).
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Duration: 2 * time.Second, Rate: 500, ZipfS: 1.0, AppendRatio: 0.05}
+	a := Schedule(cfg, 30)
+	b := Schedule(cfg, 30)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if SequenceFNV(a) != SequenceFNV(b) {
+		t.Fatal("fingerprints differ for identical schedules")
+	}
+	cfg.Seed = 43
+	if SequenceFNV(Schedule(cfg, 30)) == SequenceFNV(a) {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+// TestPoissonInterArrivalMean: exponential gaps at rate λ must average 1/λ
+// within 5% over a long window (law of large numbers check on the sampler).
+func TestPoissonInterArrivalMean(t *testing.T) {
+	cfg := Config{Seed: 7, Duration: 60 * time.Second, Rate: 1000, Arrival: ArrivalPoisson}
+	ops := Schedule(cfg, 10)
+	if len(ops) < 10_000 {
+		t.Fatalf("only %d arrivals in 60s at 1000/s", len(ops))
+	}
+	mean := ops[len(ops)-1].At.Seconds() / float64(len(ops)-1)
+	want := 1.0 / cfg.Rate
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean inter-arrival %.6fs, want %.6fs ±5%%", mean, want)
+	}
+}
+
+// TestZipfRankFrequencies: with s=1 over n ranks, observed frequencies must
+// track the harmonic weights 1/(r+1) within tolerance, and rank order must
+// be monotone for the head.
+func TestZipfRankFrequencies(t *testing.T) {
+	const n = 8
+	cfg := Config{Seed: 11, Duration: 120 * time.Second, Rate: 1000, ZipfS: 1.0}
+	ops := Schedule(cfg, n)
+	counts := make([]float64, n)
+	for _, op := range ops {
+		counts[op.Query]++
+	}
+	total := float64(len(ops))
+	hn := 0.0
+	for r := 1; r <= n; r++ {
+		hn += 1 / float64(r)
+	}
+	for r := 0; r < n; r++ {
+		want := (1 / float64(r+1)) / hn
+		got := counts[r] / total
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("rank %d frequency %.4f, want %.4f ±10%%", r, got, want)
+		}
+	}
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[r-1] {
+			t.Fatalf("rank %d more popular than rank %d — Zipf order broken", r, r-1)
+		}
+	}
+}
+
+// TestZipfUniformWhenZeroSkew: s=0 must degrade to uniform.
+func TestZipfUniformWhenZeroSkew(t *testing.T) {
+	const n = 4
+	cfg := Config{Seed: 13, Duration: 60 * time.Second, Rate: 1000, ZipfS: 0}
+	ops := Schedule(cfg, n)
+	counts := make([]float64, n)
+	for _, op := range ops {
+		counts[op.Query]++
+	}
+	want := float64(len(ops)) / n
+	for r, c := range counts {
+		if math.Abs(c-want)/want > 0.10 {
+			t.Fatalf("rank %d count %.0f, want %.0f ±10%%", r, c, want)
+		}
+	}
+}
+
+// TestOnOffBurstDensity: arrivals inside ON windows must be denser than OFF
+// windows by roughly BurstFactor² (rate is multiplied in ON, divided in OFF).
+func TestOnOffBurstDensity(t *testing.T) {
+	cfg := Config{Seed: 17, Duration: 30 * time.Second, Rate: 200, Arrival: ArrivalOnOff,
+		BurstFactor: 8, BurstOn: 200 * time.Millisecond, BurstOff: 600 * time.Millisecond}
+	ops := Schedule(cfg, 5)
+	period := cfg.BurstOn + cfg.BurstOff
+	var on, off float64
+	for _, op := range ops {
+		if op.At%period < cfg.BurstOn {
+			on++
+		} else {
+			off++
+		}
+	}
+	onRate := on / (cfg.Duration.Seconds() * cfg.BurstOn.Seconds() / period.Seconds())
+	offRate := off / (cfg.Duration.Seconds() * cfg.BurstOff.Seconds() / period.Seconds())
+	if onRate < offRate*16 {
+		t.Fatalf("on-window rate %.0f/s vs off %.0f/s: bursts not bursty", onRate, offRate)
+	}
+}
+
+// TestAppendMixRatio: the read/append mix must track AppendRatio.
+func TestAppendMixRatio(t *testing.T) {
+	cfg := Config{Seed: 19, Duration: 60 * time.Second, Rate: 1000, AppendRatio: 0.10}
+	ops := Schedule(cfg, 10)
+	var appends float64
+	for _, op := range ops {
+		if op.Append {
+			appends++
+		}
+	}
+	got := appends / float64(len(ops))
+	if math.Abs(got-0.10) > 0.01 {
+		t.Fatalf("append fraction %.4f, want 0.10 ±0.01", got)
+	}
+}
+
+// TestLatticeWorkload: the population enumerates every subset up to maxDims,
+// coarsest first.
+func TestLatticeWorkload(t *testing.T) {
+	qs := LatticeWorkload("t", []string{"a", "b", "c"}, 2, nil)
+	if len(qs) != 6 { // 3 singletons + 3 pairs
+		t.Fatalf("got %d queries, want 6", len(qs))
+	}
+	if len(qs[0].Cols) != 1 || len(qs[5].Cols) != 2 {
+		t.Fatalf("population not ordered coarsest-first: %v ... %v", qs[0].Cols, qs[5].Cols)
+	}
+	for _, q := range qs {
+		if len(q.Aggs) != 1 {
+			t.Fatalf("query %v missing default COUNT(*)", q.Cols)
+		}
+	}
+}
+
+// TestRunInProcSmoke: a short seeded run against a real in-process DB must
+// complete queries with zero errors, record latencies, and show cache
+// activity in the origin mix (the Zipf head repeats, so the result cache and
+// window dedup must serve some of it).
+func TestRunInProcSmoke(t *testing.T) {
+	db := gbmqo.Open(&gbmqo.Config{CacheBytes: 16 << 20})
+	li, err := gbmqo.GenerateDataset("lineitem", 20_000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Register(li)
+	db.StartBatching(gbmqo.BatchOptions{MaxWait: 2 * time.Millisecond,
+		Exec: gbmqo.QueryOptions{SharedScan: true}})
+	defer db.StopBatching()
+
+	w := &Workload{
+		Table:   "lineitem",
+		Queries: LatticeWorkload("lineitem", []string{"l_returnflag", "l_linestatus", "l_shipmode"}, 2, nil),
+		Proto:   ProtoRows(li, 256, 5),
+	}
+	r := NewRunner(&InProc{DB: db, Table: "lineitem"}, w)
+	rep, err := Run(context.Background(), r, Config{
+		Name: "smoke", Seed: 42, Duration: 800 * time.Millisecond, Rate: 300,
+		ZipfS: 1.0, AppendRatio: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors in smoke run", rep.Errors)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Fatalf("implausible latency quantiles: %+v", rep.LatencyMS)
+	}
+	served := rep.OriginMix["cache-hit"] + rep.OriginMix["cache-ancestor"] + rep.OriginMix["flight-shared"]
+	if served == 0 {
+		t.Fatalf("no cache or flight sharing in origin mix %v — Zipf head not repeating?", rep.OriginMix)
+	}
+	// The runner doubles as a collector: its counters must surface.
+	snap := map[string]bool{}
+	ms, errC := collectAll(r)
+	if errC != nil {
+		t.Fatal(errC)
+	}
+	for _, m := range ms {
+		snap[m.Name] = true
+	}
+	if !snap[`gbmqo_loadgen_ops_total{kind="query"}`] || !snap["gbmqo_loadgen_latency_seconds"] {
+		t.Fatalf("collector surface missing driver series: %v", snap)
+	}
+}
+
+// collectAll drains a Collector into a slice.
+func collectAll(c obs.Collector) ([]obs.Metric, error) {
+	ch := make(chan obs.Metric, 1024)
+	err := c.Collect(ch)
+	close(ch)
+	var out []obs.Metric
+	for m := range ch {
+		out = append(out, m)
+	}
+	return out, err
+}

@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"gbmqo/internal/obs"
+)
+
+// LevelReport is the closed-form result of one load level — the unit checked
+// into BENCH_load.json. Every field is computed from the run; SequenceFNV is
+// the schedule fingerprint a same-seed rerun must reproduce.
+type LevelReport struct {
+	Level       string  `json:"level"`
+	Arrival     string  `json:"arrival"`
+	Seed        int64   `json:"seed"`
+	DurationS   float64 `json:"duration_s"`
+	TargetRate  float64 `json:"target_rate_ops_s"`
+	ZipfS       float64 `json:"zipf_s"`
+	AppendRatio float64 `json:"append_ratio"`
+	SequenceFNV string  `json:"sequence_fnv"`
+
+	Offered    int64 `json:"offered"`
+	Completed  int64 `json:"completed"`
+	Errors     int64 `json:"errors"`
+	Shed       int64 `json:"shed"`
+	ClientShed int64 `json:"client_shed"`
+	Appends    int64 `json:"appends"`
+	Partials   int64 `json:"partials"`
+
+	ThroughputOpsS float64          `json:"throughput_ops_s"`
+	LatencyMS      LatencyQuantiles `json:"latency_ms"`
+	OriginMix      map[string]int64 `json:"origin_mix"`
+	ShedRate       float64          `json:"shed_rate"`
+	PartialRate    float64          `json:"partial_rate"`
+}
+
+// LatencyQuantiles are histogram-estimated latency quantiles, milliseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Artifact is the whole benchmark file: one entry per load level, plus the
+// provenance needed to rerun it.
+type Artifact struct {
+	Bench   string        `json:"bench"`
+	Command string        `json:"command"`
+	Table   string        `json:"table"`
+	Rows    int           `json:"rows"`
+	Levels  []LevelReport `json:"levels"`
+}
+
+// ParseArtifact decodes a BENCH_load.json payload and sanity-checks its
+// shape, so CI can assert on artifacts without re-running load.
+func ParseArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("loadgen: bad artifact: %w", err)
+	}
+	if a.Bench == "" || len(a.Levels) == 0 {
+		return nil, fmt.Errorf("loadgen: artifact missing bench name or levels")
+	}
+	return &a, nil
+}
+
+// latencyBounds spans 100µs .. ~13s in ×1.5 steps — fine enough that
+// interpolated quantiles resolve sub-millisecond differences at the fast end.
+var latencyBounds = obs.ExpBuckets(0.0001, 1.5, 30)
+
+// Runner drives one or more load levels at a Target and accounts every
+// operation on a private obs registry, which it exposes as an obs.Collector
+// (name "loadgen") so a serving process can surface live driver-side counters
+// on its own /metrics while a soak runs.
+type Runner struct {
+	Target   Target
+	Workload *Workload
+
+	reg      *obs.Registry
+	ops      *obs.Counter
+	appends  *obs.Counter
+	errsQ    *obs.Counter
+	errsA    *obs.Counter
+	shed     *obs.Counter
+	clShed   *obs.Counter
+	partials *obs.Counter
+	origins  map[string]*obs.Counter
+	latency  *obs.Histogram
+}
+
+// NewRunner wires a runner and its metrics registry.
+func NewRunner(target Target, w *Workload) *Runner {
+	reg := obs.NewRegistry()
+	r := &Runner{
+		Target:   target,
+		Workload: w,
+		reg:      reg,
+		ops:      reg.Counter(`gbmqo_loadgen_ops_total{kind="query"}`, "operations offered by the load driver, by kind"),
+		appends:  reg.Counter(`gbmqo_loadgen_ops_total{kind="append"}`, "operations offered by the load driver, by kind"),
+		errsQ:    reg.Counter(`gbmqo_loadgen_errors_total{kind="query"}`, "driver operations that terminally failed, by kind"),
+		errsA:    reg.Counter(`gbmqo_loadgen_errors_total{kind="append"}`, "driver operations that terminally failed, by kind"),
+		shed:     reg.Counter("gbmqo_loadgen_shed_total", "operations the server refused under overload or drain"),
+		clShed:   reg.Counter("gbmqo_loadgen_client_shed_total", "arrivals dropped at the driver: in-flight bound reached"),
+		partials: reg.Counter("gbmqo_loadgen_partials_total", "query results served degraded (lost shards)"),
+		origins:  map[string]*obs.Counter{},
+		latency: reg.Histogram("gbmqo_loadgen_latency_seconds",
+			"end-to-end operation latency as the driver observes it", latencyBounds),
+	}
+	for _, o := range []string{"computed", "cache-hit", "cache-ancestor", "flight-shared"} {
+		r.origins[o] = reg.Counter(fmt.Sprintf("gbmqo_loadgen_origin_total{origin=%q}", o),
+			"completed queries by result origin")
+	}
+	return r
+}
+
+// Name implements obs.Collector.
+func (r *Runner) Name() string { return "loadgen" }
+
+// Collect implements obs.Collector by forwarding the private registry.
+func (r *Runner) Collect(ch chan<- obs.Metric) error { return r.reg.Collect(ch) }
+
+// Run offers cfg's schedule at the target, open loop: arrivals fire at their
+// scheduled offsets regardless of how long earlier operations take, bounded
+// only by MaxInFlight (beyond it arrivals are dropped and counted, never
+// queued — queueing would close the loop). Returns the level's report; the
+// error is non-nil only for setup problems, not per-operation failures.
+func Run(ctx context.Context, r *Runner, cfg Config) (*LevelReport, error) {
+	cfg = cfg.withDefaults()
+	if r.Workload == nil || len(r.Workload.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty workload")
+	}
+	ops := Schedule(cfg, len(r.Workload.Queries))
+
+	// Per-level accounting is separate from the cumulative registry counters
+	// so multiple levels can share one Runner (and one /metrics surface).
+	var mu sync.Mutex
+	lat := obs.NewHistogram(latencyBounds)
+	rep := &LevelReport{
+		Level: cfg.Name, Arrival: cfg.Arrival, Seed: cfg.Seed,
+		DurationS: cfg.Duration.Seconds(), TargetRate: cfg.Rate,
+		ZipfS: cfg.ZipfS, AppendRatio: cfg.AppendRatio,
+		SequenceFNV: SequenceFNV(ops),
+		OriginMix:   map[string]int64{},
+	}
+
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for _, op := range ops {
+		if d := time.Until(start.Add(op.At)); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		rep.Offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			r.clShed.Inc()
+			rep.ClientShed++
+			continue
+		}
+		wg.Add(1)
+		go func(op Op) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			opCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			var res Result
+			if op.Append {
+				r.appends.Inc()
+				res = r.Target.Append(opCtx, r.Workload.AppendBatch(op.Seq, cfg.AppendRows))
+			} else {
+				r.ops.Inc()
+				res = r.Target.Query(opCtx, r.Workload.Queries[op.Query])
+			}
+			elapsed := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case res.Shed:
+				r.shed.Inc()
+				rep.Shed++
+			case res.Err != nil:
+				if op.Append {
+					r.errsA.Inc()
+				} else {
+					r.errsQ.Inc()
+				}
+				rep.Errors++
+			default:
+				rep.Completed++
+				lat.Observe(elapsed.Seconds())
+				r.latency.Observe(elapsed.Seconds())
+				if op.Append {
+					rep.Appends++
+					return
+				}
+				if res.Origin != "" {
+					rep.OriginMix[res.Origin]++
+					if c, ok := r.origins[res.Origin]; ok {
+						c.Inc()
+					}
+				}
+				if res.Partial {
+					r.partials.Inc()
+					rep.Partials++
+				}
+			}
+		}(op)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	if wall > 0 {
+		rep.ThroughputOpsS = float64(rep.Completed) / wall
+	}
+	rep.LatencyMS = LatencyQuantiles{
+		P50: lat.Quantile(0.50) * 1000,
+		P95: lat.Quantile(0.95) * 1000,
+		P99: lat.Quantile(0.99) * 1000,
+	}
+	if rep.Offered > 0 {
+		rep.ShedRate = float64(rep.Shed+rep.ClientShed) / float64(rep.Offered)
+	}
+	if rep.Completed > 0 {
+		rep.PartialRate = float64(rep.Partials) / float64(rep.Completed)
+	}
+	return rep, nil
+}

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gbmqo"
+)
+
+// Result is one operation's outcome as the driver accounts it.
+type Result struct {
+	// Err is the terminal error, nil on success (and nil when Shed — shed is
+	// expected overload behavior, not a failure).
+	Err error
+	// Shed reports the server refused the operation under overload or
+	// drain (ErrQueueFull / 429 / 503): counted separately from errors.
+	Shed bool
+	// Origin attributes a query result ("computed", "cache-hit",
+	// "cache-ancestor", "flight-shared"); empty for appends and failures.
+	Origin string
+	// Partial reports a degraded sharded result that lost shards.
+	Partial bool
+}
+
+// Target is where the driver sends operations: the in-process scheduler or a
+// live HTTP endpoint. Implementations must be safe for concurrent use.
+type Target interface {
+	// Query runs the q-th population member and classifies the outcome.
+	Query(ctx context.Context, q gbmqo.GroupQuery) Result
+	// Append streams rows into the table under maintenance.
+	Append(ctx context.Context, rows [][]gbmqo.Value) Result
+}
+
+// InProc drives gbmqo.DB directly through Submit/Append — the zero-transport
+// baseline that isolates scheduler and engine behavior from HTTP overhead.
+type InProc struct {
+	DB    *gbmqo.DB
+	Table string
+}
+
+// Query submits through the micro-batching scheduler; overload and drain
+// rejections classify as shed.
+func (t *InProc) Query(ctx context.Context, q gbmqo.GroupQuery) Result {
+	_, info, err := t.DB.Submit(ctx, t.Table, q)
+	if err != nil {
+		if errors.Is(err, gbmqo.ErrQueueFull) || errors.Is(err, gbmqo.ErrDraining) ||
+			errors.Is(err, gbmqo.ErrBatcherClosed) {
+			return Result{Shed: true}
+		}
+		return Result{Err: err}
+	}
+	return Result{Origin: info.Origin.String(), Partial: info.Partial}
+}
+
+// Append feeds the streaming delta maintenance path.
+func (t *InProc) Append(ctx context.Context, rows [][]gbmqo.Value) Result {
+	if _, err := t.DB.Append(t.Table, rows); err != nil {
+		return Result{Err: err}
+	}
+	return Result{}
+}
+
+// HTTPTarget drives a live gbmqo server (POST /query, POST /append) — the
+// full-stack measurement including transport and JSON encoding. 429 and 503
+// classify as shed, matching the server's overload contract.
+type HTTPTarget struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL   string
+	Table string
+	// Client defaults to a dedicated client with a generous pooled
+	// transport; share one across levels so connections are reused.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// httpQueryReq / httpQueryResp mirror the server's /query wire shape.
+type httpQueryReq struct {
+	Table   string         `json:"table"`
+	Queries []httpQueryOne `json:"queries"`
+}
+
+type httpQueryOne struct {
+	Cols []string      `json:"cols"`
+	Aggs []httpAggJSON `json:"aggs,omitempty"`
+}
+
+type httpAggJSON struct {
+	Fn  string `json:"fn"`
+	Col string `json:"col,omitempty"`
+	As  string `json:"as,omitempty"`
+}
+
+type httpQueryResp struct {
+	Results []struct {
+		Batch *struct {
+			Origin  string `json:"origin"`
+			Partial bool   `json:"partial"`
+		} `json:"batch"`
+		Error string `json:"error"`
+	} `json:"results"`
+}
+
+// Query posts the request and classifies the status code.
+func (t *HTTPTarget) Query(ctx context.Context, q gbmqo.GroupQuery) Result {
+	body := httpQueryReq{Table: t.Table, Queries: []httpQueryOne{{Cols: q.Cols}}}
+	var resp httpQueryResp
+	res := t.post(ctx, "/query", body, &resp)
+	if res.Err != nil || res.Shed {
+		return res
+	}
+	if len(resp.Results) == 0 {
+		return Result{Err: errors.New("loadgen: /query returned no results")}
+	}
+	r0 := resp.Results[0]
+	if r0.Error != "" {
+		return Result{Err: errors.New(r0.Error)}
+	}
+	if r0.Batch != nil {
+		res.Origin = r0.Batch.Origin
+		res.Partial = r0.Batch.Partial
+	}
+	return res
+}
+
+// Append posts rows as JSON cells in schema order.
+func (t *HTTPTarget) Append(ctx context.Context, rows [][]gbmqo.Value) Result {
+	enc := make([][]any, len(rows))
+	for i, row := range rows {
+		cells := make([]any, len(row))
+		for c, v := range row {
+			cells[c] = cellJSON(v)
+		}
+		enc[i] = cells
+	}
+	return t.post(ctx, "/append", map[string]any{"table": t.Table, "rows": enc}, &struct{}{})
+}
+
+// post encodes body, issues the request, decodes into out, and classifies
+// overload statuses as shed.
+func (t *HTTPTarget) post(ctx context.Context, path string, body, out any) Result {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return Result{Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.URL+path, bytes.NewReader(buf))
+	if err != nil {
+		return Result{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return Result{Err: err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return Result{Shed: true}
+	case resp.StatusCode != http.StatusOK:
+		return Result{Err: fmt.Errorf("loadgen: %s returned %s", path, resp.Status)}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return Result{Err: err}
+	}
+	return Result{}
+}
+
+// cellJSON renders one typed value as the JSON cell the server's bindValue
+// accepts: numbers for BIGINT/FLOAT/DATE, strings for VARCHAR, null for NULL.
+func cellJSON(v gbmqo.Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Typ {
+	case gbmqo.Float64:
+		return v.F
+	case gbmqo.String:
+		return v.S
+	default: // Int64 and Date carry I
+		return v.I
+	}
+}
+
+// DefaultHTTPClient builds a client suited to open-loop load: pooled
+// connections sized to the in-flight bound and an overall request timeout.
+func DefaultHTTPClient(maxInFlight int, timeout time.Duration) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        maxInFlight,
+		MaxIdleConnsPerHost: maxInFlight,
+	}
+	return &http.Client{Transport: tr, Timeout: timeout}
+}

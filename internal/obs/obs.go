@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -123,6 +122,48 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Snapshot copies the histogram's current bucket counts, sum and total.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)),
+	}
+	for i := range h.bounds {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.total.Load()
+	s.Sum = h.sum.Value()
+	return s
+}
+
+// Quantile estimates the q-quantile of the observed distribution by linear
+// interpolation within the cumulative buckets (see HistSnapshot.Quantile).
+// The estimate's resolution is the bucket width around the target rank.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// NewHistogram builds a standalone histogram (not attached to any registry)
+// with the given ascending upper bounds — for per-run measurement windows
+// like the load harness's per-level latency distribution.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets builds n geometrically spaced upper bounds starting at start
+// with the given growth factor — finer-grained latency buckets than
+// DurationBuckets when quantile estimates matter.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	b := start
+	for i := 0; i < n; i++ {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
 // metric is one registered family member (possibly carrying baked-in labels).
 type metric struct {
 	name    string // full series name, labels included: foo_total{reason="full"}
@@ -145,9 +186,15 @@ func familyOf(name string) string {
 // Registry holds the process's metrics. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
-	mu      sync.Mutex
-	metrics map[string]*metric
-	order   []string
+	mu         sync.Mutex
+	metrics    map[string]*metric
+	order      []string
+	collectors []*collectorEntry
+
+	// gatherMu serializes collector gathers; gatherCh is the reusable
+	// buffered sample channel they share (see runCollector).
+	gatherMu sync.Mutex
+	gatherCh chan Metric
 }
 
 // NewRegistry creates an empty registry.
@@ -205,73 +252,48 @@ func (r *Registry) Func(name, help string, kind Kind, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kind, fn: fn})
 }
 
-// WritePrometheus renders every registered series in Prometheus text
-// exposition format (text/plain; version 0.0.4), families sorted by name,
-// # HELP and # TYPE emitted once per family.
+// WritePrometheus renders every series — directly registered ones and every
+// registered collector's gathered samples — in Prometheus text exposition
+// format (text/plain; version 0.0.4), families sorted by name, # HELP and
+// # TYPE emitted once per family (families may span collectors; the first
+// series' help wins).
 func (r *Registry) WritePrometheus(w io.Writer) {
-	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	byName := make(map[string]*metric, len(names))
-	for _, n := range names {
-		byName[n] = r.metrics[n]
-	}
-	r.mu.Unlock()
-
-	sort.Strings(names)
 	seenFamily := map[string]bool{}
-	for _, n := range names {
-		m := byName[n]
-		fam := familyOf(m.name)
+	for _, m := range r.allSeries() {
+		fam := familyOf(m.Name)
 		if !seenFamily[fam] {
 			seenFamily[fam] = true
-			fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help)
-			fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind)
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, m.Help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.Kind)
 		}
-		switch {
-		case m.hist != nil:
-			h := m.hist
+		if h := m.Hist; h != nil {
 			cum := int64(0)
-			for i, b := range h.bounds {
-				cum += h.counts[i].Load()
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
 				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, formatFloat(b), cum)
 			}
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.counts[len(h.bounds)].Load())
-			fmt.Fprintf(w, "%s_sum %s\n", fam, formatFloat(h.Sum()))
-			fmt.Fprintf(w, "%s_count %d\n", fam, h.Count())
-		case m.fn != nil:
-			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
-		case m.counter != nil:
-			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.counter.Value()))
-		case m.gauge != nil:
-			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+			fmt.Fprintf(w, "%s_sum %s\n", fam, formatFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", fam, h.Count)
+			continue
 		}
+		fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value))
 	}
 }
 
-// Snapshot returns every series' current value keyed by series name
-// (histograms contribute name_sum and name_count). This is the expvar shape.
+// Snapshot returns every series' current value keyed by series name —
+// collector-gathered samples included (histograms contribute name_sum and
+// name_count). This is the expvar shape.
 func (r *Registry) Snapshot() map[string]float64 {
-	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	byName := make(map[string]*metric, len(names))
-	for _, n := range names {
-		byName[n] = r.metrics[n]
-	}
-	r.mu.Unlock()
-	out := make(map[string]float64, len(names))
-	for _, n := range names {
-		m := byName[n]
-		switch {
-		case m.hist != nil:
-			out[n+"_sum"] = m.hist.Sum()
-			out[n+"_count"] = float64(m.hist.Count())
-		case m.fn != nil:
-			out[n] = m.fn()
-		case m.counter != nil:
-			out[n] = m.counter.Value()
-		case m.gauge != nil:
-			out[n] = m.gauge.Value()
+	series := r.allSeries()
+	out := make(map[string]float64, len(series))
+	for _, m := range series {
+		if h := m.Hist; h != nil {
+			out[m.Name+"_sum"] = h.Sum
+			out[m.Name+"_count"] = float64(h.Count)
+			continue
 		}
+		out[m.Name] = m.Value
 	}
 	return out
 }

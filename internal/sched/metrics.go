@@ -33,7 +33,7 @@ type metrics struct {
 }
 
 func newMetrics(r *obs.Registry) *metrics {
-	return &metrics{
+	m := &metrics{
 		submissions: r.Counter("gbmqo_sched_submissions_total",
 			"Group By requests submitted to the micro-batching scheduler"),
 		dedup: r.Counter("gbmqo_sched_dedup_total",
@@ -84,6 +84,13 @@ func newMetrics(r *obs.Registry) *metrics {
 		draining: r.Gauge("gbmqo_sched_draining",
 			"1 while the batcher is draining for shutdown"),
 	}
+	// Histogram-derived p95 over the whole run, next to the ring-derived
+	// gbmqo_sched_p95_batch_seconds that drives shedding (which sees only the
+	// most recent 64 batches).
+	r.Func("gbmqo_sched_batch_exec_p95_seconds",
+		"p95 batch execution latency estimated from the full latency histogram",
+		obs.KindGauge, func() float64 { return m.execLatency.Quantile(0.95) })
+	return m
 }
 
 func (m *metrics) closeReason(reason string) *obs.Counter {

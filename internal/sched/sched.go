@@ -110,8 +110,6 @@ type Config struct {
 	// drain in time. Rejections carry an *OverloadError with a Retry-After
 	// hint. 0 disables shedding — only the hard MaxQueue bound applies.
 	ShedLatencyTarget time.Duration
-	// Reg receives the scheduler's metrics (nil = a private registry).
-	Reg *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -129,9 +127,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 4096
-	}
-	if c.Reg == nil {
-		c.Reg = obs.NewRegistry()
 	}
 	return c
 }
@@ -181,6 +176,7 @@ type Batcher struct {
 	cfg Config
 	run RunFunc
 	met *metrics
+	reg *obs.Registry // private registry backing met; exposed via Collect
 
 	mu       sync.Mutex
 	closed   bool
@@ -202,13 +198,23 @@ type Batcher struct {
 // New creates a Batcher executing batches through run.
 func New(run RunFunc, cfg Config) *Batcher {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	return &Batcher{
 		cfg:     cfg,
 		run:     run,
-		met:     newMetrics(cfg.Reg),
+		met:     newMetrics(reg),
+		reg:     reg,
 		windows: map[string]*window{},
 	}
 }
+
+// Name implements obs.Collector.
+func (b *Batcher) Name() string { return "sched" }
+
+// Collect implements obs.Collector by forwarding the batcher's private
+// metric registry, so whoever owns the scrape endpoint registers the batcher
+// once instead of threading a shared registry into the scheduler.
+func (b *Batcher) Collect(ch chan<- obs.Metric) error { return b.reg.Collect(ch) }
 
 // group is one distinct (set, aggregate-signature) query within a window and
 // its subscribers.

@@ -398,49 +398,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	resp := map[string]any{"ok": !draining, "status": status, "tables": len(s.db.Tables())}
-	if st, ok := s.db.BatchStats(); ok {
-		resp["batching"] = map[string]any{
-			"submitted":    st.Submitted,
-			"deduped":      st.Deduped,
-			"batches":      st.Batches,
-			"queue_len":    st.QueueLen,
-			"open_windows": st.OpenWindows,
-			"shed":         st.Shed,
-			"panics":       st.Panics,
-		}
+	// Detailed sections come from whichever collectors implement
+	// HealthDetailer — same top-level keys as before the collector refactor
+	// ("batching", "appends", "breakers"), still absent when empty.
+	for key, detail := range s.db.HealthSections() {
+		resp[key] = detail
 	}
-	if as := s.db.AppendStats(); len(as) > 0 {
-		// Refresh lag per appended table: epoch position plus the cached
-		// entries still pending lazy re-derivation from a maintained ancestor.
-		ap := make(map[string]any, len(as))
-		for name, st := range as {
-			ap[name] = map[string]any{
-				"version":      st.Version,
-				"delta":        st.Delta,
-				"rows":         st.Rows,
-				"pending_lazy": st.PendingLazy,
-			}
-		}
-		resp["appends"] = ap
-	}
-	if br := s.db.BreakerStates(); len(br) > 0 {
-		list := make([]map[string]any, len(br))
-		for i, b := range br {
+	// Per-collector status: one entry per registered collector with its last
+	// gather outcome and duration, so a subsystem whose Collect fails is
+	// visible here before anyone notices missing series on /metrics.
+	if hs := s.db.CollectorHealth(); len(hs) > 0 {
+		cols := make(map[string]any, len(hs))
+		for _, h := range hs {
 			e := map[string]any{
-				"table":    b.Name,
-				"state":    b.State.String(),
-				"failures": b.Failures,
-				"samples":  b.Samples,
+				"ok":              h.OK,
+				"last_collect_ms": float64(h.Duration) / float64(time.Millisecond),
 			}
-			if b.RetryAfter > 0 {
-				e["retry_after_ms"] = float64(b.RetryAfter) / float64(time.Millisecond)
+			if h.Err != "" {
+				e["error"] = h.Err
 			}
-			if b.LastFailure != "" {
-				e["last_failure"] = b.LastFailure
-			}
-			list[i] = e
+			cols[h.Name] = e
 		}
-		resp["breakers"] = list
+		resp["collectors"] = cols
 	}
 	if draining {
 		// 503 while draining: load balancers stop routing, but the body

@@ -42,9 +42,6 @@ type Options struct {
 	// Breaker configures the per-shard circuit breakers (defaults as in
 	// fault.Config).
 	Breaker fault.Config
-	// Registry, when set, receives the gbmqo_shard_* metrics; nil keeps them
-	// on a private registry.
-	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -62,9 +59,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MergeReserve <= 0 {
 		o.MergeReserve = 100 * time.Millisecond
-	}
-	if o.Registry == nil {
-		o.Registry = obs.NewRegistry()
 	}
 	return o
 }
@@ -102,6 +96,7 @@ type Coordinator struct {
 	shards   []Shard
 	breakers []*fault.Breaker
 	met      metrics
+	reg      *obs.Registry // private registry backing met; exposed via Collect
 
 	// mu guards info and the shard partition tables it describes: gathers
 	// hold the read half end to end (scatter through merge), NoteAppend the
@@ -120,7 +115,8 @@ func New(cat *catalog.Catalog, opts Options) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{opts: opts, cat: cat, shards: shards, info: info, met: newMetrics(opts.Registry, opts.Shards)}
+	reg := obs.NewRegistry()
+	c := &Coordinator{opts: opts, cat: cat, shards: shards, info: info, met: newMetrics(reg, opts.Shards), reg: reg}
 	c.breakers = make([]*fault.Breaker, opts.Shards)
 	for i := range c.breakers {
 		c.breakers[i] = fault.New(fmt.Sprintf("shard-%d", i), opts.Breaker)
@@ -130,6 +126,14 @@ func New(cat *catalog.Catalog, opts Options) (*Coordinator, error) {
 
 // Shards reports the shard count.
 func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Name implements obs.Collector.
+func (c *Coordinator) Name() string { return "shard" }
+
+// Collect implements obs.Collector by forwarding the coordinator's private
+// metric registry (gbmqo_shard_* plus the shard- and hedge-scoped retry
+// series) to whoever owns the scrape endpoint.
+func (c *Coordinator) Collect(ch chan<- obs.Metric) error { return c.reg.Collect(ch) }
 
 // BreakerStates snapshots every per-shard circuit breaker, in shard order.
 func (c *Coordinator) BreakerStates() []fault.Snapshot {

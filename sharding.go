@@ -67,7 +67,6 @@ func (db *DB) EnableSharding(o ShardOptions) error {
 		RetryBackoff: o.RetryBackoff,
 		HedgeAfter:   o.HedgeAfter,
 		Breaker:      o.Breaker,
-		Registry:     db.obs,
 	})
 	if err != nil {
 		return err

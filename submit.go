@@ -2,18 +2,15 @@ package gbmqo
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"time"
 
-	"gbmqo/internal/cache"
 	"gbmqo/internal/colset"
 	"gbmqo/internal/engine"
 	"gbmqo/internal/fault"
-	"gbmqo/internal/obs"
 	"gbmqo/internal/sched"
 	"gbmqo/internal/sql"
 	"gbmqo/internal/table"
@@ -135,7 +132,6 @@ func (db *DB) StartBatching(o BatchOptions) {
 		IdleWait:          o.IdleWait,
 		MaxQueue:          o.MaxQueue,
 		ShedLatencyTarget: o.ShedLatencyTarget,
-		Reg:               db.obs,
 	})
 }
 
@@ -190,7 +186,7 @@ func (db *DB) getBatcher() *sched.Batcher {
 	defer db.batchMu.Unlock()
 	if db.batcher == nil {
 		db.batchOpts = batcherDefaults()
-		db.batcher = sched.New(db.runBatch, sched.Config{Reg: db.obs})
+		db.batcher = sched.New(db.runBatch, sched.Config{})
 	}
 	return db.batcher
 }
@@ -380,106 +376,4 @@ func (db *DB) WriteMetrics(w io.Writer) {
 // snapshot is safe to take while queries run.
 func (db *DB) Metrics() map[string]float64 {
 	return db.obs.Snapshot()
-}
-
-// registerMetrics wires the engine and cache into the DB's metrics registry:
-// a run observer accumulates governance counters from every engine Run
-// (SQL, direct, and batched paths alike), and the cache's own atomic
-// counters are exposed as collect-time functions.
-func (db *DB) registerMetrics() {
-	r := db.obs
-	runs := r.Counter("gbmqo_exec_runs_total", "engine runs completed")
-	errs := r.Counter("gbmqo_exec_errors_total", "engine runs that returned an error")
-	cancelled := r.Counter("gbmqo_exec_cancelled_total", "engine runs stopped by context cancellation or deadline")
-	rows := r.Counter("gbmqo_exec_rows_scanned_total", "input rows consumed by Group By operators")
-	queries := r.Counter("gbmqo_exec_queries_total", "Group By statements executed, covered cube/rollup levels included")
-	spills := r.Counter("gbmqo_exec_spill_fallbacks_total", "hash aggregations degraded to sort under MemBudget")
-	degr := r.Counter("gbmqo_exec_degradations_total", "graceful-degradation decisions taken under MemBudget")
-	retryHelp := "transiently failed attempts retried with backoff, by scope: request = engine retry loop, shard = per-shard gather retries, hedge = hedged duplicate shard requests"
-	retries := r.Counter(`gbmqo_exec_retries_total{scope="request"}`, retryHelp)
-	// Pre-register the shard and hedge scopes so the family renders complete
-	// even before sharding is enabled (the coordinator resolves the same
-	// series idempotently).
-	r.Counter(`gbmqo_exec_retries_total{scope="shard"}`, retryHelp)
-	r.Counter(`gbmqo_exec_retries_total{scope="hedge"}`, retryHelp)
-	peak := r.Gauge("gbmqo_exec_peak_mem_bytes", "high-water mark of governed execution memory over all runs")
-	kernels := map[string]*obs.Counter{}
-	for _, kind := range []string{"hash", "sort", "dense", "radix"} {
-		kernels[kind] = r.Counter(fmt.Sprintf("gbmqo_exec_kernel_total{kind=%q}", kind),
-			"plan nodes executed, by physical aggregation kernel")
-	}
-	rehashes := r.Counter("gbmqo_exec_rehashes_avoided_total", "hash-table growth doublings skipped by NDV-based presizing")
-	db.eng.SetRunObserver(func(res *engine.RunResult, err error) {
-		if err != nil {
-			errs.Inc()
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				cancelled.Inc()
-			}
-		}
-		if res == nil || res.Report == nil {
-			return
-		}
-		rep := res.Report
-		runs.Inc()
-		rows.Add(float64(rep.RowsScanned))
-		queries.Add(float64(rep.QueriesRun))
-		spills.Add(float64(rep.SpillFallbacks))
-		degr.Add(float64(len(rep.Degradations)))
-		retries.Add(float64(len(rep.Retries)))
-		peak.SetMax(float64(rep.PeakMem))
-		for _, ku := range rep.Kernels {
-			if c, ok := kernels[ku.Kernel]; ok {
-				c.Inc()
-			}
-		}
-		rehashes.Add(float64(rep.RehashesAvoided))
-	})
-	appends := r.Counter("gbmqo_appends_total", "streaming appends committed")
-	appendErrs := r.Counter("gbmqo_append_errors_total", "streaming appends rejected or failed")
-	appendRows := r.Counter("gbmqo_append_rows_total", "rows appended to base tables by streaming appends")
-	refreshed := r.Counter("gbmqo_cache_refreshed_total", "cached entries rolled forward by delta aggregation after an append")
-	lazyDropped := r.Counter("gbmqo_cache_lazy_dropped_total", "cached entries dropped at append time for lazy re-derivation from a maintained ancestor")
-	refreshLat := r.Histogram("gbmqo_append_refresh_seconds", "wall time spent maintaining cached entries per append", obs.DurationBuckets)
-	db.eng.SetAppendObserver(func(rep *engine.AppendReport, err error) {
-		if err != nil {
-			appendErrs.Inc()
-			return
-		}
-		appends.Inc()
-		appendRows.Add(float64(rep.Rows))
-		refreshed.Add(float64(rep.Refreshed))
-		lazyDropped.Add(float64(rep.Dropped))
-		refreshLat.Observe(rep.RefreshWall.Seconds())
-	})
-	c := db.eng.ResultCache()
-	if c == nil {
-		return
-	}
-	stat := func(f func(cache.Stats) float64) func() float64 {
-		return func() float64 { return f(c.Snapshot()) }
-	}
-	r.Func("gbmqo_cache_hits_total", "exact cross-query cache hits", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Hits) }))
-	r.Func("gbmqo_cache_ancestor_hits_total", "queries answered by re-aggregating a cached superset", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.AncestorHits) }))
-	r.Func("gbmqo_cache_misses_total", "cache lookups that found nothing usable", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Misses) }))
-	r.Func("gbmqo_cache_admissions_total", "results admitted to the cache", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Admissions) }))
-	r.Func("gbmqo_cache_rejections_total", "results the admission policy declined", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Rejections) }))
-	r.Func("gbmqo_cache_evictions_total", "entries displaced by admission pressure", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Evictions) }))
-	r.Func("gbmqo_cache_invalidations_total", "entries swept on table version changes", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Invalidations) }))
-	r.Func("gbmqo_cache_flight_leads_total", "singleflight computations led", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.FlightLeads) }))
-	r.Func("gbmqo_cache_flight_shared_total", "callers that piggybacked on an in-flight computation", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.FlightShared) }))
-	r.Func("gbmqo_cache_corruptions_total", "cache hits whose checksum failed verification (entry evicted and quarantined)", obs.KindCounter,
-		stat(func(s cache.Stats) float64 { return float64(s.Corruptions) }))
-	r.Func("gbmqo_cache_bytes", "bytes resident in the cache", obs.KindGauge,
-		stat(func(s cache.Stats) float64 { return float64(s.Bytes) }))
-	r.Func("gbmqo_cache_entries", "entries resident in the cache", obs.KindGauge,
-		stat(func(s cache.Stats) float64 { return float64(s.Entries) }))
 }
