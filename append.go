@@ -50,7 +50,17 @@ func (db *DB) Append(name string, rows [][]Value) (*AppendReport, error) {
 		b.FlushTable(name)
 	}
 
-	rep, err := db.eng.Append(name, rows)
+	var (
+		rep *AppendReport
+		err error
+	)
+	if db.dur != nil {
+		// Durable path: the append is WAL-logged (fsynced per policy) before
+		// it applies; the log write is the acknowledgement point.
+		rep, err = db.durableAppend(name, rows)
+	} else {
+		rep, err = db.eng.Append(name, rows)
+	}
 	if err != nil {
 		return nil, err
 	}

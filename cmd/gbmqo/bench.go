@@ -29,6 +29,17 @@ type benchOpts struct {
 	URL string
 	// Command is recorded verbatim in the artifact.
 	Command string
+	// Sweep switches the run into rate-sweep soak mode: instead of the two
+	// fixed levels, the offered rate steps geometrically until the shed knee.
+	Sweep *sweepOpts
+}
+
+// sweepOpts parameterizes -load-sweep; zero fields take loadgen defaults.
+type sweepOpts struct {
+	StartRate    float64
+	Factor       float64
+	MaxLevels    int
+	KneeShedRate float64
 }
 
 // runBenchServe offers two seeded load levels — steady Poisson and on/off
@@ -66,6 +77,10 @@ func runBenchServe(ctx context.Context, db *gbmqo.DB, opts benchOpts) (*loadgen.
 		_ = db.RegisterCollector(runner)
 	}
 
+	if opts.Sweep != nil {
+		return runLoadSweep(ctx, runner, opts, t.NumRows())
+	}
+
 	levels := []loadgen.Config{
 		{Name: "steady", Seed: opts.Seed, Duration: opts.Duration, Rate: opts.Rate,
 			Arrival: loadgen.ArrivalPoisson, ZipfS: opts.ZipfS, AppendRatio: opts.AppendRatio,
@@ -92,6 +107,51 @@ func runBenchServe(ctx context.Context, db *gbmqo.DB, opts benchOpts) (*loadgen.
 			rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.ThroughputOpsS)
 	}
 	return art, nil
+}
+
+// runLoadSweep is the -load-sweep soak mode: geometric rate steps on a steady
+// Poisson arrival until the shed knee, with knee rate and origin-mix drift
+// recorded in the artifact's sweep section.
+func runLoadSweep(ctx context.Context, runner *loadgen.Runner, opts benchOpts, rows int) (*loadgen.Artifact, error) {
+	sc := loadgen.SweepConfig{
+		Base: loadgen.Config{
+			Name: "sweep", Seed: opts.Seed, Duration: opts.Duration,
+			Arrival: loadgen.ArrivalPoisson, ZipfS: opts.ZipfS,
+			AppendRatio: opts.AppendRatio, MaxInFlight: opts.MaxInFlight,
+		},
+		StartRate:    opts.Sweep.StartRate,
+		Factor:       opts.Sweep.Factor,
+		MaxLevels:    opts.Sweep.MaxLevels,
+		KneeShedRate: opts.Sweep.KneeShedRate,
+	}
+	if sc.StartRate <= 0 {
+		sc.StartRate = opts.Rate
+	}
+	sweep, err := loadgen.RunSweep(ctx, runner, sc)
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range sweep.Levels {
+		drift := sweep.OriginDrift[i].Drift
+		fmt.Fprintf(os.Stderr,
+			"sweep %s: rate=%.0f offered=%d completed=%d shed=%.1f%% drift=%.3f p95=%.2fms\n",
+			rep.Level, rep.TargetRate, rep.Offered, rep.Completed,
+			rep.ShedRate*100, drift, rep.LatencyMS.P95)
+	}
+	if sweep.KneeLevel != "" {
+		fmt.Fprintf(os.Stderr, "knee: %.0f ops/s sustained (level %s crossed %.0f%% shed)\n",
+			sweep.KneeRate, sweep.KneeLevel, sweep.KneeShedRate*100)
+	} else {
+		fmt.Fprintf(os.Stderr, "no knee found within %d levels (last sustained %.0f ops/s)\n",
+			len(sweep.Levels), sweep.KneeRate)
+	}
+	return &loadgen.Artifact{
+		Bench:   "LoadSweep",
+		Command: opts.Command,
+		Table:   opts.Table,
+		Rows:    rows,
+		Sweep:   sweep,
+	}, nil
 }
 
 // writeArtifact renders the artifact as indented JSON to path ("-" = stdout).

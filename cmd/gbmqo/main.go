@@ -58,7 +58,16 @@ func main() {
 		partialOK = flag.Bool("allow-partial", false, "with -shards: serve partial results when a shard fails terminally instead of erroring")
 		appendCSV = flag.String("append-csv", "", "append rows from a CSV file (matching the target table's schema, header row required) as a streaming delta")
 
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + snapshots): recover on start, log appends, snapshot in the background")
+		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, off")
+		snapEvery = flag.Duration("snapshot-interval", 30*time.Second, "background snapshot period with -data-dir (negative = snapshot only on registration and close)")
+
 		benchServe  = flag.Bool("bench-serve", false, "run the seeded open-loop load harness (steady + bursty levels) against the in-process scheduler, or against -load-url, and write a BENCH_load artifact")
+		loadSweep   = flag.Bool("load-sweep", false, "rate-sweep soak mode: step the offered rate geometrically until the shed knee and record knee rate + origin-mix drift in the artifact")
+		sweepStart  = flag.Float64("sweep-start-rate", 0, "first sweep level's offered rate (0 = -load-rate)")
+		sweepFactor = flag.Float64("sweep-factor", 2, "rate multiplier between sweep levels")
+		sweepLevels = flag.Int("sweep-levels", 6, "maximum sweep levels")
+		sweepKnee   = flag.Float64("sweep-knee-shed", 0.05, "combined shed fraction at which a sweep level counts as past the knee")
 		loadSeed    = flag.Int64("load-seed", 42, "load harness seed: same seed, same offered operation sequence")
 		loadDur     = flag.Duration("load-duration", 5*time.Second, "offered-load window per level")
 		loadRate    = flag.Float64("load-rate", 400, "mean offered rate in operations per second")
@@ -77,12 +86,33 @@ func main() {
 	if *cacheMB > 0 {
 		cfg = &gbmqo.Config{CacheBytes: int64(*cacheMB) << 20}
 	}
-	db := gbmqo.Open(cfg)
+	var db *gbmqo.DB
+	if *dataDir != "" {
+		var rec *gbmqo.RecoveryReport
+		var err error
+		db, rec, err = gbmqo.OpenDurable(*dataDir, cfg, &gbmqo.DurabilityOptions{
+			Fsync: *fsyncPol, SnapshotInterval: *snapEvery,
+		})
+		fail(err)
+		if rec.SnapshotLoaded || rec.ReplayedRecords > 0 || rec.TruncatedTails > 0 {
+			fmt.Printf("recovered %s: %d tables (snapshot wal seq %d), replayed %d WAL records (%d torn tails repaired), rewarmed %d cache entries in %s\n",
+				*dataDir, rec.TablesRestored, rec.SnapshotWalSeq, rec.ReplayedRecords,
+				rec.TruncatedTails, rec.RewarmedEntries, rec.Wall.Round(time.Millisecond))
+		}
+	} else {
+		db = gbmqo.Open(cfg)
+	}
 	if *gen != "" {
 		t, err := gbmqo.GenerateDataset(*gen, *rows, *seed, *zipf)
 		fail(err)
-		db.Register(t)
-		fmt.Printf("generated %s: %d rows, %d columns\n", t.Name(), t.NumRows(), t.NumCols())
+		// A durable restart already recovered this table; regenerating would
+		// clobber the recovered epoch and orphan its WAL history.
+		if cur, ok := db.Table(t.Name()); ok && *dataDir != "" {
+			fmt.Printf("using recovered %s: %d rows (skipping -gen)\n", t.Name(), cur.NumRows())
+		} else {
+			db.Register(t)
+			fmt.Printf("generated %s: %d rows, %d columns\n", t.Name(), t.NumRows(), t.NumCols())
+		}
 	}
 	if *csvPath != "" {
 		defs, err := parseSchema(*schema)
@@ -236,7 +266,7 @@ func main() {
 			strings.Join(db.Tables(), ", "), ln.Addr())
 		fail(runServe(db, ln, sig, *drainFor))
 	}
-	if *benchServe {
+	if *benchServe || *loadSweep {
 		ran = true
 		name := *tableN
 		if _, ok := db.Table(name); !ok && len(db.Tables()) == 1 {
@@ -258,7 +288,7 @@ func main() {
 				Exec:              sopts,
 			})
 		}
-		art, err := runBenchServe(context.Background(), db, benchOpts{
+		bopts := benchOpts{
 			Table:       name,
 			Seed:        *loadSeed,
 			Duration:    *loadDur,
@@ -267,7 +297,16 @@ func main() {
 			AppendRatio: *loadAppend,
 			URL:         *loadURL,
 			Command:     strings.Join(os.Args, " "),
-		})
+		}
+		if *loadSweep {
+			bopts.Sweep = &sweepOpts{
+				StartRate:    *sweepStart,
+				Factor:       *sweepFactor,
+				MaxLevels:    *sweepLevels,
+				KneeShedRate: *sweepKnee,
+			}
+		}
+		art, err := runBenchServe(context.Background(), db, bopts)
 		fail(err)
 		fail(writeArtifact(art, *benchOut))
 		if *metricsDump {
@@ -280,6 +319,11 @@ func main() {
 	if *metrics {
 		ran = true
 		db.WriteMetrics(os.Stdout)
+	}
+	if *dataDir != "" {
+		// Final snapshot + clean WAL close; idempotent after -serve's own
+		// drain-and-close.
+		fail(db.Close(context.Background()))
 	}
 	if !ran {
 		flag.Usage()

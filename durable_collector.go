@@ -1,0 +1,86 @@
+package gbmqo
+
+import (
+	"time"
+
+	"gbmqo/internal/obs"
+)
+
+// durabilityCollector surfaces the WAL writer, snapshot loop, and recovery
+// outcome on /metrics, and contributes the "durability" /healthz section
+// (fsync policy and lag, replay status, snapshot age). Registered only by
+// OpenDurable — in-memory DBs emit no durability series.
+type durabilityCollector struct{ db *DB }
+
+func (c *durabilityCollector) Name() string { return "durability" }
+
+func (c *durabilityCollector) Collect(ch chan<- obs.Metric) error {
+	d := c.db.dur
+	if d == nil {
+		return nil
+	}
+	st := d.w.Stats()
+	counter := func(name, help string, v float64) {
+		ch <- obs.Metric{Name: name, Help: help, Kind: obs.KindCounter, Value: v}
+	}
+	gauge := func(name, help string, v float64) {
+		ch <- obs.Metric{Name: name, Help: help, Kind: obs.KindGauge, Value: v}
+	}
+	counter("gbmqo_wal_appends_total", "records written to the append-ahead log (abort markers included)", float64(st.Appends))
+	counter("gbmqo_wal_fsyncs_total", "fsyncs issued on the active WAL segment", float64(st.Fsyncs))
+	counter("gbmqo_wal_bytes_total", "bytes framed into the append-ahead log", float64(st.Bytes))
+	counter("gbmqo_wal_replayed_records_total", "committed WAL records re-applied by the last recovery", float64(d.recovery.ReplayedRecords))
+	counter("gbmqo_wal_truncated_tails_total", "torn or corrupt WAL tails truncated by the last recovery", float64(d.recovery.TruncatedTails))
+	counter("gbmqo_snapshot_writes_total", "table snapshots written since open", float64(d.snapWrites.Load()))
+	counter("gbmqo_snapshot_errors_total", "snapshot or manifest writes that failed", float64(d.snapErrors.Load()))
+	gauge("gbmqo_wal_dirty_bytes", "WAL bytes written but not yet fsynced", float64(st.DirtyBytes))
+	gauge("gbmqo_wal_segments", "WAL segment files on disk", float64(st.Segments))
+	gauge("gbmqo_snapshot_age_seconds", "seconds since the last successful snapshot", c.snapshotAge())
+	return nil
+}
+
+// snapshotAge reports seconds since the last snapshot this process wrote, or
+// -1 when it has not written one yet (recovery-only so far).
+func (c *durabilityCollector) snapshotAge() float64 {
+	last := c.db.dur.lastSnapUnix.Load()
+	if last == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, last)).Seconds()
+}
+
+func (c *durabilityCollector) HealthDetail() (string, any, bool) {
+	d := c.db.dur
+	if d == nil {
+		return "durability", nil, false
+	}
+	st := d.w.Stats()
+	detail := map[string]any{
+		"fsync_policy":     d.opts.Fsync,
+		"wal_appends":      st.Appends,
+		"wal_fsyncs":       st.Fsyncs,
+		"wal_dirty_bytes":  st.DirtyBytes,
+		"wal_segments":     st.Segments,
+		"snapshot_writes":  d.snapWrites.Load(),
+		"snapshot_errors":  d.snapErrors.Load(),
+		"snapshot_age_sec": c.snapshotAge(),
+		"replay": map[string]any{
+			"snapshot_loaded":  d.recovery.SnapshotLoaded,
+			"snapshot_wal_seq": d.recovery.SnapshotWalSeq,
+			"replayed_records": d.recovery.ReplayedRecords,
+			"skipped_records":  d.recovery.SkippedRecords,
+			"truncated_tails":  d.recovery.TruncatedTails,
+			"rewarmed_entries": d.recovery.RewarmedEntries,
+			"quarantined":      d.recovery.QuarantinedEntries,
+			"wall_ms":          float64(d.recovery.Wall) / float64(time.Millisecond),
+		},
+	}
+	// Fsync lag: how long acknowledged-but-unsynced bytes have been exposed.
+	// Zero dirty bytes means no lag regardless of when the last sync ran.
+	if st.DirtyBytes > 0 && !st.LastSync.IsZero() {
+		detail["fsync_lag_ms"] = float64(time.Since(st.LastSync)) / float64(time.Millisecond)
+	} else {
+		detail["fsync_lag_ms"] = 0.0
+	}
+	return "durability", detail, true
+}

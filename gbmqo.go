@@ -220,6 +220,10 @@ type DB struct {
 	// sharding.go).
 	shardMu sync.Mutex
 	shards  *shard.Coordinator
+
+	// dur is the crash-durability layer (WAL + snapshots), attached only by
+	// OpenDurable; nil for in-memory DBs. See durable.go.
+	dur *durability
 }
 
 // Open creates an empty DB. A nil config selects sampling-based statistics
@@ -258,8 +262,16 @@ func (db *DB) CacheStats() (st CacheStats, ok bool) {
 	return c.Snapshot(), true
 }
 
-// Register adds (or replaces) a table in the catalog.
-func (db *DB) Register(t *Table) { db.eng.Catalog().Register(t) }
+// Register adds (or replaces) a table in the catalog. On a durable DB (see
+// OpenDurable) the registration is snapshotted synchronously: it is on disk
+// by the time Register returns.
+func (db *DB) Register(t *Table) {
+	if db.dur != nil {
+		db.registerDurable(t)
+		return
+	}
+	db.eng.Catalog().Register(t)
+}
 
 // RegisterCSV loads a table from CSV (header row required) and registers it.
 func (db *DB) RegisterCSV(name string, defs []ColumnDef, r io.Reader) (*Table, error) {

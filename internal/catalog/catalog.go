@@ -116,6 +116,38 @@ func (c *Catalog) RegisterDelta(t *table.Table) (Epoch, error) {
 	return Epoch{Version: c.versions[t.Name()], Delta: c.deltas[t.Name()]}, nil
 }
 
+// RestoreAt installs a recovered table at an exact epoch, bypassing the
+// Register/RegisterDelta counters. Crash recovery uses it so a table rebuilt
+// from a snapshot resumes at the (Version, Delta) the snapshot recorded —
+// replayed WAL appends then advance Delta through RegisterDelta exactly as
+// the pre-crash appends did, and any rewarmed cache entry keyed at a
+// post-snapshot epoch lines up. The epoch must be at least as high as the
+// table's current one (recovery runs against a fresh catalog, so normally the
+// table is unknown and any epoch is fine); moving a live table backwards
+// would resurrect stale cached derivations and is rejected.
+func (c *Catalog) RestoreAt(t *table.Table, ep Epoch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := t.Name()
+	cur := Epoch{Version: c.versions[name], Delta: c.deltas[name]}
+	if ep.Version < cur.Version || (ep.Version == cur.Version && ep.Delta < cur.Delta) {
+		return fmt.Errorf("catalog: RestoreAt %q at v%d.%d behind current v%d.%d",
+			name, ep.Version, ep.Delta, cur.Version, cur.Delta)
+	}
+	delete(c.indexes, name)
+	if c.stats != nil {
+		c.stats.Invalidate(name)
+	}
+	c.versions[name] = ep.Version
+	if ep.Delta == 0 {
+		delete(c.deltas, name)
+	} else {
+		c.deltas[name] = ep.Delta
+	}
+	c.tables[name] = t
+	return nil
+}
+
 // Version returns the table's mutation counter. It changes whenever the
 // table is registered (created or replaced) or dropped, so results derived
 // from one version can be recognized as stale after any mutation. Unknown

@@ -42,6 +42,10 @@ var Sites = []string{
 	"shard.hedge",
 	"table.append",
 	"cache.refresh",
+	"wal.append",
+	"wal.fsync",
+	"snapshot.write",
+	"recover.replay",
 	"server.handler",
 }
 

@@ -1,0 +1,313 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	osexec "os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"gbmqo"
+	"gbmqo/internal/exec"
+)
+
+// Crash-durability harness: a child copy of this test binary (re-exec'd via
+// GBMQO_CRASH_CHILD) opens a durable DB, appends batches — printing "ACK n"
+// after each acknowledged append — and SIGKILLs itself the Nth time an armed
+// durability failpoint fires. The parent then recovers the data dir
+// in-process and asserts the invariants: no acknowledged append is lost
+// (fsync=always), no partial batch is visible, every query over the recovered
+// state is byte-identical to a never-crashed control fed the same batches,
+// and the rewarmed cache carries zero quarantined entries.
+
+const (
+	crashTable     = "lineitem"
+	crashBaseRows  = 2000
+	crashBatchRows = 60
+	crashBatches   = 6
+)
+
+// crashSites are the durability failpoints a kill can be armed on.
+var crashSites = []string{"wal.append", "wal.fsync", "snapshot.write", "recover.replay"}
+
+// crashBase and crashPool are regenerated identically in parent and child:
+// equal seeds make the workload a pure function of the kill point.
+func crashBase() *gbmqo.Table {
+	tb, err := gbmqo.GenerateDataset(crashTable, crashBaseRows, 31, 0)
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+func crashPool() *gbmqo.Table {
+	tb, err := gbmqo.GenerateDataset(crashTable, crashBatches*crashBatchRows, 63, 0)
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv("GBMQO_CRASH_CHILD") == "1" {
+		crashChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashChild is one process "life": recover (or create) the durable DB under
+// GBMQO_CRASH_DIR, resume appending wherever the recovered row count says the
+// previous life stopped, and die by SIGKILL the Nth time the armed site
+// fires. Exit 0 means it finished all batches and closed cleanly.
+func crashChild() {
+	dir := os.Getenv("GBMQO_CRASH_DIR")
+	site := os.Getenv("GBMQO_CRASH_SITE")
+	nth, _ := strconv.ParseInt(os.Getenv("GBMQO_CRASH_NTH"), 10, 64)
+	var fired atomic.Int64
+	exec.Testing.SetFailPoint(func(s string) {
+		if s == site && fired.Add(1) == nth {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // never execute past an armed kill
+		}
+	})
+
+	db, _, err := gbmqo.OpenDurable(dir, &gbmqo.Config{CacheBytes: 16 << 20},
+		&gbmqo.DurabilityOptions{SnapshotInterval: 25 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(2)
+	}
+	done := 0
+	if tb, ok := db.Table(crashTable); ok {
+		done = (tb.NumRows() - crashBaseRows) / crashBatchRows
+	} else {
+		db.Register(crashBase())
+	}
+	pool := crashPool()
+	queries := chaosQueries()
+	for b := done; b < crashBatches; b++ {
+		if _, err := db.Append(crashTable, chaosRows(pool, b*crashBatchRows, (b+1)*crashBatchRows)); err != nil {
+			fmt.Fprintf(os.Stderr, "child append %d: %v\n", b, err)
+			os.Exit(3)
+		}
+		fmt.Printf("ACK %d\n", b)
+		// Warm queries give the snapshot loop cache entries to manifest.
+		if _, _, err := db.ExecuteQueries(crashTable, queries[:3], gbmqo.QueryOptions{}); err != nil {
+			fmt.Fprintf(os.Stderr, "child query: %v\n", err)
+			os.Exit(4)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := db.Close(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "child close: %v\n", err)
+		os.Exit(5)
+	}
+	fmt.Println("DONE")
+	os.Exit(0)
+}
+
+// runCrashChild re-execs the test binary as one child life and returns the
+// highest batch it acknowledged (-1 for none) and whether it exited cleanly.
+// Any death other than the armed SIGKILL fails the test.
+func runCrashChild(t *testing.T, dir, site string, nth int64) (maxAck int, clean bool) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := osexec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"GBMQO_CRASH_CHILD=1",
+		"GBMQO_CRASH_DIR="+dir,
+		"GBMQO_CRASH_SITE="+site,
+		"GBMQO_CRASH_NTH="+strconv.FormatInt(nth, 10),
+	)
+	var out, errOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errOut
+	runErr := cmd.Run()
+
+	maxAck = -1
+	for _, line := range strings.Split(out.String(), "\n") {
+		if n, ok := strings.CutPrefix(line, "ACK "); ok {
+			if v, err := strconv.Atoi(strings.TrimSpace(n)); err == nil && v > maxAck {
+				maxAck = v
+			}
+		}
+	}
+	if runErr == nil {
+		return maxAck, true
+	}
+	var ee *osexec.ExitError
+	if errors.As(runErr, &ee) {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+			return maxAck, false // the armed kill — expected
+		}
+	}
+	t.Fatalf("child %s#%d died abnormally (%v):\n%s", site, nth, runErr, errOut.String())
+	return maxAck, false
+}
+
+// verifyCrashRecovery recovers dir in-process and checks every durability
+// invariant against a never-crashed control.
+func verifyCrashRecovery(t *testing.T, dir string, maxAck int) {
+	t.Helper()
+	db, rep, err := gbmqo.OpenDurable(dir, &gbmqo.Config{CacheBytes: 16 << 20},
+		&gbmqo.DurabilityOptions{SnapshotInterval: -1})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db.Close(context.Background())
+	if rep.QuarantinedEntries != 0 {
+		t.Errorf("quarantine leak: recovery quarantined %d manifest entries (%+v)", rep.QuarantinedEntries, rep)
+	}
+
+	tb, ok := db.Table(crashTable)
+	if !ok {
+		// Killed before the registration snapshot committed: nothing was ever
+		// acknowledged, so an empty recovery is the correct outcome.
+		if maxAck >= 0 {
+			t.Fatalf("table lost after %d acknowledged batches", maxAck+1)
+		}
+		return
+	}
+	extra := tb.NumRows() - crashBaseRows
+	if extra < 0 || extra%crashBatchRows != 0 {
+		t.Fatalf("recovered %d rows: a partial batch is visible", tb.NumRows())
+	}
+	k := extra / crashBatchRows
+	if k < maxAck+1 {
+		t.Fatalf("acknowledged appends lost: recovered %d batches, child acked %d", k, maxAck+1)
+	}
+
+	// Control: a never-crashed process fed the identical first k batches.
+	ctl := gbmqo.Open(&gbmqo.Config{CacheBytes: 16 << 20})
+	ctl.Register(crashBase())
+	pool := crashPool()
+	for b := 0; b < k; b++ {
+		if _, err := ctl.Append(crashTable, chaosRows(pool, b*crashBatchRows, (b+1)*crashBatchRows)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, q := range chaosQueries() {
+		_, want, err := ctl.ExecuteQueries(crashTable, []gbmqo.GroupQuery{q}, gbmqo.QueryOptions{})
+		if err != nil {
+			t.Fatalf("control query %d: %v", i, err)
+		}
+		_, got, err := db.ExecuteQueries(crashTable, []gbmqo.GroupQuery{q}, gbmqo.QueryOptions{})
+		if err != nil {
+			t.Fatalf("recovered query %d: %v", i, err)
+		}
+		for set, wt := range want.Results {
+			gt := got.Results[set]
+			if gt == nil || !bytes.Equal(tableBytes(gt), tableBytes(wt)) {
+				t.Fatalf("query %d differs from never-crashed control after recovery", i)
+			}
+		}
+	}
+	if st, ok := db.CacheStats(); ok && st.Corruptions != 0 {
+		t.Errorf("cache served/held corrupt bytes after recovery: %d corruptions", st.Corruptions)
+	}
+}
+
+// TestCrashRecoveryFixedPoints kills the child at fixed (site, nth) points
+// across the WAL and snapshot write paths and verifies recovery after each.
+func TestCrashRecoveryFixedPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	scenarios := []struct {
+		site string
+		nth  int64
+	}{
+		{"wal.append", 1},
+		{"wal.append", 3},
+		{"wal.fsync", 2},
+		{"wal.fsync", 6},
+		{"snapshot.write", 1},
+		{"snapshot.write", 2},
+	}
+	for _, sc := range scenarios {
+		t.Run(fmt.Sprintf("%s#%d", sc.site, sc.nth), func(t *testing.T) {
+			dir := t.TempDir()
+			maxAck, clean := runCrashChild(t, dir, sc.site, sc.nth)
+			t.Logf("child acked %d batches, clean exit=%v", maxAck+1, clean)
+			verifyCrashRecovery(t, dir, maxAck)
+		})
+	}
+}
+
+// TestCrashDuringRecoveryReplay crashes once mid-run to leave a WAL suffix,
+// then crashes a second life during its recovery replay, then verifies the
+// third (in-process) recovery still lands on the control state.
+func TestCrashDuringRecoveryReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	dir := t.TempDir()
+	maxAck, _ := runCrashChild(t, dir, "wal.fsync", 4)
+	ack2, clean := runCrashChild(t, dir, "recover.replay", 1)
+	if ack2 > maxAck {
+		maxAck = ack2
+	}
+	t.Logf("life 1 acked %d, life 2 acked %d (clean=%v)", maxAck+1, ack2+1, clean)
+	verifyCrashRecovery(t, dir, maxAck)
+}
+
+// TestCrashRestartResume chains two crashed lives: the second recovers the
+// first's state and resumes appending where it left off before dying itself.
+func TestCrashRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	dir := t.TempDir()
+	maxAck, _ := runCrashChild(t, dir, "wal.append", 2)
+	ack2, _ := runCrashChild(t, dir, "wal.fsync", 5)
+	if ack2 > maxAck {
+		maxAck = ack2
+	}
+	verifyCrashRecovery(t, dir, maxAck)
+}
+
+// TestCrashRecoveryWildSeed derives a random kill schedule per run (override
+// with CRASH_SEED to replay): up to three lives, each killed at a random
+// durability site/firing, then a final verification.
+func TestCrashRecoveryWildSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	seed := time.Now().UnixNano()
+	if env := os.Getenv("CRASH_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CRASH_SEED = %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("replay with CRASH_SEED=%d", seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	dir := t.TempDir()
+	maxAck := -1
+	for life := 0; life < 3; life++ {
+		site := crashSites[rng.Intn(len(crashSites))]
+		nth := int64(1 + rng.Intn(8))
+		ack, clean := runCrashChild(t, dir, site, nth)
+		t.Logf("life %d: %s#%d acked %d clean=%v", life, site, nth, ack+1, clean)
+		if ack > maxAck {
+			maxAck = ack
+		}
+		if clean {
+			break
+		}
+	}
+	verifyCrashRecovery(t, dir, maxAck)
+}

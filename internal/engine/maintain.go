@@ -82,6 +82,20 @@ func (e *Engine) Append(name string, rows [][]table.Value) (*AppendReport, error
 	return res, err
 }
 
+// ValidateAppend checks rows against the table's schema without applying
+// anything — the durability layer calls it before writing the WAL record so
+// an append that could never apply is rejected before it is made durable.
+func (e *Engine) ValidateAppend(name string, rows [][]table.Value) error {
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("engine: cannot append to reserved table %q", name)
+	}
+	cur, _, ok := e.cat.TableEpoch(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	return validateAppendRows(cur, rows)
+}
+
 // appendSafe is the append path behind a panic barrier: a panic anywhere in
 // validation or maintenance becomes a typed error. The catalog swap is the
 // commit point — panics before it leave no trace; panics after it (cache

@@ -53,6 +53,9 @@ type Artifact struct {
 	Table   string        `json:"table"`
 	Rows    int           `json:"rows"`
 	Levels  []LevelReport `json:"levels"`
+	// Sweep holds the rate-sweep section when the run was -load-sweep: the
+	// knee rate found and the origin-mix drift per level.
+	Sweep *SweepReport `json:"sweep,omitempty"`
 }
 
 // ParseArtifact decodes a BENCH_load.json payload and sanity-checks its
@@ -62,8 +65,11 @@ func ParseArtifact(data []byte) (*Artifact, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("loadgen: bad artifact: %w", err)
 	}
-	if a.Bench == "" || len(a.Levels) == 0 {
-		return nil, fmt.Errorf("loadgen: artifact missing bench name or levels")
+	if a.Bench == "" {
+		return nil, fmt.Errorf("loadgen: artifact missing bench name")
+	}
+	if len(a.Levels) == 0 && (a.Sweep == nil || len(a.Sweep.Levels) == 0) {
+		return nil, fmt.Errorf("loadgen: artifact has no levels")
 	}
 	return &a, nil
 }

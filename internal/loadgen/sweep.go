@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SweepConfig steps a base load level's arrival rate geometrically until the
+// target sheds: the rate sweep that locates the serving stack's capacity knee
+// instead of measuring one arbitrary operating point.
+type SweepConfig struct {
+	// Base is the level template; Rate, Name, and Seed are overridden per
+	// step (Seed advances per level so schedules stay independent).
+	Base Config
+	// StartRate is the first level's offered rate (default Base.Rate, or the
+	// Config default when that is unset).
+	StartRate float64
+	// Factor multiplies the rate between levels (default 2).
+	Factor float64
+	// MaxLevels bounds the sweep (default 6).
+	MaxLevels int
+	// KneeShedRate is the combined shed fraction (server + client) at which a
+	// level counts as past the knee (default 0.05).
+	KneeShedRate float64
+	// LevelDuration overrides Base.Duration per level when set.
+	LevelDuration time.Duration
+}
+
+func (sc SweepConfig) withDefaults() SweepConfig {
+	if sc.StartRate <= 0 {
+		sc.StartRate = sc.Base.withDefaults().Rate
+	}
+	if sc.Factor <= 1 {
+		sc.Factor = 2
+	}
+	if sc.MaxLevels <= 0 {
+		sc.MaxLevels = 6
+	}
+	if sc.KneeShedRate <= 0 {
+		sc.KneeShedRate = 0.05
+	}
+	if sc.LevelDuration > 0 {
+		sc.Base.Duration = sc.LevelDuration
+	}
+	return sc
+}
+
+// OriginShift is one level's result-origin composition and how far it drifted
+// from the sweep's first level — the signal that rising load is changing
+// *what* the server serves (cache share collapsing, flight sharing taking
+// over), not just how fast.
+type OriginShift struct {
+	Level string `json:"level"`
+	Rate  float64 `json:"rate_ops_s"`
+	// Shares is each origin's fraction of completed queries at this level.
+	Shares map[string]float64 `json:"shares"`
+	// Drift is the total-variation distance (½·L1) between this level's
+	// shares and the first level's — 0 means the mix is unchanged, 1 means
+	// it is disjoint.
+	Drift float64 `json:"drift"`
+}
+
+// SweepReport is the rate sweep's artifact section: every level run, the knee
+// found, and the origin-mix drift trajectory.
+type SweepReport struct {
+	// KneeRate is the highest offered rate sustained below KneeShedRate
+	// (0 when even the first level shed past it).
+	KneeRate float64 `json:"knee_rate_ops_s"`
+	// KneeLevel names the first level past the knee ("" when the sweep ended
+	// without finding it — raise MaxLevels or Factor).
+	KneeLevel    string        `json:"knee_level,omitempty"`
+	KneeShedRate float64       `json:"knee_shed_rate"`
+	Levels       []LevelReport `json:"levels"`
+	OriginDrift  []OriginShift `json:"origin_drift"`
+}
+
+// RunSweep steps the offered rate geometrically from StartRate, running one
+// level per step on the shared runner, until a level's combined shed rate
+// crosses the knee threshold or MaxLevels is exhausted. Per-operation
+// failures don't stop the sweep; only setup errors do.
+func RunSweep(ctx context.Context, r *Runner, sc SweepConfig) (*SweepReport, error) {
+	sc = sc.withDefaults()
+	out := &SweepReport{KneeShedRate: sc.KneeShedRate}
+	rate := sc.StartRate
+	for i := 0; i < sc.MaxLevels && ctx.Err() == nil; i++ {
+		cfg := sc.Base
+		cfg.Rate = rate
+		cfg.Name = fmt.Sprintf("sweep-%d", i)
+		cfg.Seed = sc.Base.Seed + int64(i)
+		rep, err := Run(ctx, r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Levels = append(out.Levels, *rep)
+		out.OriginDrift = append(out.OriginDrift, originShift(rep, out.OriginDrift))
+		if rep.ShedRate >= sc.KneeShedRate {
+			out.KneeLevel = rep.Level
+			return out, nil
+		}
+		out.KneeRate = rate
+		rate *= sc.Factor
+	}
+	return out, nil
+}
+
+// originShift reduces a level's origin mix to shares and measures drift
+// against the first recorded level.
+func originShift(rep *LevelReport, prior []OriginShift) OriginShift {
+	s := OriginShift{Level: rep.Level, Rate: rep.TargetRate, Shares: map[string]float64{}}
+	var total int64
+	for _, n := range rep.OriginMix {
+		total += n
+	}
+	if total > 0 {
+		for origin, n := range rep.OriginMix {
+			s.Shares[origin] = float64(n) / float64(total)
+		}
+	}
+	if len(prior) > 0 {
+		base := prior[0].Shares
+		keys := map[string]bool{}
+		for k := range base {
+			keys[k] = true
+		}
+		for k := range s.Shares {
+			keys[k] = true
+		}
+		for k := range keys {
+			d := s.Shares[k] - base[k]
+			if d < 0 {
+				d = -d
+			}
+			s.Drift += d
+		}
+		s.Drift /= 2
+	}
+	return s
+}

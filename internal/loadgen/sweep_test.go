@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gbmqo"
+)
+
+// shedTarget is a synthetic target with a hard capacity: queries beyond
+// capacity ops/sec (measured per level via a simple token count against the
+// offered total) are shed. It lets sweep tests find a knee without timing
+// sensitivity.
+type shedTarget struct {
+	capacity int64 // max completions per level
+	served   atomic.Int64
+	origin   func(n int64) string
+}
+
+func (s *shedTarget) Query(ctx context.Context, q gbmqo.GroupQuery) Result {
+	n := s.served.Add(1)
+	if n > s.capacity {
+		return Result{Shed: true}
+	}
+	origin := "computed"
+	if s.origin != nil {
+		origin = s.origin(n)
+	}
+	return Result{Origin: origin}
+}
+
+func (s *shedTarget) Append(ctx context.Context, rows [][]gbmqo.Value) Result { return Result{} }
+
+func sweepWorkload() *Workload {
+	return &Workload{
+		Table:   "t",
+		Queries: []gbmqo.GroupQuery{{Cols: []string{"a"}}, {Cols: []string{"b"}}},
+	}
+}
+
+func TestRunSweepFindsKnee(t *testing.T) {
+	// 120 lifetime completions: level 0 (~50 ops at 100/s over 0.5s) fits,
+	// level 1 (~100 ops at 200/s) blows through the budget and sheds well
+	// past 5%, stopping the sweep.
+	target := &shedTarget{capacity: 120}
+	r := NewRunner(target, sweepWorkload())
+	sc := SweepConfig{
+		Base:         Config{Seed: 5, Duration: 500 * time.Millisecond, MaxInFlight: 1024},
+		StartRate:    100,
+		Factor:       2,
+		MaxLevels:    5,
+		KneeShedRate: 0.05,
+	}
+	rep, err := RunSweep(context.Background(), r, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KneeLevel == "" {
+		t.Fatalf("sweep never found the knee: %+v", rep)
+	}
+	if rep.KneeRate <= 0 || rep.KneeRate >= rep.Levels[len(rep.Levels)-1].TargetRate {
+		t.Fatalf("knee rate %v not below the shedding level's rate", rep.KneeRate)
+	}
+	if len(rep.Levels) != len(rep.OriginDrift) {
+		t.Fatalf("%d levels but %d drift entries", len(rep.Levels), len(rep.OriginDrift))
+	}
+	last := rep.Levels[len(rep.Levels)-1]
+	if last.Level != rep.KneeLevel || last.ShedRate < sc.KneeShedRate {
+		t.Fatalf("knee level %q shed %.3f, want ≥ %v", last.Level, last.ShedRate, sc.KneeShedRate)
+	}
+	// Earlier levels stayed under the knee.
+	for _, lv := range rep.Levels[:len(rep.Levels)-1] {
+		if lv.ShedRate >= sc.KneeShedRate {
+			t.Fatalf("pre-knee level %q already shed %.3f", lv.Level, lv.ShedRate)
+		}
+	}
+}
+
+func TestRunSweepExhaustsWithoutKnee(t *testing.T) {
+	target := &shedTarget{capacity: 1 << 30} // effectively infinite
+	r := NewRunner(target, sweepWorkload())
+	rep, err := RunSweep(context.Background(), r, SweepConfig{
+		Base:      Config{Seed: 9, Duration: 100 * time.Millisecond, MaxInFlight: 1024},
+		StartRate: 50, MaxLevels: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KneeLevel != "" {
+		t.Fatalf("found a knee on an unshoppable target: %+v", rep)
+	}
+	if len(rep.Levels) != 3 {
+		t.Fatalf("ran %d levels, want 3", len(rep.Levels))
+	}
+	if rep.KneeRate != rep.Levels[2].TargetRate {
+		t.Fatalf("KneeRate %v should be the last sustained rate %v", rep.KneeRate, rep.Levels[2].TargetRate)
+	}
+}
+
+func TestOriginDriftMeasured(t *testing.T) {
+	// A steady all-cache-hit target: the sweep's first level anchors the
+	// drift baseline at zero, and the drift metric itself is unit-checked on
+	// synthetic mixes below.
+	target := &shedTarget{capacity: 1 << 30, origin: func(int64) string { return "cache-hit" }}
+	r := NewRunner(target, sweepWorkload())
+	sc := SweepConfig{
+		Base:      Config{Seed: 13, Duration: 100 * time.Millisecond, MaxInFlight: 1024},
+		StartRate: 200, MaxLevels: 2,
+	}
+	rep, err := RunSweep(context.Background(), r, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OriginDrift[0].Drift != 0 {
+		t.Fatalf("first level drift = %v, want 0", rep.OriginDrift[0].Drift)
+	}
+	if rep.OriginDrift[0].Shares["cache-hit"] != 1 {
+		t.Fatalf("first level shares: %v", rep.OriginDrift[0].Shares)
+	}
+
+	// Unit-check the drift metric itself on synthetic mixes.
+	a := &LevelReport{Level: "a", OriginMix: map[string]int64{"cache-hit": 10}}
+	b := &LevelReport{Level: "b", OriginMix: map[string]int64{"computed": 10}}
+	c := &LevelReport{Level: "c", OriginMix: map[string]int64{"cache-hit": 5, "computed": 5}}
+	base := originShift(a, nil)
+	if d := originShift(b, []OriginShift{base}).Drift; d != 1 {
+		t.Fatalf("disjoint mixes drift = %v, want 1", d)
+	}
+	if d := originShift(c, []OriginShift{base}).Drift; d != 0.5 {
+		t.Fatalf("half-moved mix drift = %v, want 0.5", d)
+	}
+	if d := originShift(a, []OriginShift{base}).Drift; d != 0 {
+		t.Fatalf("identical mix drift = %v, want 0", d)
+	}
+}
+
+func TestParseArtifactRoundTrip(t *testing.T) {
+	a := &Artifact{
+		Bench:   "load",
+		Command: "gbmqo -load-sweep",
+		Table:   "lineitem",
+		Rows:    50000,
+		Levels: []LevelReport{{
+			Level: "steady", Arrival: ArrivalPoisson, Seed: 42, TargetRate: 500,
+			Offered: 1000, Completed: 990, Shed: 10,
+			OriginMix: map[string]int64{"cache-hit": 700, "computed": 290},
+			LatencyMS: LatencyQuantiles{P50: 1.5, P95: 9.8, P99: 20.1},
+		}},
+		Sweep: &SweepReport{
+			KneeRate: 800, KneeLevel: "sweep-3", KneeShedRate: 0.05,
+			Levels: []LevelReport{{Level: "sweep-0", TargetRate: 100}},
+			OriginDrift: []OriginShift{
+				{Level: "sweep-0", Rate: 100, Shares: map[string]float64{"computed": 1}},
+			},
+		},
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != a.Bench || got.Rows != a.Rows || len(got.Levels) != 1 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Sweep == nil || got.Sweep.KneeRate != 800 || got.Sweep.KneeLevel != "sweep-3" {
+		t.Fatalf("sweep section lost: %+v", got.Sweep)
+	}
+	if got.Levels[0].OriginMix["cache-hit"] != 700 {
+		t.Fatalf("origin mix lost: %+v", got.Levels[0].OriginMix)
+	}
+	if got.Sweep.OriginDrift[0].Shares["computed"] != 1 {
+		t.Fatalf("drift shares lost: %+v", got.Sweep.OriginDrift)
+	}
+}
+
+func TestParseArtifactRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"bench": `,
+		"missing bench": `{"levels":[{"level":"x"}]}`,
+		"no levels":     `{"bench":"load"}`,
+		"empty sweep":   `{"bench":"load","sweep":{"levels":[]}}`,
+	}
+	for name, payload := range cases {
+		if _, err := ParseArtifact([]byte(payload)); err == nil {
+			t.Errorf("%s: ParseArtifact accepted %q", name, payload)
+		}
+	}
+	// Sweep-only artifacts (no top-level levels) are valid.
+	ok := `{"bench":"load","sweep":{"knee_rate_ops_s":100,"knee_shed_rate":0.05,"levels":[{"level":"sweep-0"}]}}`
+	if _, err := ParseArtifact([]byte(ok)); err != nil {
+		t.Errorf("sweep-only artifact rejected: %v", err)
+	}
+}
+
+// TestHTTPTargetClassification pins the shed-vs-error contract: 429 and 503
+// are shed (expected overload), other non-200s and transport failures are
+// errors, and 200 carries the origin through.
+func TestHTTPTargetClassification(t *testing.T) {
+	var status atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := int(status.Load())
+		if code != http.StatusOK {
+			w.WriteHeader(code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[{"batch":{"origin":"cache-hit","partial":false}}]}`))
+	}))
+	defer srv.Close()
+
+	target := &HTTPTarget{URL: srv.URL, Table: "t"}
+	q := gbmqo.GroupQuery{Cols: []string{"a"}}
+	ctx := context.Background()
+
+	status.Store(http.StatusTooManyRequests)
+	if res := target.Query(ctx, q); !res.Shed || res.Err != nil {
+		t.Fatalf("429: %+v, want shed", res)
+	}
+	status.Store(http.StatusServiceUnavailable)
+	if res := target.Query(ctx, q); !res.Shed || res.Err != nil {
+		t.Fatalf("503: %+v, want shed", res)
+	}
+	status.Store(http.StatusInternalServerError)
+	if res := target.Query(ctx, q); res.Shed || res.Err == nil {
+		t.Fatalf("500: %+v, want error", res)
+	}
+	status.Store(http.StatusOK)
+	if res := target.Query(ctx, q); res.Err != nil || res.Shed || res.Origin != "cache-hit" {
+		t.Fatalf("200: %+v, want origin cache-hit", res)
+	}
+	// Appends share the same classifier.
+	status.Store(http.StatusTooManyRequests)
+	if res := target.Append(ctx, [][]gbmqo.Value{{gbmqo.IntVal(1)}}); !res.Shed {
+		t.Fatalf("append 429: %+v, want shed", res)
+	}
+
+	// Transport failure (server gone) is an error, never shed.
+	srv.Close()
+	if res := target.Query(ctx, q); res.Shed || res.Err == nil {
+		t.Fatalf("dead server: %+v, want transport error", res)
+	}
+
+	// Cancelled context is an error too (the driver's timeout path).
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := target.Query(cancelled, q); res.Err == nil {
+		t.Fatalf("cancelled ctx: %+v, want error", res)
+	}
+}

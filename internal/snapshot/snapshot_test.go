@@ -1,0 +1,177 @@
+package snapshot
+
+import (
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbmqo/internal/table"
+)
+
+func buildTable(t *testing.T, name string, rows int) *table.Table {
+	t.Helper()
+	defs := []table.ColumnDef{
+		{Name: "k", Typ: table.TInt64},
+		{Name: "s", Typ: table.TString},
+		{Name: "f", Typ: table.TFloat64},
+		{Name: "d", Typ: table.TDate},
+	}
+	tb := table.New(name, defs)
+	for i := 0; i < rows; i++ {
+		row := []table.Value{
+			table.Int(int64(i % 7)),
+			table.Str("grp" + string(rune('a'+i%5))),
+			table.Float(float64(i) * 0.25),
+			table.Date(int64(20260100 + i%30)),
+		}
+		if i%11 == 0 {
+			row[1] = table.Null(table.TString)
+		}
+		tb.AppendRow(row...)
+	}
+	return tb
+}
+
+// rowBytes mirrors the cache's checksum surface: names + row image.
+func rowBytes(t *testing.T, tb *table.Table) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	for i := 0; i < tb.NumCols(); i++ {
+		h.Write([]byte(tb.Col(i).Name()))
+		h.Write([]byte{0})
+	}
+	img, _ := tb.RowImage()
+	h.Write(img)
+	return h.Sum64()
+}
+
+func TestImageRestoreRoundTrip(t *testing.T) {
+	src := buildTable(t, "lineitem", 200)
+	img := ImageOf(src, 3, 7)
+	got, err := Restore(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != src.NumRows() || got.NumCols() != src.NumCols() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", got.NumRows(), got.NumCols(), src.NumRows(), src.NumCols())
+	}
+	if rowBytes(t, got) != rowBytes(t, src) {
+		t.Fatal("restored table is not byte-identical to source")
+	}
+	if Fingerprint(got) != img.Fingerprint {
+		t.Fatal("restored fingerprint diverges from stored")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := buildTable(t, "lineitem", 150)
+	s := &Snapshot{WalSeq: 42, Tables: []TableImage{ImageOf(src, 2, 5)}}
+	if _, err := Write(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.WalSeq != 42 || len(got.Tables) != 1 {
+		t.Fatalf("loaded %+v", got)
+	}
+	img := got.Tables[0]
+	if img.Name != "lineitem" || img.Version != 2 || img.Delta != 5 {
+		t.Fatalf("image header %s v%d.%d", img.Name, img.Version, img.Delta)
+	}
+	tb, err := Restore(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowBytes(t, tb) != rowBytes(t, src) {
+		t.Fatal("loaded+restored table is not byte-identical to source")
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	s, _, err := Load(filepath.Join(t.TempDir(), "missing"))
+	if err != nil || s != nil {
+		t.Fatalf("cold start: s=%v err=%v", s, err)
+	}
+}
+
+func TestLoadFallsBackOnCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	src := buildTable(t, "t", 50)
+	s1 := &Snapshot{WalSeq: 10, Tables: []TableImage{ImageOf(src, 1, 1)}}
+	if _, err := Write(dir, s1); err != nil {
+		t.Fatal(err)
+	}
+	src2 := buildTable(t, "t", 80)
+	s2 := &Snapshot{WalSeq: 20, Tables: []TableImage{ImageOf(src2, 1, 2)}}
+	path2, err := Write(dir, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest: flip a byte inside the body.
+	data, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(path2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.WalSeq != 10 {
+		t.Fatalf("expected fallback to walSeq 10, got %+v", got)
+	}
+	if _, err := os.Stat(path2); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot not removed")
+	}
+}
+
+func TestPruneKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	src := buildTable(t, "t", 10)
+	for i := 0; i < 5; i++ {
+		s := &Snapshot{WalSeq: uint64(i + 1), Tables: []TableImage{ImageOf(src, 1, uint64(i))}}
+		if _, err := Write(dir, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ords, err := listOrdinals(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ords) != keep {
+		t.Fatalf("pruning kept %d snapshots, want %d", len(ords), keep)
+	}
+	got, _, err := Load(dir)
+	if err != nil || got == nil || got.WalSeq != 5 {
+		t.Fatalf("newest after prune: %+v err=%v", got, err)
+	}
+}
+
+func TestTruncatedFileFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	src := buildTable(t, "t", 60)
+	if _, err := Write(dir, &Snapshot{WalSeq: 1, Tables: []TableImage{ImageOf(src, 1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	path2, err := Write(dir, &Snapshot{WalSeq: 2, Tables: []TableImage{ImageOf(src, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path2)
+	if err := os.WriteFile(path2, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(dir)
+	if err != nil || got == nil || got.WalSeq != 1 {
+		t.Fatalf("torn newest should fall back: %+v err=%v", got, err)
+	}
+}

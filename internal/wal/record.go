@@ -1,0 +1,227 @@
+// Package wal is the append-ahead log behind the durability layer: every
+// acknowledged streaming append is framed, CRC32C-protected, and written to a
+// segmented log before it is applied to the in-memory engine, so a process
+// death loses at most the unacknowledged tail. Segments rotate at a byte
+// threshold, fsync policy is configurable (always / interval / off), and the
+// reader detects a torn or corrupt tail by CRC and truncates it instead of
+// failing recovery.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gbmqo/internal/table"
+)
+
+// Record is one logical WAL entry. Append records carry the full row payload
+// of one streaming append plus the row count the table must reach after the
+// apply (the replay-time verification fingerprint). Abort records mark a
+// previously written append whose in-memory apply failed after the log write:
+// replay must skip the aborted sequence so recovered state matches what the
+// original process acknowledged.
+type Record struct {
+	// Seq is the record's log sequence number, assigned by the writer,
+	// strictly increasing across segments.
+	Seq uint64
+	// Abort marks this record as an abort marker for sequence Seq (the rows
+	// and table of an abort record are empty).
+	Abort bool
+	// Table names the base table appended to.
+	Table string
+	// ExpectRows is the table's row count after this append applies — checked
+	// during replay so a divergent recovery is detected, not silently served.
+	ExpectRows int
+	// Rows is the appended row payload, one Value per column in schema order.
+	Rows [][]table.Value
+}
+
+const (
+	flagAbort = 1 << 0
+	nullBit   = 0x80
+)
+
+// encodePayload renders the record body (everything the frame CRC covers).
+func encodePayload(r *Record) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	putUvarint(r.Seq)
+	var flags byte
+	if r.Abort {
+		flags |= flagAbort
+	}
+	buf = append(buf, flags)
+	if r.Abort {
+		return buf
+	}
+	putUvarint(uint64(len(r.Table)))
+	buf = append(buf, r.Table...)
+	putUvarint(uint64(r.ExpectRows))
+	putUvarint(uint64(len(r.Rows)))
+	ncols := 0
+	if len(r.Rows) > 0 {
+		ncols = len(r.Rows[0])
+	}
+	putUvarint(uint64(ncols))
+	for _, row := range r.Rows {
+		for _, v := range row {
+			tag := byte(v.Typ)
+			if v.Null {
+				tag |= nullBit
+			}
+			buf = append(buf, tag)
+			if v.Null {
+				continue
+			}
+			switch v.Typ {
+			case table.TInt64, table.TDate:
+				put64(uint64(v.I))
+			case table.TFloat64:
+				put64(math.Float64bits(v.F))
+			case table.TString:
+				putUvarint(uint64(len(v.S)))
+				buf = append(buf, v.S...)
+			}
+		}
+	}
+	return buf
+}
+
+// payloadReader decodes a record body with bounds checking; any malformed
+// field surfaces as an error rather than a panic, so a corrupt-but-CRC-valid
+// payload (impossible barring a bug, but cheap to defend) cannot crash
+// recovery.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) bytes(n int) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.buf) {
+		return nil, fmt.Errorf("wal: truncated field at offset %d (want %d bytes)", p.off, n)
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b, nil
+}
+
+func (p *payloadReader) u64() (uint64, error) {
+	b, err := p.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// maxRecordCells bounds a single record's decoded cell count; a payload
+// claiming more is rejected as corrupt instead of allocating unboundedly.
+const maxRecordCells = 1 << 26
+
+// decodePayload parses one record body.
+func decodePayload(buf []byte) (*Record, error) {
+	p := &payloadReader{buf: buf}
+	seq, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := p.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Seq: seq}
+	if flags[0]&flagAbort != 0 {
+		rec.Abort = true
+		return rec, nil
+	}
+	nameLen, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	rec.Table = string(name)
+	expect, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	rec.ExpectRows = int(expect)
+	nrows, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nrows*ncols > maxRecordCells {
+		return nil, fmt.Errorf("wal: record claims %d cells", nrows*ncols)
+	}
+	rec.Rows = make([][]table.Value, nrows)
+	for ri := range rec.Rows {
+		row := make([]table.Value, ncols)
+		for ci := range row {
+			tag, err := p.bytes(1)
+			if err != nil {
+				return nil, err
+			}
+			typ := table.Type(tag[0] &^ nullBit)
+			if typ > table.TDate {
+				return nil, fmt.Errorf("wal: row %d col %d has unknown type %d", ri, ci, typ)
+			}
+			if tag[0]&nullBit != 0 {
+				row[ci] = table.Null(typ)
+				continue
+			}
+			switch typ {
+			case table.TInt64, table.TDate:
+				v, err := p.u64()
+				if err != nil {
+					return nil, err
+				}
+				if typ == table.TDate {
+					row[ci] = table.Date(int64(v))
+				} else {
+					row[ci] = table.Int(int64(v))
+				}
+			case table.TFloat64:
+				v, err := p.u64()
+				if err != nil {
+					return nil, err
+				}
+				row[ci] = table.Float(math.Float64frombits(v))
+			case table.TString:
+				n, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				s, err := p.bytes(int(n))
+				if err != nil {
+					return nil, err
+				}
+				row[ci] = table.Str(string(s))
+			}
+		}
+		rec.Rows[ri] = row
+	}
+	return rec, nil
+}

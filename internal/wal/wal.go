@@ -1,0 +1,622 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gbmqo/internal/exec"
+)
+
+// Segment layout:
+//
+//	[8B magic "GBMQWAL1"]
+//	frame*   where frame = [4B payload len LE][4B CRC32C(payload) LE][payload]
+//
+// A segment is named wal-%020d.log where the number is the sequence of its
+// first record; the active segment is the numerically largest. The CRC is
+// Castagnoli, computed over the payload only — a torn write (short frame or
+// garbage tail) fails either the length bound or the CRC, and replay
+// truncates the segment there instead of failing.
+
+const (
+	segMagic   = "GBMQWAL1"
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	frameHdr   = 8
+	defaultSeg = 4 << 20
+	// maxFrame bounds a single frame so a corrupt length field cannot drive a
+	// huge allocation during replay.
+	maxFrame = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when the writer fsyncs the active segment.
+type Policy int
+
+const (
+	// FsyncAlways syncs after every append: acknowledged appends survive any
+	// crash (the durability mode the crash suite gates on).
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs at most once per interval from a background
+	// flusher: bounded data loss, near-FsyncOff append latency.
+	FsyncInterval
+	// FsyncOff never syncs explicitly; the OS page cache decides. Survives
+	// process death (the kernel still has the pages) but not power loss.
+	FsyncOff
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "off"
+	}
+}
+
+// ParsePolicy maps the -fsync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options configures a Writer.
+type Options struct {
+	// Dir is the WAL directory (created if absent).
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Policy selects the fsync mode (default FsyncAlways).
+	Policy Policy
+	// Interval is the background sync period under FsyncInterval
+	// (default 50ms).
+	Interval time.Duration
+}
+
+// Stats is a point-in-time snapshot of writer counters.
+type Stats struct {
+	Appends  uint64
+	Fsyncs   uint64
+	Bytes    uint64
+	Segments int
+	// NextSeq is the sequence the next record will be assigned.
+	NextSeq uint64
+	// LastSync is when the active segment was last fsynced (zero if never).
+	LastSync time.Time
+	// DirtyBytes counts bytes written since the last fsync.
+	DirtyBytes uint64
+}
+
+// Writer appends framed records to the active segment, rotating and syncing
+// per Options. Safe for concurrent use.
+type Writer struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segStart uint64 // first seq of the active segment
+	segSize  int64
+	nextSeq  uint64
+	closed   bool
+
+	appends    uint64
+	fsyncs     uint64
+	bytes      uint64
+	dirty      uint64
+	lastSync   time.Time
+	flushStop  chan struct{}
+	flushDone  chan struct{}
+	flushErrMu sync.Mutex
+	flushErr   error
+}
+
+// ErrClosed is returned by operations on a closed Writer.
+var ErrClosed = errors.New("wal: writer closed")
+
+// Open creates (or continues) the log in opts.Dir. The writer always starts a
+// fresh segment whose first sequence is one past the highest committed-or-torn
+// sequence on disk, so a recovering process never appends into a segment whose
+// tail it may have just truncated.
+func Open(opts Options) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSeg
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	next, err := nextSeqOnDisk(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// A previous process that opened the log but never committed an append
+	// leaves an empty (or wholly torn) segment bearing exactly the first
+	// sequence the new writer wants. Nothing acknowledged lives in it — any
+	// CRC-valid frame would have advanced the scan past it — so reclaim the
+	// name rather than colliding on O_EXCL.
+	if stale := filepath.Join(opts.Dir, segName(next)); fileExists(stale) {
+		if err := os.Remove(stale); err != nil {
+			return nil, err
+		}
+	}
+	w := &Writer{opts: opts, nextSeq: next}
+	if err := w.rotateLocked(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == FsyncInterval {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// nextSeqOnDisk scans existing segments and returns one past the highest
+// sequence present (committed or torn — a torn record's sequence is burned,
+// never reused, so replay's "skip aborted/unseen" logic stays simple).
+func nextSeqOnDisk(dir string) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return 1, err
+	}
+	last := segs[len(segs)-1]
+	max := last.firstSeq - 1
+	err = scanSegment(filepath.Join(dir, last.name), func(payload []byte) error {
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return fmt.Errorf("wal: segment %s has frame without sequence", last.name)
+		}
+		if seq > max {
+			max = seq
+		}
+		return nil
+	})
+	if err != nil {
+		var te *tornError
+		if !errors.As(err, &te) {
+			return 0, err
+		}
+	}
+	return max + 1, nil
+}
+
+type segInfo struct {
+	name     string
+	firstSeq uint64
+}
+
+func listSegments(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		n, err := strconv.ParseUint(numStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segInfo{name: name, firstSeq: n})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// rotateLocked closes the active segment (if any) and opens a new one whose
+// first sequence is nextSeq. Caller holds mu (or is Open, pre-publication).
+func (w *Writer) rotateLocked() error {
+	if w.f != nil {
+		if w.dirty > 0 && w.opts.Policy != FsyncOff {
+			if err := w.syncLocked(); err != nil {
+				return err
+			}
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f = nil
+	}
+	path := filepath.Join(w.opts.Dir, segName(w.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segStart = w.nextSeq
+	w.segSize = int64(len(segMagic))
+	return nil
+}
+
+// Append frames, writes, and (per policy) syncs one record, assigning and
+// returning its sequence. Fires the wal.append failpoint before the write and
+// wal.fsync before each sync so the crash harness can kill the process at
+// either boundary.
+func (w *Writer) Append(rec *Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	// The sequence is burned before the failpoint fires: an injected panic or
+	// kill between assignment and write leaves a gap, never a reused sequence
+	// that a later abort marker could void by mistake.
+	rec.Seq = w.nextSeq
+	w.nextSeq++
+	exec.Testing.Fire("wal.append")
+	if err := w.writeLocked(rec); err != nil {
+		return 0, err
+	}
+	w.appends++
+	if w.opts.Policy == FsyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.Seq, nil
+}
+
+// AppendAbort writes an abort marker for seq: the in-memory apply of that
+// record failed after the log write, so replay must skip it. The marker is
+// synced under every policy except off — losing it would resurrect rows the
+// original process never acknowledged.
+func (w *Writer) AppendAbort(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	rec := &Record{Seq: seq, Abort: true}
+	if err := w.writeLocked(rec); err != nil {
+		return err
+	}
+	w.appends++
+	if w.opts.Policy != FsyncOff {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *Writer) writeLocked(rec *Record) error {
+	payload := encodePayload(rec)
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, frameHdr+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHdr:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.segSize += int64(len(frame))
+	w.bytes += uint64(len(frame))
+	w.dirty += uint64(len(frame))
+	return nil
+}
+
+func (w *Writer) syncLocked() error {
+	exec.Testing.Fire("wal.fsync")
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs++
+	w.dirty = 0
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.dirty == 0 {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			var err error
+			if !w.closed && w.dirty > 0 {
+				err = w.syncLocked()
+			}
+			w.mu.Unlock()
+			if err != nil {
+				w.flushErrMu.Lock()
+				w.flushErr = err
+				w.flushErrMu.Unlock()
+			}
+		}
+	}
+}
+
+// Close syncs (unless policy off) and closes the active segment. Idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.f != nil {
+		if w.dirty > 0 && w.opts.Policy != FsyncOff {
+			err = w.syncLocked()
+		}
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	stop := w.flushStop
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.flushDone
+	}
+	w.flushErrMu.Lock()
+	if err == nil {
+		err = w.flushErr
+	}
+	w.flushErrMu.Unlock()
+	return err
+}
+
+// Stats returns a snapshot of writer counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, _ := listSegments(w.opts.Dir)
+	return Stats{
+		Appends:    w.appends,
+		Fsyncs:     w.fsyncs,
+		Bytes:      w.bytes,
+		Segments:   len(segs),
+		NextSeq:    w.nextSeq,
+		LastSync:   w.lastSync,
+		DirtyBytes: w.dirty,
+	}
+}
+
+// RemoveObsolete deletes segments made redundant by a snapshot at uptoSeq:
+// a segment is removable when the NEXT segment starts at or before uptoSeq+1
+// (every record in it is ≤ uptoSeq). The active segment is never removed.
+// Returns the number of segments deleted.
+func (w *Writer) RemoveObsolete(uptoSeq uint64) (int, error) {
+	w.mu.Lock()
+	active := w.segStart
+	w.mu.Unlock()
+	segs, err := listSegments(w.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].firstSeq == active || segs[i+1].firstSeq > uptoSeq+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.opts.Dir, segs[i].name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// tornError marks the point where a segment's tail stopped parsing; scan
+// callers treat it as "stop here", not failure.
+type tornError struct {
+	off int64
+	why string
+}
+
+func (e *tornError) Error() string {
+	return fmt.Sprintf("wal: torn tail at offset %d: %s", e.off, e.why)
+}
+
+// scanSegment streams each frame payload through fn. A malformed header,
+// oversized length, short payload, or CRC mismatch returns a *tornError
+// carrying the offset of the bad frame; fn errors pass through unchanged.
+func scanSegment(path string, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return &tornError{off: 0, why: "bad segment magic"}
+	}
+	off := int64(len(segMagic))
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHdr {
+			return &tornError{off: off, why: "short frame header"}
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxFrame {
+			return &tornError{off: off, why: "frame length out of range"}
+		}
+		if len(rest) < frameHdr+int(n) {
+			return &tornError{off: off, why: "short frame payload"}
+		}
+		payload := rest[frameHdr : frameHdr+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return &tornError{off: off, why: "payload CRC mismatch"}
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += int64(frameHdr) + int64(n)
+	}
+	return nil
+}
+
+// ReplayStats summarizes a Replay pass.
+type ReplayStats struct {
+	// Records is the count of committed append records delivered to fn.
+	Records int
+	// Aborted counts records skipped because an abort marker voided them.
+	Aborted int
+	// TruncatedTails counts segments whose tail failed CRC/framing and was
+	// truncated (later segments, if any, are removed wholesale).
+	TruncatedTails int
+	// MaxSeq is the highest sequence observed, committed or not.
+	MaxSeq uint64
+}
+
+// Replay scans the log in dir and delivers every committed append record with
+// sequence > after to fn, in sequence order. Torn or corrupt tails are
+// truncated on disk (and segments past the tear removed) rather than failing:
+// a tear means the process died mid-write, so nothing after it was ever
+// acknowledged. An error from fn aborts the replay and is returned.
+//
+// Replay runs two passes: the first collects abort markers and repairs tears
+// (an abort marker can follow its target, even in a later segment), the
+// second delivers committed records.
+func Replay(dir string, after uint64, fn func(*Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		return st, err
+	}
+
+	// Pass 1: find the tear (if any), collect abort markers up to it.
+	aborted := map[uint64]bool{}
+	tearSeg := -1
+	var tear *tornError
+	for i, s := range segs {
+		err := scanSegment(filepath.Join(dir, s.name), func(payload []byte) error {
+			rec, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			if rec.Seq > st.MaxSeq {
+				st.MaxSeq = rec.Seq
+			}
+			if rec.Abort {
+				aborted[rec.Seq] = true
+			}
+			return nil
+		})
+		if err != nil {
+			var te *tornError
+			if errors.As(err, &te) {
+				tearSeg, tear = i, te
+				break
+			}
+			// Undecodable-but-CRC-valid payload: treat as a tear at that
+			// segment too — the data is not trustworthy past this point.
+			tearSeg, tear = i, &tornError{off: 0, why: err.Error()}
+			break
+		}
+	}
+
+	// Repair: truncate the torn segment at the tear and drop later segments.
+	if tearSeg >= 0 {
+		st.TruncatedTails++
+		path := filepath.Join(dir, segs[tearSeg].name)
+		if tear.off <= int64(len(segMagic)) {
+			// Nothing valid in this segment; remove it entirely.
+			if err := os.Remove(path); err != nil {
+				return st, err
+			}
+		} else if err := os.Truncate(path, tear.off); err != nil {
+			return st, err
+		}
+		for _, s := range segs[tearSeg+1:] {
+			if err := os.Remove(filepath.Join(dir, s.name)); err != nil {
+				return st, err
+			}
+		}
+		segs = segs[:tearSeg+1]
+		if tear.off <= int64(len(segMagic)) {
+			segs = segs[:tearSeg]
+		}
+	}
+
+	// Pass 2: deliver committed records in order.
+	for _, s := range segs {
+		err := scanSegment(filepath.Join(dir, s.name), func(payload []byte) error {
+			rec, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			if rec.Abort || rec.Seq <= after || aborted[rec.Seq] {
+				if !rec.Abort && aborted[rec.Seq] && rec.Seq > after {
+					st.Aborted++
+				}
+				return nil
+			}
+			exec.Testing.Fire("recover.replay")
+			if err := fn(rec); err != nil {
+				return err
+			}
+			st.Records++
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -246,10 +246,25 @@ func (db *DB) Draining() bool {
 }
 
 // Close gracefully shuts the DB down for process exit: it drains the
-// micro-batching scheduler under ctx's deadline (see Drain). Queries through
-// Query/Execute still work after Close — only the batching entry points are
-// stopped.
-func (db *DB) Close(ctx context.Context) error { return db.Drain(ctx) }
+// micro-batching scheduler under ctx's deadline (see Drain) and, on a durable
+// DB, takes a final snapshot and sync-closes the WAL so the next OpenDurable
+// replays nothing. Queries through Query/Execute still work after Close —
+// only the batching entry points (and durable appends) are stopped.
+//
+// Close is idempotent and safe to call concurrently with in-flight Appends:
+// repeated or racing Close calls all observe the first call's outcome, an
+// Append that wins the race against the durability shutdown is fully logged
+// and snapshotted, and one that loses fails with ErrDBClosed rather than
+// landing half-applied.
+func (db *DB) Close(ctx context.Context) error {
+	err := db.Drain(ctx)
+	if db.dur != nil {
+		if derr := db.dur.close(db); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
 
 // EnableBreakers arms a per-table circuit breaker in front of every engine
 // run (Query, Execute, Submit alike): once a table's recent failure rate
