@@ -138,9 +138,9 @@ func BenchmarkKernelSweep(b *testing.B) {
 		key        string
 		ndvA, ndvB int
 	}{
-		{"narrow-low", 16, 0},      // low-NDV extreme: dense regime
-		{"narrow-high", 65536, 0},  // high NDV but still a dense-able domain
-		{"wide-high", 2048, 2048},  // high-NDV extreme, domain 4.2M: radix regime
+		{"narrow-low", 16, 0},     // low-NDV extreme: dense regime
+		{"narrow-high", 65536, 0}, // high NDV but still a dense-able domain
+		{"wide-high", 2048, 2048}, // high-NDV extreme, domain 4.2M: radix regime
 	}
 	for _, cfg := range configs {
 		for _, zipf := range []float64{0, 1.5} {

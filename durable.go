@@ -326,20 +326,24 @@ func (d *durability) abortQuiet(seq uint64) {
 
 // registerDurable registers t and synchronously snapshots: registrations are
 // not WAL-logged (a register rewrites the whole table), so the snapshot IS
-// their durability — Register on a durable DB returns only after the new
-// table is on disk.
-func (db *DB) registerDurable(t *Table) {
+// their durability — a nil return means the new table is on disk. A non-nil
+// return means the table is registered in memory but NOT durable: a crash
+// before the next successful snapshot loses it (and replay skips its WAL
+// appends as unknown-table).
+func (db *DB) registerDurable(t *Table) error {
 	d := db.dur
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return
+		return ErrDBClosed
 	}
 	db.eng.Catalog().Register(t)
 	d.mu.Unlock()
 	if err := d.snapshotNow(db); err != nil {
-		d.snapErrors.Add(1)
+		// snapshotNow already counted the failure in snapErrors.
+		return fmt.Errorf("gbmqo: registration snapshot for %q: %w", t.Name(), err)
 	}
+	return nil
 }
 
 // snapshotNow captures every base table at a consistent WAL horizon and
@@ -379,7 +383,15 @@ func (d *durability) snapshotNow(db *DB) error {
 	}
 	d.snapWrites.Add(1)
 	d.lastSnapUnix.Store(time.Now().UnixNano())
-	_, _ = d.w.RemoveObsolete(s.WalSeq)
+	// Prune only WAL the OLDEST retained snapshot no longer needs: retention
+	// keeps a fallback so recovery can discard a corrupt newest snapshot, and
+	// the fallback is only usable while its replay suffix survives. Pruning to
+	// the new snapshot's own horizon would leave a gap between the two.
+	pruneTo := s.WalSeq
+	if oldest, ok := snapshot.OldestRetainedWalSeq(filepath.Join(d.dir, snapSubdir)); ok && oldest < pruneTo {
+		pruneTo = oldest
+	}
+	_, _ = d.w.RemoveObsolete(pruneTo)
 	if err := writeManifest(filepath.Join(d.dir, manifestFile), manifest); err != nil {
 		d.snapErrors.Add(1)
 	}

@@ -33,6 +33,11 @@ func (c *durabilityCollector) Collect(ch chan<- obs.Metric) error {
 	counter("gbmqo_wal_truncated_tails_total", "torn or corrupt WAL tails truncated by the last recovery", float64(d.recovery.TruncatedTails))
 	counter("gbmqo_snapshot_writes_total", "table snapshots written since open", float64(d.snapWrites.Load()))
 	counter("gbmqo_snapshot_errors_total", "snapshot or manifest writes that failed", float64(d.snapErrors.Load()))
+	syncFailed := 0.0
+	if st.SyncErr != nil {
+		syncFailed = 1.0
+	}
+	gauge("gbmqo_wal_sync_failed", "1 while the WAL refuses appends after a background fsync failure", syncFailed)
 	gauge("gbmqo_wal_dirty_bytes", "WAL bytes written but not yet fsynced", float64(st.DirtyBytes))
 	gauge("gbmqo_wal_segments", "WAL segment files on disk", float64(st.Segments))
 	gauge("gbmqo_snapshot_age_seconds", "seconds since the last successful snapshot", c.snapshotAge())
@@ -74,6 +79,9 @@ func (c *durabilityCollector) HealthDetail() (string, any, bool) {
 			"quarantined":      d.recovery.QuarantinedEntries,
 			"wall_ms":          float64(d.recovery.Wall) / float64(time.Millisecond),
 		},
+	}
+	if st.SyncErr != nil {
+		detail["fsync_error"] = st.SyncErr.Error()
 	}
 	// Fsync lag: how long acknowledged-but-unsynced bytes have been exposed.
 	// Zero dirty bytes means no lag regardless of when the last sync ran.

@@ -490,3 +490,82 @@ func TestDurableMetricsExposed(t *testing.T) {
 		t.Fatalf("durability detail: %v", detail)
 	}
 }
+
+// TestDurableFallbackSnapshotUsable: snapshot retention keeps an older
+// snapshot so recovery can fall back when the newest is corrupt — which only
+// works if WAL pruning spares every record past the OLDEST retained horizon.
+// Pruning to the newest horizon would leave the fallback with a replay gap and
+// recovery would fail its ExpectRows verification permanently.
+func TestDurableFallbackSnapshotUsable(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny WAL segments so pruning actually has non-active segments to delete.
+	db, _ := openDurableEvents(t, dir, &DurabilityOptions{SnapshotInterval: -1, WALSegmentBytes: 256})
+	tb := NewTable("events", durableDefs)
+	for _, row := range durableRows(0, 50) {
+		tb.AppendRow(row...)
+	}
+	db.Register(tb) // snapshot 1: WAL horizon 0
+	for i := 0; i < 5; i++ {
+		if _, err := db.Append("events", durableRows(50+i*50, 50)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	live, _ := db.Table("events")
+	want := tableBytes(t, live)
+	mustClose(t, db) // snapshot 2 (newest): full horizon; prune runs here
+
+	// Corrupt the newest snapshot; recovery must fall back to the
+	// registration-time snapshot and replay the entire WAL suffix past it.
+	snaps, err := filepath.Glob(filepath.Join(dir, snapSubdir, "snap-*.gbs"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("retained snapshots: %v (err=%v), want >= 2", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rep := openDurableEvents(t, dir, &DurabilityOptions{SnapshotInterval: -1})
+	defer mustClose(t, db2)
+	if !rep.SnapshotLoaded {
+		t.Fatalf("fallback snapshot not loaded: %+v", rep)
+	}
+	if rep.ReplayedRecords != 5 {
+		t.Fatalf("replayed %d records via fallback, want 5 (%+v)", rep.ReplayedRecords, rep)
+	}
+	got, ok := db2.Table("events")
+	if !ok || got.NumRows() != 300 {
+		t.Fatalf("recovered table: ok=%v rows=%d", ok, got.NumRows())
+	}
+	if tableBytes(t, got) != want {
+		t.Fatal("fallback recovery is not byte-identical")
+	}
+}
+
+// TestRegisterDurableSurfacesSnapshotFailure: a durable registration whose
+// snapshot cannot be written must return the error (the table would be lost
+// on crash), while still registering the table in memory.
+func TestRegisterDurableSurfacesSnapshotFailure(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurableEvents(t, dir, &DurabilityOptions{SnapshotInterval: -1})
+	defer db.Close(context.Background()) // close-time snapshot fails too; ignore
+	// Sabotage the snapshot directory: a regular file where it must go.
+	if err := os.WriteFile(filepath.Join(dir, snapSubdir), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable("events", durableDefs)
+	for _, row := range durableRows(0, 10) {
+		tb.AppendRow(row...)
+	}
+	if err := db.RegisterDurable(tb); err == nil {
+		t.Fatal("RegisterDurable reported success with an unwritable snapshot dir")
+	}
+	if _, ok := db.Table("events"); !ok {
+		t.Fatal("table missing from in-memory catalog after failed durable registration")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log"
 	"strings"
 	"sync"
 	"time"
@@ -264,13 +265,31 @@ func (db *DB) CacheStats() (st CacheStats, ok bool) {
 
 // Register adds (or replaces) a table in the catalog. On a durable DB (see
 // OpenDurable) the registration is snapshotted synchronously: it is on disk
-// by the time Register returns.
+// by the time Register returns. Register cannot report a snapshot failure —
+// durable callers that must know whether the registration actually persisted
+// should use RegisterDurable; Register logs the failure instead of swallowing
+// it.
 func (db *DB) Register(t *Table) {
 	if db.dur != nil {
-		db.registerDurable(t)
+		if err := db.registerDurable(t); err != nil {
+			log.Printf("gbmqo: Register(%q): registration is NOT durable: %v", t.Name(), err)
+		}
 		return
 	}
 	db.eng.Catalog().Register(t)
+}
+
+// RegisterDurable adds (or replaces) a table in the catalog and returns only
+// after the registration is on disk. A non-nil error means the table IS
+// registered in memory but NOT durable — a crash before the next successful
+// snapshot loses it. On a non-durable DB it behaves like Register and returns
+// nil.
+func (db *DB) RegisterDurable(t *Table) error {
+	if db.dur != nil {
+		return db.registerDurable(t)
+	}
+	db.eng.Catalog().Register(t)
+	return nil
 }
 
 // RegisterCSV loads a table from CSV (header row required) and registers it.

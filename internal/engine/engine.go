@@ -484,13 +484,13 @@ func sameParent(a, b *plan.Node) bool {
 
 // planRun is the state of one plan execution.
 type planRun struct {
-	ex        *Executor
-	base      *table.Table
-	aggs      []exec.Agg
-	par       int // intra-operator morsel worker budget (≤1 = sequential)
-	gov       *exec.Gov
-	budget    *exec.MemBudget
-	size      plan.SizeFn
+	ex     *Executor
+	base   *table.Table
+	aggs   []exec.Agg
+	par    int // intra-operator morsel worker budget (≤1 = sequential)
+	gov    *exec.Gov
+	budget *exec.MemBudget
+	size   plan.SizeFn
 	// ndv answers NDV estimates from already-built statistics for the kernel
 	// chooser (nil or a 0 answer = unknown; see ExecOptions.NDVFn).
 	ndv func(colset.Set) float64

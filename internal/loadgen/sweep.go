@@ -51,7 +51,7 @@ func (sc SweepConfig) withDefaults() SweepConfig {
 // *what* the server serves (cache share collapsing, flight sharing taking
 // over), not just how fast.
 type OriginShift struct {
-	Level string `json:"level"`
+	Level string  `json:"level"`
 	Rate  float64 `json:"rate_ops_s"`
 	// Shares is each origin's fraction of completed queries at this level.
 	Shares map[string]float64 `json:"shares"`

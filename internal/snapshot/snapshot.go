@@ -242,6 +242,16 @@ func Load(dir string) (*Snapshot, string, error) {
 }
 
 func loadFile(path string) (*Snapshot, error) {
+	body, err := readBody(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(body)
+}
+
+// readBody reads a snapshot file and returns its body after verifying magic,
+// length, and CRC.
+func readBody(path string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -258,7 +268,32 @@ func loadFile(path string) (*Snapshot, error) {
 	if crc32.Checksum(body, castagnoli) != sum {
 		return nil, fmt.Errorf("snapshot: %s: body CRC mismatch", path)
 	}
-	return decodeBody(body)
+	return body, nil
+}
+
+// OldestRetainedWalSeq returns the WAL horizon of the oldest intact snapshot
+// in dir. Retention keeps older snapshots precisely so recovery can fall back
+// when the newest is corrupt or unrestorable — a fallback is only usable if
+// its replay suffix survives, so WAL pruning must not pass this horizon.
+// ok is false when no intact snapshot exists. A corrupt file constrains
+// nothing (Load would discard it) and is skipped.
+func OldestRetainedWalSeq(dir string) (seq uint64, ok bool) {
+	ords, err := listOrdinals(dir)
+	if err != nil {
+		return 0, false
+	}
+	for _, ord := range ords {
+		body, err := readBody(filepath.Join(dir, fileName(ord)))
+		if err != nil {
+			continue
+		}
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
 }
 
 func fileName(ord uint64) string {

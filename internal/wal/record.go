@@ -173,8 +173,10 @@ func decodePayload(buf []byte) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nrows*ncols > maxRecordCells {
-		return nil, fmt.Errorf("wal: record claims %d cells", nrows*ncols)
+	// Bound each factor before multiplying: both ≤ 2^26 keeps the product
+	// ≤ 2^52, so it cannot wrap uint64 and sneak past the cell guard.
+	if nrows > maxRecordCells || ncols > maxRecordCells || nrows*ncols > maxRecordCells {
+		return nil, fmt.Errorf("wal: record claims %d x %d cells", nrows, ncols)
 	}
 	rec.Rows = make([][]table.Value, nrows)
 	for ri := range rec.Rows {

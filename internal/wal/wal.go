@@ -105,6 +105,11 @@ type Stats struct {
 	LastSync time.Time
 	// DirtyBytes counts bytes written since the last fsync.
 	DirtyBytes uint64
+	// SyncErr is the sticky background-fsync failure under FsyncInterval (nil
+	// while healthy). Once set, Append refuses new records: after a failed
+	// fsync the kernel may have dropped the dirty pages, so durability cannot
+	// be re-promised by a later sync succeeding.
+	SyncErr error
 }
 
 // Writer appends framed records to the active segment, rotating and syncing
@@ -151,14 +156,32 @@ func Open(opts Options) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A previous process that opened the log but never committed an append
-	// leaves an empty (or wholly torn) segment bearing exactly the first
-	// sequence the new writer wants. Nothing acknowledged lives in it — any
-	// CRC-valid frame would have advanced the scan past it — so reclaim the
-	// name rather than colliding on O_EXCL.
+	// A previous process that opened the log but never committed an append can
+	// leave a segment bearing exactly the first sequence the new writer wants.
+	// Reclaim the name only when the segment holds no CRC-valid frame at all
+	// (empty or wholly torn — nothing acknowledged lives in it). It can also
+	// hold valid frames that never advanced the scan: an Append that rotates
+	// mid-call makes a following AppendAbort the first frame of the new
+	// segment, carrying the OLDER sequence. Deleting such a segment would
+	// destroy the durable abort marker and resurrect a never-acknowledged
+	// append on the next recovery — instead the label itself is burned: any
+	// torn tail is truncated and the writer starts one sequence past the name.
 	if stale := filepath.Join(opts.Dir, segName(next)); fileExists(stale) {
-		if err := os.Remove(stale); err != nil {
-			return nil, err
+		valid, tearOff, serr := segmentFrameState(stale)
+		if serr != nil {
+			return nil, serr
+		}
+		if valid == 0 {
+			if err := os.Remove(stale); err != nil {
+				return nil, err
+			}
+		} else {
+			if tearOff >= 0 {
+				if err := os.Truncate(stale, tearOff); err != nil {
+					return nil, err
+				}
+			}
+			next++
 		}
 	}
 	w := &Writer{opts: opts, nextSeq: next}
@@ -200,6 +223,21 @@ func nextSeqOnDisk(dir string) (uint64, error) {
 		}
 	}
 	return max + 1, nil
+}
+
+// segmentFrameState reports how many CRC-valid frames the segment at path
+// holds and, when its tail is torn, the tear's byte offset (-1 for a clean
+// tail). Read errors pass through; tears do not.
+func segmentFrameState(path string) (validFrames int, tearOff int64, err error) {
+	err = scanSegment(path, func([]byte) error { validFrames++; return nil })
+	if err != nil {
+		var te *tornError
+		if errors.As(err, &te) {
+			return validFrames, te.off, nil
+		}
+		return validFrames, -1, err
+	}
+	return validFrames, -1, nil
 }
 
 type segInfo struct {
@@ -279,6 +317,12 @@ func (w *Writer) Append(rec *Record) (uint64, error) {
 	defer w.mu.Unlock()
 	if w.closed {
 		return 0, ErrClosed
+	}
+	if err := w.syncFailure(); err != nil {
+		// A background fsync has failed: acknowledged-but-unsynced bytes may
+		// already be lost, so acknowledging more writes would silently degrade
+		// FsyncInterval to FsyncOff on a sick disk.
+		return 0, fmt.Errorf("wal: background fsync failed, refusing append: %w", err)
 	}
 	// The sequence is burned before the failpoint fires: an injected panic or
 	// kill between assignment and write leaves a gap, never a reused sequence
@@ -366,6 +410,13 @@ func (w *Writer) Sync() error {
 	return w.syncLocked()
 }
 
+// syncFailure returns the sticky background-fsync error (nil while healthy).
+func (w *Writer) syncFailure() error {
+	w.flushErrMu.Lock()
+	defer w.flushErrMu.Unlock()
+	return w.flushErr
+}
+
 func (w *Writer) flushLoop() {
 	defer close(w.flushDone)
 	t := time.NewTicker(w.opts.Interval)
@@ -435,6 +486,7 @@ func (w *Writer) Stats() Stats {
 		NextSeq:    w.nextSeq,
 		LastSync:   w.lastSync,
 		DirtyBytes: w.dirty,
+		SyncErr:    w.syncFailure(),
 	}
 }
 

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -172,6 +174,154 @@ func TestAbortMarkerSkipsRecord(t *testing.T) {
 	}
 	if st.Aborted != 1 {
 		t.Fatalf("aborted count %d, want 1", st.Aborted)
+	}
+}
+
+// TestAbortAfterRotationSurvivesReopen covers the case where an Append
+// crosses SegmentBytes and rotates inside the same call, so the following
+// AppendAbort lands as the first frame of a segment named one past the aborted
+// sequence. A reopening writer wants exactly that name; it must burn the label
+// rather than delete the segment — deleting it would destroy the abort marker
+// while the voided append survives in the earlier segment, resurrecting a
+// never-acknowledged append at the next recovery.
+func TestAbortAfterRotationSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: FsyncAlways, SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := w.Append(&Record{Table: "t", ExpectRows: 1, Rows: testRows(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := listSegments(dir); len(segs) != 2 {
+		t.Fatalf("append did not rotate: %d segments", len(segs))
+	}
+	// Simulate the apply failing after the log write: the abort marker is the
+	// only frame of the freshly rotated segment, carrying the OLDER sequence.
+	if err := w.AppendAbort(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir, Policy: FsyncAlways, SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	found := false
+	for _, s := range segs {
+		if s.firstSeq == s1+1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reopen deleted the abort-marker segment: %+v", segs)
+	}
+	s2, err := w2.Append(&Record{Table: "t", ExpectRows: 1, Rows: testRows(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1+2 {
+		t.Fatalf("resumed at seq %d, want %d (label %d burned)", s2, s1+2, s1+1)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []uint64
+	st, err := Replay(dir, 0, func(r *Record) error { got = append(got, r.Seq); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborted != 1 {
+		t.Fatalf("aborted count %d, want 1", st.Aborted)
+	}
+	if len(got) != 1 || got[0] != s2 {
+		t.Fatalf("replay delivered %v, want [%d] only — aborted append resurrected", got, s2)
+	}
+}
+
+// TestEmptyStaleSegmentReclaimed keeps the original reclaim behavior: a
+// process that opened the log but never committed anything leaves an empty
+// segment, and the next writer reuses its name (and its sequence).
+func TestEmptyStaleSegmentReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir, Policy: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.Append(&Record{Table: "t", ExpectRows: 1, Rows: testRows(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("resumed at seq %d, want 1", seq)
+	}
+	if segs, _ := listSegments(dir); len(segs) != 1 {
+		t.Fatalf("empty stale segment not reclaimed: %+v", segs)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackgroundSyncFailureRefusesAppend: once the FsyncInterval flusher hits
+// an fsync error, the writer must stop acknowledging appends instead of
+// silently degrading to FsyncOff until Close.
+func TestBackgroundSyncFailureRefusesAppend(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Policy: FsyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(&Record{Table: "t", ExpectRows: 1, Rows: testRows(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	sick := errors.New("fsync: input/output error")
+	w.flushErrMu.Lock()
+	w.flushErr = sick
+	w.flushErrMu.Unlock()
+	if _, err := w.Append(&Record{Table: "t", ExpectRows: 2, Rows: testRows(1, 1)}); !errors.Is(err, sick) {
+		t.Fatalf("append after failed background fsync: err=%v, want wrapped %v", err, sick)
+	}
+	if got := w.Stats().SyncErr; !errors.Is(got, sick) {
+		t.Fatalf("Stats.SyncErr = %v, want %v", got, sick)
+	}
+	// Abort markers stay writable: refusing them could resurrect records.
+	if err := w.AppendAbort(1); err != nil {
+		t.Fatalf("AppendAbort after failed background fsync: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, sick) {
+		t.Fatalf("Close = %v, want the sticky sync error", err)
+	}
+}
+
+func TestDecodeRejectsCellCountOverflow(t *testing.T) {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	uv(1)                  // seq
+	buf = append(buf, 0)   // flags
+	uv(1)                  // len(table)
+	buf = append(buf, 't') // table
+	uv(0)                  // expectRows
+	uv(1 << 62)            // nrows
+	uv(4)                  // ncols: product wraps uint64 to 0
+	if _, err := decodePayload(buf); err == nil {
+		t.Fatal("cell-count overflow decoded without error")
 	}
 }
 
